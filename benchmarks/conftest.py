@@ -1,0 +1,43 @@
+"""Benchmark configuration.
+
+The benchmark harness regenerates every table and figure of the paper at a
+reduced ``bench`` scale sized for a single CPU core: the code paths are the
+paper-scale ones, only the sample counts and the PPO training budget are
+smaller.  EXPERIMENTS.md records the paper-vs-measured comparison and the
+effect of the reduced training budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.trainer import TrainerConfig
+from repro.experiments.config import ExperimentScale
+from repro.rl.ppo import PPOConfig
+
+#: Scale used by the benchmark harness (single-core friendly).
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    trace_jobs=3_000,
+    eval_sequence_length=384,
+    eval_samples=2,
+    train_sequence_length=128,
+    max_queue_size=32,
+    trainer=TrainerConfig(
+        epochs=4,
+        trajectories_per_epoch=4,
+        ppo=PPOConfig(policy_iterations=10, value_iterations=10),
+    ),
+    training_pool_size=4,
+    min_training_bsld=2.0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

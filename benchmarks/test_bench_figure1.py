@@ -1,0 +1,26 @@
+"""Figure 1 benchmark: EASY bsld vs runtime-prediction accuracy.
+
+Regenerates the prediction-accuracy sweep (AR, +5%, +10%, +20%, +40%, +100%)
+for the four base policies on the SDSC-SP2 trace and reports the series the
+paper plots.  The paper's qualitative claim -- better prediction accuracy is
+not always better scheduling -- is checked explicitly.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_prediction_accuracy_tradeoff(benchmark, bench_scale):
+    result = run_once(benchmark, run_figure1, bench_scale, seed=1)
+    print("\n" + result.to_text())
+    benchmark.extra_info["best_noise_per_policy"] = {
+        policy: result.best_noise(policy) for policy in result.values
+    }
+    benchmark.extra_info["non_monotonic"] = result.accuracy_is_not_monotonic()
+    # Every policy/accuracy cell must be a valid bsld.
+    for policy, row in result.values.items():
+        for value in row.values():
+            assert value >= 1.0
+    # Paper's headline Figure 1 observation: for at least one base policy a
+    # noisy prediction beats the perfect one.
+    assert result.accuracy_is_not_monotonic()

@@ -1,0 +1,17 @@
+"""Figure 4 benchmark: RLBackfilling PPO training curves on all four traces."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_training_curves(benchmark, bench_scale):
+    result = run_once(benchmark, run_figure4, bench_scale, seed=2)
+    print("\n" + result.to_text())
+    for trace, history in result.histories.items():
+        print(f"  {trace}: bsld per epoch = {[round(v, 1) for v in history.bslds]}")
+        benchmark.extra_info[f"curve_{trace}"] = [round(v, 2) for v in history.bslds]
+        # Every epoch must produce finite, valid slowdowns for all traces.
+        assert all(v >= 1.0 for v in history.bslds)
+        assert len(history) == bench_scale.trainer.epochs
+    # The curves exist for the same four traces the paper trains on.
+    assert set(result.histories) == {"SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2"}

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the substrates: simulator throughput, PPO update, encoding.
+
+These are not paper figures; they document the performance envelope of the
+simulator and the from-scratch RL stack so regressions are visible.
+"""
+
+import numpy as np
+
+from repro.core.agent import RLBackfillAgent
+from repro.core.observation import ObservationBuilder, ObservationConfig
+from repro.prediction.predictors import UserEstimate
+from repro.rl.autograd import Tensor
+from repro.rl.buffer import TrajectoryBuffer
+from repro.rl.ppo import PPO, PPOConfig
+from repro.scheduler.backfill.easy import EasyBackfill
+from repro.scheduler.simulator import Simulator
+from repro.workloads.archive import load_trace
+from repro.workloads.sampling import sample_sequence
+
+
+def test_simulator_easy_backfill_throughput(benchmark):
+    trace = load_trace("SDSC-SP2", num_jobs=3000)
+    jobs = sample_sequence(trace, 512, seed=0)
+    simulator = Simulator(trace.num_processors, policy="FCFS", backfill=EasyBackfill())
+
+    result = benchmark(simulator.run, jobs)
+    assert len(result.records) == 512
+    benchmark.extra_info["jobs_per_run"] = 512
+    benchmark.extra_info["bsld"] = round(result.bsld, 2)
+
+
+def test_simulator_sjf_no_estimator_throughput(benchmark):
+    trace = load_trace("Lublin-2", num_jobs=3000)
+    jobs = sample_sequence(trace, 512, seed=1)
+    simulator = Simulator(trace.num_processors, policy="SJF", backfill=EasyBackfill())
+    result = benchmark(simulator.run, jobs)
+    assert len(result.records) == 512
+
+
+def test_observation_encoding_speed(benchmark):
+    trace = load_trace("SDSC-SP2", num_jobs=2000)
+    jobs = sample_sequence(trace, 256, seed=2)
+    config = ObservationConfig(max_queue_size=128)
+    builder = ObservationBuilder(config)
+    simulator = Simulator(trace.num_processors, policy="FCFS", estimator=UserEstimate())
+    gen = simulator.decision_points(jobs)
+    decision = next(gen)
+
+    observation, mask, _ = benchmark(builder.build, decision)
+    assert observation.shape == (config.observation_size,)
+    assert mask.shape == (config.num_actions,)
+
+
+def test_ppo_update_speed(benchmark):
+    config = ObservationConfig(max_queue_size=32)
+    agent = RLBackfillAgent(config, seed=0)
+    ppo = PPO(agent, PPOConfig(policy_iterations=5, value_iterations=5), seed=0)
+    rng = np.random.default_rng(0)
+    buffer = TrajectoryBuffer(gamma=1.0, lam=1.0)
+    for _ in range(256):
+        observation = rng.random(config.observation_size)
+        mask = np.zeros(config.num_actions)
+        mask[rng.choice(config.num_actions, size=8, replace=False)] = 1.0
+        action, value, log_prob = agent.step(observation, mask, rng=rng)
+        buffer.store(observation, mask, action, rng.normal(), value, log_prob)
+        buffer.finish_path(0.0)
+    data = buffer.get()
+
+    stats = benchmark.pedantic(ppo.update, args=(data,), rounds=3, iterations=1, warmup_rounds=0)
+    assert np.isfinite(stats.value_loss)
+
+
+def test_policy_forward_speed(benchmark):
+    config = ObservationConfig(max_queue_size=128)
+    agent = RLBackfillAgent(config, seed=0)
+    observations = np.random.default_rng(0).random((64, config.observation_size))
+
+    logits = benchmark(lambda: agent.policy_logits(Tensor(observations)))
+    assert logits.shape == (64, config.num_actions)

@@ -1,0 +1,16 @@
+"""Table 2 benchmark: job trace characteristics of the four evaluation traces."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+
+def test_table2_trace_characteristics(benchmark, bench_scale):
+    result = run_once(benchmark, run_table2, bench_scale)
+    print("\n" + result.to_text())
+    benchmark.extra_info["paper_reference"] = PAPER_TABLE2
+    # The synthetic substitutes must land on the published operating points.
+    for trace in PAPER_TABLE2:
+        assert result.relative_error(trace, "size") == 0.0
+        assert result.relative_error(trace, "it") < 0.10, trace
+        assert result.relative_error(trace, "nt") < 0.40, trace
+        assert result.relative_error(trace, "rt") < 0.40, trace

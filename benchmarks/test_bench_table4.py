@@ -1,0 +1,28 @@
+"""Table 4 benchmark: bsld of base policy + {EASY, EASY-AR, RLBF} per trace."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+
+#: Shared across the Table 5 benchmark so the trained models are reused.
+_LAST_RESULT = {}
+
+
+def test_table4_scheduling_performance(benchmark, bench_scale):
+    result = run_once(benchmark, run_table4, bench_scale, seed=3)
+    _LAST_RESULT["table4"] = result
+    print("\n" + result.to_text())
+    benchmark.extra_info["paper_reference"] = PAPER_TABLE4
+    benchmark.extra_info["measured"] = {
+        trace: {k: (round(v, 2) if v is not None else None) for k, v in row.items()}
+        for trace, row in result.values.items()
+    }
+    for trace, row in result.values.items():
+        for label, value in row.items():
+            if value is not None:
+                assert value >= 1.0, (trace, label)
+        # Shape check from the paper that does not depend on RL training
+        # budget: EASY backfilling under SJF beats EASY under FCFS.
+        fcfs_easy = row.get("FCFS+EASY")
+        sjf_easy = row.get("SJF+EASY")
+        if fcfs_easy is not None and sjf_easy is not None:
+            assert sjf_easy <= fcfs_easy * 1.25, trace

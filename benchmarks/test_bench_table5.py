@@ -1,0 +1,28 @@
+"""Table 5 benchmark: cross-trace generality of trained RLBackfilling models."""
+
+from benchmarks.conftest import run_once
+from benchmarks.test_bench_table4 import _LAST_RESULT
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_generality(benchmark, bench_scale):
+    trained = _LAST_RESULT["table4"].models if "table4" in _LAST_RESULT else None
+    result = run_once(benchmark, run_table5, bench_scale, seed=4, trained_models=trained)
+    print("\n" + result.to_text())
+    benchmark.extra_info["measured"] = {
+        policy: {
+            trace: {k: (round(v, 2) if v is not None else None) for k, v in row.items()}
+            for trace, row in rows.items()
+        }
+        for policy, rows in result.values.items()
+    }
+    # Structure: both base-policy sections, every trace row, one RL-X column
+    # per training trace plus the EASY baselines.
+    assert set(result.values) == {"FCFS", "SJF"}
+    for rows in result.values.values():
+        assert set(rows) == {"SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2"}
+        for row in rows.values():
+            assert {"RL-SDSC-SP2", "RL-HPC2N", "RL-Lublin-1", "RL-Lublin-2"} <= set(row)
+            for value in row.values():
+                if value is not None:
+                    assert value >= 1.0

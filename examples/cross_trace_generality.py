@@ -1,0 +1,42 @@
+"""Table 5 scenario: apply a model trained on trace X to a different trace Y.
+
+Trains small RLBackfilling models on two traces and cross-evaluates them,
+reproducing the structure of the paper's generality experiment.  Run with:
+
+    python examples/cross_trace_generality.py [--scale quick]
+"""
+
+import argparse
+
+from repro.experiments import run_table5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="quick", choices=["smoke", "quick", "paper"])
+    parser.add_argument(
+        "--traces", nargs="+", default=["SDSC-SP2", "Lublin-1"],
+        help="traces to train on and evaluate against",
+    )
+    parser.add_argument("--policies", nargs="+", default=["FCFS"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    result = run_table5(args.scale, traces=args.traces, policies=args.policies, seed=args.seed)
+    print(result.to_text())
+    print()
+    for policy in args.policies:
+        for trained_on in args.traces:
+            for applied_to in args.traces:
+                if trained_on == applied_to:
+                    continue
+                verdict = (
+                    "beats EASY"
+                    if result.transfer_beats_easy(policy, trained_on, applied_to)
+                    else "does not beat EASY at this training budget"
+                )
+                print(f"[{policy}] RL-{trained_on} applied to {applied_to}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

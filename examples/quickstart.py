@@ -1,0 +1,62 @@
+"""Quickstart: load a workload, schedule it with several backfilling strategies.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.prediction import ActualRuntime, UserEstimate
+from repro.scheduler import ConservativeBackfill, EasyBackfill, NoBackfill, Simulator
+from repro.utils.tables import format_table
+from repro.workloads import load_trace, sample_sequence, trace_statistics
+
+
+def main() -> None:
+    # 1. Load one of the evaluation traces (a calibrated synthetic equivalent
+    #    of the SDSC-SP2 archive trace; drop the real SWF file into
+    #    $REPRO_SWF_DIR to use the original).
+    trace = load_trace("SDSC-SP2", num_jobs=3000)
+    stats = trace_statistics(trace)
+    print(trace.describe())
+    print(f"  mean inter-arrival {stats.mean_interarrival:.0f}s, "
+          f"mean requested runtime {stats.mean_requested_time:.0f}s, "
+          f"mean processors {stats.mean_requested_processors:.1f}, "
+          f"offered load {stats.offered_load:.2f}")
+
+    # 2. Sample a 512-job sequence and schedule it under FCFS with different
+    #    backfilling strategies and runtime estimators.
+    jobs = sample_sequence(trace, 512, seed=42)
+    configurations = [
+        ("no backfilling", NoBackfill(), UserEstimate()),
+        ("EASY (request time)", EasyBackfill(), UserEstimate()),
+        ("EASY-AR (actual runtime)", EasyBackfill(), ActualRuntime()),
+        ("conservative", ConservativeBackfill(), UserEstimate()),
+    ]
+    rows = []
+    for label, backfill, estimator in configurations:
+        simulator = Simulator(
+            num_processors=trace.num_processors,
+            policy="FCFS",
+            backfill=backfill,
+            estimator=estimator,
+        )
+        result = simulator.run(jobs)
+        rows.append(
+            (
+                label,
+                result.bsld,
+                result.metrics.average_wait_time / 3600.0,
+                result.metrics.utilization,
+                result.backfill_count,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["strategy", "bsld", "avg wait (h)", "utilization", "backfilled"],
+            rows,
+            title="FCFS scheduling of 512 SDSC-SP2 jobs",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

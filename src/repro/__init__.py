@@ -1,0 +1,68 @@
+"""RLBackfilling: reinforcement-learning-based backfilling for HPC batch jobs.
+
+This package reproduces the system described in "A Reinforcement Learning
+Based Backfilling Strategy for HPC Batch Jobs" (Kolker-Hicks, Zhang, Dai;
+PMBS @ SC 2023).  It contains:
+
+* ``repro.workloads`` -- the Standard Workload Format (SWF) job model, the
+  Lublin-Feitelson synthetic workload model, and calibrated synthetic
+  equivalents of the SDSC-SP2 / HPC2N archive traces.
+* ``repro.cluster`` -- a homogeneous cluster resource model.
+* ``repro.scheduler`` -- a discrete-event HPC batch scheduling simulator with
+  pluggable priority policies (FCFS, SJF, WFP3, F1) and backfilling
+  strategies (EASY, EASY-AR, conservative, RL-driven).
+* ``repro.prediction`` -- job runtime predictors (user estimate, perfect,
+  noisy) used by the Figure 1 trade-off experiment.
+* ``repro.rl`` -- a from-scratch reverse-mode autograd engine, dense neural
+  network layers, Adam, and Proximal Policy Optimization.
+* ``repro.core`` -- the paper's contribution: the RLBackfilling agent, its
+  observation encoding, training environment, trainer, and the trained-policy
+  backfiller that plugs back into the simulator.
+* ``repro.experiments`` -- drivers that regenerate every figure and table in
+  the paper's evaluation section.
+"""
+
+from repro.workloads import Job, Trace, lublin_trace, synthetic_trace, load_trace
+from repro.scheduler import (
+    Simulator,
+    SimulationResult,
+    FCFS,
+    SJF,
+    WFP3,
+    F1,
+    EasyBackfill,
+    NoBackfill,
+    ConservativeBackfill,
+)
+from repro.core import (
+    RLBackfillAgent,
+    RLBackfillPolicy,
+    BackfillEnvironment,
+    Trainer,
+    TrainerConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Job",
+    "Trace",
+    "lublin_trace",
+    "synthetic_trace",
+    "load_trace",
+    "Simulator",
+    "SimulationResult",
+    "FCFS",
+    "SJF",
+    "WFP3",
+    "F1",
+    "EasyBackfill",
+    "NoBackfill",
+    "ConservativeBackfill",
+    "RLBackfillAgent",
+    "RLBackfillPolicy",
+    "BackfillEnvironment",
+    "Trainer",
+    "TrainerConfig",
+    "__version__",
+]

@@ -1,0 +1,184 @@
+"""Machine model: the processor pool plus the set of currently running jobs.
+
+The scheduler simulator interacts with the cluster exclusively through this
+class: start a job, ask which running job finishes next, release completed
+jobs, and query availability.  Completion always uses the job's *actual*
+runtime; runtime estimates only influence reservations and backfilling
+decisions, never the physics of the simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.cluster.resources import Allocation, ResourcePool
+from repro.workloads.job import Job
+
+__all__ = ["RunningJob", "Machine"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunningJob:
+    """A job currently executing on the machine."""
+
+    job: Job
+    start_time: float
+    allocation: Allocation
+
+    @property
+    def end_time(self) -> float:
+        """True completion time (start + actual runtime)."""
+        return self.start_time + self.job.runtime
+
+    def estimated_end_time(self, estimator: Callable[[Job], float]) -> float:
+        """Completion time as believed by the scheduler under ``estimator``.
+
+        The estimate is never allowed to fall before the job's start time and,
+        if the job has already exceeded a short estimate, the scheduler learns
+        nothing new until it actually finishes, so the estimate is clamped to
+        the true end time's past only by the caller-supplied ``now`` if needed.
+        """
+        return self.start_time + max(float(estimator(self.job)), 0.0)
+
+
+class Machine:
+    """Homogeneous cluster with running-job bookkeeping and utilization accounting."""
+
+    def __init__(self, num_processors: int):
+        self.pool = ResourcePool(total=num_processors)
+        self._running: dict[int, RunningJob] = {}
+        # Utilization accounting: integral of busy processors over time.
+        self._busy_area = 0.0
+        self._last_accounting_time = 0.0
+
+    # -- properties -------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        return self.pool.total
+
+    @property
+    def free_processors(self) -> int:
+        return self.pool.free
+
+    @property
+    def free_fraction(self) -> float:
+        return self.pool.free_fraction
+
+    @property
+    def running_jobs(self) -> List[RunningJob]:
+        """Running jobs ordered by true completion time."""
+        return sorted(self._running.values(), key=lambda r: (r.end_time, r.job.job_id))
+
+    @property
+    def num_running(self) -> int:
+        return len(self._running)
+
+    def is_running(self, job_id: int) -> bool:
+        return job_id in self._running
+
+    def can_start(self, job: Job) -> bool:
+        return self.pool.can_allocate(job.requested_processors)
+
+    # -- utilization accounting -------------------------------------------
+    def _account(self, now: float) -> None:
+        if now < self._last_accounting_time:
+            raise ValueError(
+                f"time moved backwards: {now} < {self._last_accounting_time}"
+            )
+        self._busy_area += self.pool.used * (now - self._last_accounting_time)
+        self._last_accounting_time = now
+
+    def utilization(self, now: float | None = None) -> float:
+        """Average fraction of busy processors from t=0 to ``now``."""
+        end = self._last_accounting_time if now is None else max(now, self._last_accounting_time)
+        if end <= 0:
+            return 0.0
+        pending = self.pool.used * (end - self._last_accounting_time)
+        return (self._busy_area + pending) / (end * self.num_processors)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, job: Job, now: float) -> RunningJob:
+        """Start ``job`` at time ``now``; raises if processors are unavailable."""
+        if job.job_id in self._running:
+            raise RuntimeError(f"job {job.job_id} is already running")
+        self._account(now)
+        allocation = self.pool.allocate(job.requested_processors)
+        record = RunningJob(job=job, start_time=now, allocation=allocation)
+        self._running[job.job_id] = record
+        return record
+
+    def next_completion_time(self) -> Optional[float]:
+        """Earliest true completion time among running jobs, or ``None`` if idle."""
+        if not self._running:
+            return None
+        return min(record.end_time for record in self._running.values())
+
+    def release_completed(self, now: float) -> List[RunningJob]:
+        """Release every running job whose true end time is <= ``now``."""
+        finished = [r for r in self._running.values() if r.end_time <= now + 1e-9]
+        finished.sort(key=lambda r: (r.end_time, r.job.job_id))
+        for record in finished:
+            # Account utilization up to the completion instant (clamped so a
+            # completion that technically precedes the last accounting point,
+            # e.g. released late within the same timestep, never rewinds time).
+            self._account(max(min(record.end_time, now), self._last_accounting_time))
+            self.pool.release(record.allocation)
+            del self._running[record.job.job_id]
+        self._account(now)
+        return finished
+
+    def release(self, job_id: int) -> RunningJob:
+        """Forcefully release a single running job (used by tests and what-if analysis)."""
+        record = self._running.pop(job_id, None)
+        if record is None:
+            raise KeyError(f"job {job_id} is not running")
+        self.pool.release(record.allocation)
+        return record
+
+    # -- reservations -------------------------------------------------------
+    def earliest_start_estimate(
+        self, job: Job, now: float, estimator: Callable[[Job], float]
+    ) -> tuple[float, int]:
+        """Estimate when ``job`` could start and the spare processors at that time.
+
+        Walks running jobs in order of their *estimated* completion times,
+        accumulating released processors until ``job`` fits.  Returns
+        ``(reservation_time, extra_processors)`` where ``extra_processors`` is
+        the number of processors that would remain free at the reservation
+        time after setting aside the reserved job's processors -- the classic
+        EASY "extra nodes" that backfilled jobs may hold past the reservation.
+        """
+        needed = job.requested_processors
+        free = self.free_processors
+        if needed <= free:
+            return now, free - needed
+        releases = sorted(
+            (max(r.estimated_end_time(estimator), now), r.allocation.processors)
+            for r in self._running.values()
+        )
+        for end_time, processors in releases:
+            free += processors
+            if free >= needed:
+                return end_time, free - needed
+        raise RuntimeError(
+            f"job {job.job_id} requests {needed} processors but the machine only has "
+            f"{self.num_processors}"
+        )
+
+    def reset(self) -> None:
+        self._running.clear()
+        self.pool.reset()
+        self._busy_area = 0.0
+        self._last_accounting_time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(processors={self.num_processors}, free={self.free_processors}, "
+            f"running={len(self._running)})"
+        )
+
+
+def total_requested_processors(jobs: Iterable[Job]) -> int:
+    """Sum of processor requests over ``jobs`` (helper for saturation checks)."""
+    return sum(job.requested_processors for job in jobs)

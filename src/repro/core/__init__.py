@@ -1,0 +1,36 @@
+"""RLBackfilling: the paper's contribution.
+
+* :mod:`repro.core.observation` -- fixed-size observation encoding of the
+  waiting queue, the reserved job, and resource availability (§3.2).
+* :mod:`repro.core.agent` -- the kernel-based policy network and MLP value
+  network forming the actor-critic model (§3.3).
+* :mod:`repro.core.environment` -- the RL environment wrapping the scheduling
+  simulator: actions are backfilling choices, the reward is the bounded
+  slowdown improvement over an SJF-ordered backfilling baseline (§3.4).
+* :mod:`repro.core.trainer` -- the PPO training loop (§4.1.1).
+* :mod:`repro.core.rlbackfill` -- the trained-policy backfilling strategy
+  that plugs into :class:`repro.scheduler.Simulator` for evaluation.
+* :mod:`repro.core.checkpoints` -- save/load trained agents.
+"""
+
+from repro.core.observation import ObservationConfig, ObservationBuilder
+from repro.core.agent import RLBackfillAgent
+from repro.core.environment import BackfillEnvironment, RewardConfig
+from repro.core.trainer import Trainer, TrainerConfig, EpochStats, TrainingHistory
+from repro.core.rlbackfill import RLBackfillPolicy
+from repro.core.checkpoints import save_agent, load_agent
+
+__all__ = [
+    "ObservationConfig",
+    "ObservationBuilder",
+    "RLBackfillAgent",
+    "BackfillEnvironment",
+    "RewardConfig",
+    "Trainer",
+    "TrainerConfig",
+    "EpochStats",
+    "TrainingHistory",
+    "RLBackfillPolicy",
+    "save_agent",
+    "load_agent",
+]

@@ -1,0 +1,163 @@
+"""Observation encoding for the RLBackfilling agent (paper §3.2).
+
+The observation covers three things: the current waiting queue, the selected
+(reserved) job, and the resource availability.  Each job becomes a fixed
+feature vector; the queue is sorted by submission time and truncated/padded
+to ``max_queue_size`` slots (the paper's ``MAX_OBSV_SIZE``, default 128).
+Resource availability is appended to every job vector rather than being a
+separate padded scalar, exactly as the paper describes, so the kernel network
+sees machine state alongside every job.
+
+Two deviations are made explicit here (see also DESIGN.md):
+
+* The reserved job occupies a normal slot but is flagged and masked so the
+  agent can never pick it, per the paper.
+* One extra slot encodes the **skip** action ("do not backfill anything at
+  this opportunity").  The paper leaves implicit what the agent does when
+  every candidate would delay the reservation; an explicit no-op keeps the
+  action space well defined and lets the trained policy fall back to
+  EASY-like passivity.  The skip slot reuses the reserved job's features with
+  its own flag so the same kernel network scores it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.scheduler.events import DecisionPoint
+from repro.workloads.job import Job
+
+__all__ = ["ObservationConfig", "ObservationBuilder", "JOB_FEATURES"]
+
+#: Number of features per job slot (see :meth:`ObservationBuilder._job_features`).
+JOB_FEATURES = 10
+
+#: Normalization caps (seconds) for the logarithmic time features.
+_MAX_WAIT = 8.0 * 86400.0        # 8 days
+_MAX_RUNTIME = 8.0 * 86400.0     # 8 days
+_MAX_HORIZON = 8.0 * 86400.0
+
+
+def _log_norm(value: float, cap: float) -> float:
+    """Map ``value`` (seconds) into [0, 1] with a logarithmic scale."""
+    value = min(max(value, 0.0), cap)
+    return math.log1p(value) / math.log1p(cap)
+
+
+@dataclass(frozen=True, slots=True)
+class ObservationConfig:
+    """Shape of the observation and action space."""
+
+    max_queue_size: int = 128         # MAX_OBSV_SIZE in the paper
+    job_features: int = JOB_FEATURES
+    #: Add an explicit "do not backfill anything" action.  The paper's action
+    #: space contains only the backfill candidates (the agent always starts
+    #: one of them), which is the default here; the skip action is kept as an
+    #: ablation switch.
+    include_skip_action: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_queue_size <= 0:
+            raise ValueError("max_queue_size must be positive")
+        if self.job_features != JOB_FEATURES:
+            raise ValueError(
+                f"job_features is fixed at {JOB_FEATURES} by the encoder implementation"
+            )
+
+    @property
+    def num_slots(self) -> int:
+        """Job slots plus the optional skip slot."""
+        return self.max_queue_size + (1 if self.include_skip_action else 0)
+
+    @property
+    def skip_slot(self) -> int | None:
+        """Index of the skip (no-backfill) action, or ``None`` when disabled."""
+        return self.max_queue_size if self.include_skip_action else None
+
+    @property
+    def observation_size(self) -> int:
+        return self.num_slots * self.job_features
+
+    @property
+    def num_actions(self) -> int:
+        return self.num_slots
+
+
+class ObservationBuilder:
+    """Builds flat observation vectors and action masks from decision points."""
+
+    def __init__(self, config: ObservationConfig | None = None):
+        self.config = config or ObservationConfig()
+
+    # -- encoding ------------------------------------------------------------
+    def _job_features(
+        self,
+        job: Job,
+        decision: DecisionPoint,
+        *,
+        is_reserved: bool,
+        is_skip: bool,
+        can_run: bool,
+    ) -> np.ndarray:
+        machine = decision.machine
+        total = machine.num_processors if machine is not None else max(job.requested_processors, 1)
+        features = np.zeros(self.config.job_features, dtype=np.float64)
+        features[0] = _log_norm(decision.time - job.submit_time, _MAX_WAIT)
+        features[1] = _log_norm(job.requested_time, _MAX_RUNTIME)
+        features[2] = min(job.requested_processors / total, 1.0)
+        features[3] = 1.0 if can_run else 0.0
+        features[4] = 1.0 if is_reserved else 0.0
+        features[5] = 1.0 if is_skip else 0.0
+        features[6] = decision.free_fraction
+        features[7] = _log_norm(decision.reservation_time - decision.time, _MAX_HORIZON)
+        features[8] = min(decision.extra_processors / total, 1.0) if total else 0.0
+        features[9] = 1.0  # slot occupied
+        return features
+
+    def build(self, decision: DecisionPoint) -> Tuple[np.ndarray, np.ndarray, List[Optional[Job]]]:
+        """Encode ``decision`` into ``(observation, action_mask, slot_jobs)``.
+
+        ``slot_jobs[i]`` is the job occupying slot ``i`` (``None`` for padding
+        and for the skip slot), which is how an action index is mapped back to
+        the job to backfill.
+        """
+        cfg = self.config
+        candidate_ids = {job.job_id for job in decision.candidates}
+        queue = sorted(decision.queue, key=lambda j: (j.submit_time, j.job_id))
+        queue = queue[: cfg.max_queue_size]
+
+        observation = np.zeros((cfg.num_slots, cfg.job_features), dtype=np.float64)
+        mask = np.zeros(cfg.num_slots, dtype=np.float64)
+        slot_jobs: List[Optional[Job]] = [None] * cfg.num_slots
+
+        for slot, job in enumerate(queue):
+            is_reserved = job.job_id == decision.reserved_job.job_id
+            can_run = job.job_id in candidate_ids
+            observation[slot] = self._job_features(
+                job, decision, is_reserved=is_reserved, is_skip=False, can_run=can_run
+            )
+            slot_jobs[slot] = job
+            # The reserved job is visible but never a valid action (§3.2).
+            if can_run and not is_reserved:
+                mask[slot] = 1.0
+
+        if cfg.skip_slot is not None:
+            # Skip slot: always valid, encoded from the reserved job's features.
+            observation[cfg.skip_slot] = self._job_features(
+                decision.reserved_job, decision, is_reserved=True, is_skip=True, can_run=False
+            )
+            mask[cfg.skip_slot] = 1.0
+
+        return observation.reshape(-1), mask, slot_jobs
+
+    def action_to_job(self, action: int, slot_jobs: List[Optional[Job]]) -> Optional[Job]:
+        """Translate an action index into the job to backfill (``None`` = skip)."""
+        if not 0 <= action < self.config.num_actions:
+            raise ValueError(f"action {action} outside [0, {self.config.num_actions})")
+        if self.config.skip_slot is not None and action == self.config.skip_slot:
+            return None
+        return slot_jobs[action]

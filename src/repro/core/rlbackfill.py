@@ -1,0 +1,60 @@
+"""Trained-policy backfilling strategy.
+
+Wraps a trained :class:`~repro.core.agent.RLBackfillAgent` so it can be used
+as a :class:`~repro.scheduler.backfill.base.BackfillStrategy` inside the
+ordinary simulator -- this is how the paper's Tables 4 and 5 evaluate the
+learned model against the EASY baselines on sampled 1024-job sequences.
+During evaluation the action with the highest probability is taken
+deterministically (paper §3.3.1: no exploration at test time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.agent import RLBackfillAgent
+from repro.core.observation import ObservationBuilder
+from repro.prediction.predictors import RuntimeEstimator
+from repro.scheduler.backfill.base import BackfillStrategy
+from repro.scheduler.events import DecisionPoint
+from repro.utils.rng import SeedLike, as_rng
+from repro.workloads.job import Job
+
+__all__ = ["RLBackfillPolicy"]
+
+
+class RLBackfillPolicy(BackfillStrategy):
+    """Backfilling decisions delegated to a trained RL agent."""
+
+    name = "RLBF"
+
+    def __init__(
+        self,
+        agent: RLBackfillAgent,
+        deterministic: bool = True,
+        seed: SeedLike = None,
+        label: str | None = None,
+    ):
+        self.agent = agent
+        self.deterministic = bool(deterministic)
+        self.rng = as_rng(seed)
+        self.builder = ObservationBuilder(agent.observation_config)
+        if label:
+            self.name = label
+
+    def select_backfill(
+        self, decision: DecisionPoint, estimator: RuntimeEstimator
+    ) -> Optional[Job]:
+        observation, mask, slot_jobs = self.builder.build(decision)
+        skip_actions = 1 if self.builder.config.skip_slot is not None else 0
+        if mask.sum() <= skip_actions:
+            # No real candidate fits in the observed queue window (e.g. every
+            # fitting job sits beyond the MAX_OBSV_SIZE cut-off): pass.
+            return None
+        action, _, _ = self.agent.step(
+            observation, mask, rng=self.rng, deterministic=self.deterministic
+        )
+        return self.builder.action_to_job(action, slot_jobs)
+
+    def __repr__(self) -> str:
+        return f"RLBackfillPolicy(agent={self.agent!r}, deterministic={self.deterministic})"

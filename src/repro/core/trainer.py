@@ -1,0 +1,228 @@
+"""PPO training loop for RLBackfilling (paper §4.1.1).
+
+One epoch gathers ``trajectories_per_epoch`` trajectories; each trajectory is
+one episode of :class:`~repro.core.environment.BackfillEnvironment` (a
+sampled job sequence scheduled end to end with the agent making every
+backfilling decision).  After the epoch's trajectories are collected the
+policy and value networks are updated with PPO.
+
+The paper's configuration -- 100 trajectories of 256 jobs per epoch and 80
+update iterations with a learning rate of 1e-3 -- is the default; the
+experiment drivers scale these down for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.agent import RLBackfillAgent
+from repro.core.environment import BackfillEnvironment
+from repro.rl.buffer import TrajectoryBuffer
+from repro.rl.ppo import PPO, PPOConfig, PPOUpdateStats
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["TrainerConfig", "EpochStats", "TrainingHistory", "Trainer"]
+
+logger = get_logger("core.trainer")
+
+
+@dataclass(frozen=True, slots=True)
+class TrainerConfig:
+    """Training-loop hyper-parameters."""
+
+    epochs: int = 50
+    trajectories_per_epoch: int = 100
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.trajectories_per_epoch <= 0:
+            raise ValueError("trajectories_per_epoch must be positive")
+
+    @classmethod
+    def paper_scale(cls, epochs: int = 200) -> "TrainerConfig":
+        """The configuration reported in the paper."""
+        return cls(epochs=epochs, trajectories_per_epoch=100, ppo=PPOConfig())
+
+    @classmethod
+    def quick_scale(cls, epochs: int = 5, trajectories_per_epoch: int = 4) -> "TrainerConfig":
+        """A reduced configuration for laptops, tests, and the benchmark harness."""
+        return cls(
+            epochs=epochs,
+            trajectories_per_epoch=trajectories_per_epoch,
+            ppo=PPOConfig(policy_iterations=15, value_iterations=15),
+        )
+
+    def with_epochs(self, epochs: int) -> "TrainerConfig":
+        return replace(self, epochs=epochs)
+
+
+@dataclass(frozen=True, slots=True)
+class EpochStats:
+    """Diagnostics of one training epoch (one point of the Figure 4 curves)."""
+
+    epoch: int
+    mean_episode_reward: float
+    mean_bsld: float
+    mean_baseline_bsld: float
+    mean_violations: float
+    steps: int
+    policy_loss: float
+    value_loss: float
+    approximate_kl: float
+    entropy: float
+    wall_time_seconds: float
+
+    @property
+    def improvement_over_baseline(self) -> float:
+        """Relative bsld improvement over the SJF-backfill baseline."""
+        if self.mean_baseline_bsld <= 0:
+            return 0.0
+        return (self.mean_baseline_bsld - self.mean_bsld) / self.mean_baseline_bsld
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of :class:`EpochStats` produced by one training run."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def __iter__(self) -> Iterator[EpochStats]:
+        return iter(self.epochs)
+
+    def __getitem__(self, index: int) -> EpochStats:
+        return self.epochs[index]
+
+    @property
+    def bslds(self) -> List[float]:
+        """The y-axis of the paper's Figure 4 training curves."""
+        return [e.mean_bsld for e in self.epochs]
+
+    @property
+    def rewards(self) -> List[float]:
+        return [e.mean_episode_reward for e in self.epochs]
+
+    def final(self) -> EpochStats:
+        if not self.epochs:
+            raise ValueError("training history is empty")
+        return self.epochs[-1]
+
+    def improved(self) -> bool:
+        """Whether the last epoch's bsld beats the first epoch's (converging curve)."""
+        if len(self.epochs) < 2:
+            return False
+        return self.epochs[-1].mean_bsld <= self.epochs[0].mean_bsld
+
+    def to_rows(self) -> List[Sequence[float]]:
+        return [
+            (e.epoch, e.mean_bsld, e.mean_episode_reward, e.policy_loss, e.value_loss)
+            for e in self.epochs
+        ]
+
+
+class Trainer:
+    """Collects trajectories from a :class:`BackfillEnvironment` and runs PPO."""
+
+    def __init__(
+        self,
+        environment: BackfillEnvironment,
+        agent: RLBackfillAgent | None = None,
+        config: TrainerConfig | None = None,
+        seed: SeedLike = None,
+    ):
+        self.environment = environment
+        self.config = config or TrainerConfig()
+        self.agent = agent or RLBackfillAgent(
+            observation_config=environment.observation_config, seed=self.config.seed
+        )
+        if self.agent.observation_config.num_actions != environment.num_actions:
+            raise ValueError(
+                "agent and environment disagree on the action space: "
+                f"{self.agent.observation_config.num_actions} vs {environment.num_actions}"
+            )
+        self.ppo = PPO(self.agent, self.config.ppo, seed=seed)
+        self.rng = as_rng(seed if seed is not None else self.config.seed)
+
+    # -- rollouts -----------------------------------------------------------
+    def run_trajectory(self, buffer: TrajectoryBuffer) -> dict:
+        """Roll out one full episode, storing every step in ``buffer``."""
+        observation, mask = self.environment.reset()
+        episode_reward = 0.0
+        steps = 0
+        while True:
+            action, value, log_prob = self.agent.step(observation, mask, rng=self.rng)
+            result = self.environment.step(action)
+            buffer.store(observation, mask, action, result.reward, value, log_prob)
+            episode_reward += result.reward
+            steps += 1
+            if result.done:
+                buffer.finish_path(last_value=0.0)
+                info = dict(result.info)
+                info.update({"episode_reward": episode_reward, "episode_steps": steps})
+                return info
+            observation, mask = result.observation, result.mask
+
+    # -- training -----------------------------------------------------------
+    def train_epoch(self, epoch: int) -> EpochStats:
+        start = time.perf_counter()
+        buffer = TrajectoryBuffer(gamma=self.config.ppo.gamma, lam=self.config.ppo.lam)
+        rewards: List[float] = []
+        bslds: List[float] = []
+        baselines: List[float] = []
+        violations: List[float] = []
+        for _ in range(self.config.trajectories_per_epoch):
+            info = self.run_trajectory(buffer)
+            rewards.append(info["episode_reward"])
+            bslds.append(info["bsld"])
+            baselines.append(info["baseline_bsld"])
+            violations.append(info["violations"])
+        steps = len(buffer)
+        data = buffer.get()
+        update: PPOUpdateStats = self.ppo.update(data)
+        stats = EpochStats(
+            epoch=epoch,
+            mean_episode_reward=float(np.mean(rewards)),
+            mean_bsld=float(np.mean(bslds)),
+            mean_baseline_bsld=float(np.mean(baselines)),
+            mean_violations=float(np.mean(violations)),
+            steps=steps,
+            policy_loss=update.policy_loss,
+            value_loss=update.value_loss,
+            approximate_kl=update.approximate_kl,
+            entropy=update.entropy,
+            wall_time_seconds=time.perf_counter() - start,
+        )
+        logger.info(
+            "epoch %d: bsld=%.2f (baseline %.2f), reward=%.3f, steps=%d",
+            epoch,
+            stats.mean_bsld,
+            stats.mean_baseline_bsld,
+            stats.mean_episode_reward,
+            steps,
+        )
+        return stats
+
+    def train(
+        self, callback: Callable[[EpochStats], None] | None = None
+    ) -> TrainingHistory:
+        """Run the full training loop and return the per-epoch history."""
+        history = TrainingHistory()
+        for epoch in range(1, self.config.epochs + 1):
+            stats = self.train_epoch(epoch)
+            history.append(stats)
+            if callback is not None:
+                callback(stats)
+        return history

@@ -1,0 +1,46 @@
+"""Experiment drivers regenerating every figure and table of the paper.
+
+Each driver returns a result object carrying the raw numbers plus a
+``to_text()`` rendering that mirrors the corresponding table/figure layout.
+The ``scale`` argument selects between the paper-scale configuration and a
+``quick`` configuration sized for a single CPU core (used by the benchmark
+harness); the code paths are identical.
+"""
+
+from repro.experiments.config import ExperimentScale, PAPER_SCALE, QUICK_SCALE, SMOKE_SCALE, get_scale
+from repro.experiments.runner import (
+    evaluate_configurations,
+    evaluate_strategy,
+    train_rlbackfilling,
+    TrainedModel,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import Table5Result, run_table5
+from repro.experiments.ablations import AblationResult, run_ablations
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "SMOKE_SCALE",
+    "get_scale",
+    "evaluate_configurations",
+    "evaluate_strategy",
+    "train_rlbackfilling",
+    "TrainedModel",
+    "Figure1Result",
+    "run_figure1",
+    "Table2Result",
+    "run_table2",
+    "Figure4Result",
+    "run_figure4",
+    "Table4Result",
+    "run_table4",
+    "Table5Result",
+    "run_table5",
+    "AblationResult",
+    "run_ablations",
+]

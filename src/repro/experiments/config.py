@@ -1,0 +1,111 @@
+"""Experiment scales.
+
+The paper's evaluation schedules 10 x 1024-job samples per configuration and
+trains PPO for hundreds of epochs of 100 x 256-job trajectories.  That budget
+is appropriate for a workstation run but not for a benchmark harness on a
+single CPU core, so every experiment driver takes an :class:`ExperimentScale`
+that fixes the sample counts, sequence lengths, and training budget:
+
+* ``paper``  -- the configuration from §4.1.1/§4.3.
+* ``quick``  -- a few minutes end-to-end on one core; used by ``benchmarks/``.
+* ``smoke``  -- seconds; used by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.trainer import TrainerConfig
+from repro.rl.ppo import PPOConfig
+
+__all__ = ["ExperimentScale", "PAPER_SCALE", "QUICK_SCALE", "SMOKE_SCALE", "get_scale"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentScale:
+    """Sizing of every experiment driver."""
+
+    name: str
+    trace_jobs: int                 # jobs loaded from each trace (paper: first 10K)
+    eval_sequence_length: int       # jobs per evaluation sample (paper: 1024)
+    eval_samples: int               # samples per configuration (paper: 10)
+    train_sequence_length: int      # jobs per training trajectory (paper: 256)
+    max_queue_size: int             # MAX_OBSV_SIZE (paper: 128)
+    trainer: TrainerConfig = field(default_factory=TrainerConfig)
+    #: Size of the fixed pool of training sequences (None = sample a fresh
+    #: sequence per trajectory, the paper's setting).  Reduced scales use a
+    #: pool to cut reward variance so training converges in minutes.
+    training_pool_size: int | None = None
+    #: Only train on sequences whose baseline bsld is at least this value
+    #: (None = no filtering).  Reduced scales use it so the few trajectories
+    #: they can afford are spent on contended windows.
+    min_training_bsld: float | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.trace_jobs, self.eval_sequence_length, self.eval_samples) <= 0:
+            raise ValueError("scale sizes must be positive")
+        if min(self.train_sequence_length, self.max_queue_size) <= 0:
+            raise ValueError("scale sizes must be positive")
+
+    def with_trainer(self, trainer: TrainerConfig) -> "ExperimentScale":
+        return replace(self, trainer=trainer)
+
+    def with_epochs(self, epochs: int) -> "ExperimentScale":
+        return replace(self, trainer=self.trainer.with_epochs(epochs))
+
+
+#: The configuration described in the paper (§4.1.1, §4.3).
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    trace_jobs=10_000,
+    eval_sequence_length=1024,
+    eval_samples=10,
+    train_sequence_length=256,
+    max_queue_size=128,
+    trainer=TrainerConfig(epochs=100, trajectories_per_epoch=100, ppo=PPOConfig()),
+)
+
+#: A single-core-friendly configuration used by the benchmark harness.
+QUICK_SCALE = ExperimentScale(
+    name="quick",
+    trace_jobs=4_000,
+    eval_sequence_length=512,
+    eval_samples=3,
+    train_sequence_length=256,
+    max_queue_size=32,
+    trainer=TrainerConfig(
+        epochs=12,
+        trajectories_per_epoch=8,
+        ppo=PPOConfig(policy_iterations=20, value_iterations=20),
+    ),
+    training_pool_size=6,
+    min_training_bsld=5.0,
+)
+
+#: Seconds-scale configuration for integration tests.
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    trace_jobs=1_500,
+    eval_sequence_length=128,
+    eval_samples=2,
+    train_sequence_length=64,
+    max_queue_size=16,
+    trainer=TrainerConfig(
+        epochs=2,
+        trajectories_per_epoch=2,
+        ppo=PPOConfig(policy_iterations=4, value_iterations=4),
+    ),
+    training_pool_size=2,
+)
+
+_SCALES = {scale.name: scale for scale in (PAPER_SCALE, QUICK_SCALE, SMOKE_SCALE)}
+
+
+def get_scale(name: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale by name; passes instances through."""
+    if isinstance(name, ExperimentScale):
+        return name
+    key = name.lower()
+    if key not in _SCALES:
+        raise KeyError(f"unknown scale {name!r}; available: {', '.join(_SCALES)}")
+    return _SCALES[key]

@@ -1,0 +1,113 @@
+"""Figure 1: scheduling performance vs. runtime-prediction accuracy.
+
+EASY backfilling is run under runtime predictions of decreasing accuracy --
+the actual runtime (perfect prediction) plus relative noise levels of +5%,
++10%, +20%, +40% and +100% -- for the four base policies (FCFS, WFP3, SJF,
+F1) on the SDSC-SP2 trace.  The paper's takeaway, reproduced here, is that
+higher prediction accuracy does **not** monotonically improve the average
+bounded slowdown: for several policies a noisy prediction beats the perfect
+one because it leaves a larger backfilling area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.runner import (
+    SchedulingConfiguration,
+    evaluate_strategy,
+    resolve_trace,
+)
+from repro.prediction.predictors import NoisyPrediction, ActualRuntime, UserEstimate
+from repro.scheduler.backfill.easy import EasyBackfill
+from repro.utils.rng import SeedLike, derive_seed, spawn_rngs
+from repro.utils.tables import format_mapping_table
+from repro.workloads.job import Trace
+from repro.workloads.sampling import sample_sequence
+
+__all__ = ["Figure1Result", "run_figure1"]
+
+DEFAULT_POLICIES: Tuple[str, ...] = ("FCFS", "WFP3", "SJF", "F1")
+DEFAULT_NOISE_LEVELS: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.20, 0.40, 1.00)
+
+
+def _noise_label(level: float) -> str:
+    return "AR" if level == 0.0 else f"+{int(round(level * 100))}%"
+
+
+@dataclass
+class Figure1Result:
+    """bsld per (policy, prediction-accuracy) cell."""
+
+    trace_name: str
+    noise_levels: Tuple[float, ...]
+    #: ``values[policy][noise_label] = mean bsld``
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: bsld of EASY with the raw user request time, for reference.
+    request_time_values: Dict[str, float] = field(default_factory=dict)
+
+    def series(self, policy: str) -> List[float]:
+        """The plotted line for one policy (bsld by increasing noise)."""
+        return [self.values[policy][_noise_label(level)] for level in self.noise_levels]
+
+    def best_noise(self, policy: str) -> str:
+        """Which prediction accuracy gives the best (lowest) bsld for ``policy``."""
+        row = self.values[policy]
+        return min(row, key=row.get)
+
+    def accuracy_is_not_monotonic(self) -> bool:
+        """True if, for at least one policy, some noisy prediction beats AR.
+
+        This is the paper's headline observation from Figure 1.
+        """
+        return any(self.best_noise(policy) != "AR" for policy in self.values)
+
+    def to_text(self) -> str:
+        table = format_mapping_table(
+            self.values,
+            row_label="policy",
+            title=f"Figure 1 -- EASY bsld vs prediction accuracy on {self.trace_name}",
+        )
+        footer = "\n(request-time EASY reference: " + ", ".join(
+            f"{policy}={value:.1f}" for policy, value in self.request_time_values.items()
+        ) + ")"
+        return table + footer
+
+
+def run_figure1(
+    scale: ExperimentScale | str = "quick",
+    trace: str | Trace = "SDSC-SP2",
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    noise_levels: Sequence[float] = DEFAULT_NOISE_LEVELS,
+    seed: SeedLike = 0,
+) -> Figure1Result:
+    """Regenerate Figure 1 at the given scale."""
+    scale = get_scale(scale)
+    trace = resolve_trace(trace, scale)
+    rngs = spawn_rngs(seed, scale.eval_samples)
+    sequences = [sample_sequence(trace, scale.eval_sequence_length, seed=rng) for rng in rngs]
+
+    result = Figure1Result(trace_name=trace.name, noise_levels=tuple(noise_levels))
+    for policy in policies:
+        row: Dict[str, float] = {}
+        for i, level in enumerate(noise_levels):
+            estimator = (
+                ActualRuntime()
+                if level == 0.0
+                else NoisyPrediction(level, seed=derive_seed(seed, i + 1))
+            )
+            configuration = SchedulingConfiguration(
+                label=f"{policy}+EASY({_noise_label(level)})",
+                policy=policy,
+                backfill=EasyBackfill(),
+                estimator=estimator,
+            )
+            row[_noise_label(level)] = evaluate_strategy(trace, configuration, sequences)
+        result.values[policy] = row
+        reference = SchedulingConfiguration(
+            label=f"{policy}+EASY", policy=policy, backfill=EasyBackfill(), estimator=UserEstimate()
+        )
+        result.request_time_values[policy] = evaluate_strategy(trace, reference, sequences)
+    return result

@@ -1,0 +1,79 @@
+"""Figure 4: RLBackfilling training curves on the four evaluation traces.
+
+Each curve shows the mean bounded slowdown of the agent's trajectories per
+training epoch (y-axis of the paper's figure) when trained with FCFS as the
+base scheduling policy.  The reproduction reports the same per-epoch series;
+the benchmark harness runs the reduced ``quick`` scale, the paper scale is a
+parameter away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.trainer import TrainingHistory
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.runner import TrainedModel, train_rlbackfilling
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.tables import format_table
+from repro.workloads.job import Trace
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+DEFAULT_TRACES: Tuple[str, ...] = ("SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2")
+
+
+@dataclass
+class Figure4Result:
+    """Training curves keyed by trace name."""
+
+    policy_name: str
+    histories: Dict[str, TrainingHistory] = field(default_factory=dict)
+    models: Dict[str, TrainedModel] = field(default_factory=dict)
+
+    def curve(self, trace_name: str) -> List[float]:
+        """The per-epoch mean bsld series for one trace (a Figure 4 panel)."""
+        return self.histories[trace_name].bslds
+
+    def reward_curve(self, trace_name: str) -> List[float]:
+        return self.histories[trace_name].rewards
+
+    def converged(self, trace_name: str) -> bool:
+        """Whether the final epoch improved on the first (the curve trends down)."""
+        return self.histories[trace_name].improved()
+
+    def to_text(self) -> str:
+        headers = ["trace", "epochs", "first bsld", "last bsld", "last reward"]
+        rows = []
+        for name, history in self.histories.items():
+            rows.append(
+                (
+                    name,
+                    len(history),
+                    history[0].mean_bsld,
+                    history.final().mean_bsld,
+                    history.final().mean_episode_reward,
+                )
+            )
+        return format_table(
+            headers, rows, title=f"Figure 4 -- training curves ({self.policy_name} base policy)"
+        )
+
+
+def run_figure4(
+    scale: ExperimentScale | str = "quick",
+    traces: Sequence[str | Trace] = DEFAULT_TRACES,
+    policy: str = "FCFS",
+    seed: SeedLike = 0,
+) -> Figure4Result:
+    """Train RLBackfilling on every trace and collect the training curves."""
+    scale = get_scale(scale)
+    result = Figure4Result(policy_name=policy)
+    for index, trace in enumerate(traces):
+        model = train_rlbackfilling(
+            trace, policy=policy, scale=scale, seed=derive_seed(seed, index)
+        )
+        result.histories[model.trace_name] = model.history
+        result.models[model.trace_name] = model
+    return result

@@ -1,0 +1,210 @@
+"""Shared evaluation and training helpers used by every experiment driver.
+
+Fair comparison is handled here: for a given trace, every scheduling
+configuration (policy x backfill x estimator) is evaluated on the **same**
+sampled job sequences, and the mean bounded slowdown over the samples is
+reported, matching the paper's protocol of 10 independently seeded samples
+per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.agent import RLBackfillAgent
+from repro.core.environment import BackfillEnvironment, RewardConfig
+from repro.core.observation import ObservationConfig
+from repro.core.rlbackfill import RLBackfillPolicy
+from repro.core.trainer import Trainer, TrainingHistory
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.prediction.predictors import ActualRuntime, RuntimeEstimator, UserEstimate
+from repro.scheduler.backfill.base import BackfillStrategy
+from repro.scheduler.backfill.easy import EasyBackfill
+from repro.scheduler.policies import PriorityPolicy, get_policy
+from repro.scheduler.simulator import Simulator
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+from repro.workloads.job import Job, Trace
+from repro.workloads.archive import load_trace
+from repro.workloads.sampling import sample_sequence
+
+__all__ = [
+    "SchedulingConfiguration",
+    "evaluate_strategy",
+    "evaluate_configurations",
+    "TrainedModel",
+    "train_rlbackfilling",
+    "resolve_trace",
+]
+
+
+def resolve_trace(trace: str | Trace, scale: ExperimentScale) -> Trace:
+    """Load a trace by name at the scale's job count, or pass a Trace through."""
+    if isinstance(trace, Trace):
+        return trace
+    return load_trace(trace, num_jobs=scale.trace_jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulingConfiguration:
+    """One column of an evaluation table: policy + backfill + estimator."""
+
+    label: str
+    policy: PriorityPolicy | str
+    backfill: BackfillStrategy
+    estimator: RuntimeEstimator
+
+    @classmethod
+    def easy(cls, policy: str, label: str | None = None) -> "SchedulingConfiguration":
+        """Base policy + EASY backfilling with the user request time."""
+        return cls(
+            label=label or f"{policy}+EASY",
+            policy=policy,
+            backfill=EasyBackfill(),
+            estimator=UserEstimate(),
+        )
+
+    @classmethod
+    def easy_ar(cls, policy: str, label: str | None = None) -> "SchedulingConfiguration":
+        """Base policy + EASY backfilling with the actual runtime (ideal prediction)."""
+        return cls(
+            label=label or f"{policy}+EASY-AR",
+            policy=policy,
+            backfill=EasyBackfill(),
+            estimator=ActualRuntime(),
+        )
+
+    @classmethod
+    def rl(
+        cls, policy: str, agent: RLBackfillAgent, label: str | None = None
+    ) -> "SchedulingConfiguration":
+        """Base policy + trained RLBackfilling agent."""
+        return cls(
+            label=label or f"{policy}+RLBF",
+            policy=policy,
+            backfill=RLBackfillPolicy(agent),
+            estimator=UserEstimate(),
+        )
+
+
+def _sample_evaluation_sequences(
+    trace: Trace, scale: ExperimentScale, seed: SeedLike
+) -> List[List[Job]]:
+    rngs = spawn_rngs(seed, scale.eval_samples)
+    return [
+        sample_sequence(trace, scale.eval_sequence_length, seed=rng) for rng in rngs
+    ]
+
+
+def evaluate_strategy(
+    trace: Trace,
+    configuration: SchedulingConfiguration,
+    sequences: Sequence[Sequence[Job]],
+) -> float:
+    """Mean bounded slowdown of ``configuration`` over ``sequences``."""
+    bslds = []
+    for jobs in sequences:
+        simulator = Simulator(
+            num_processors=trace.num_processors,
+            policy=configuration.policy,
+            backfill=configuration.backfill,
+            estimator=configuration.estimator,
+        )
+        bslds.append(simulator.run(jobs).bsld)
+    return float(np.mean(bslds))
+
+
+def evaluate_configurations(
+    trace: str | Trace,
+    configurations: Sequence[SchedulingConfiguration],
+    scale: ExperimentScale | str = "quick",
+    seed: SeedLike = 0,
+    sequences: Sequence[Sequence[Job]] | None = None,
+) -> Dict[str, float]:
+    """Evaluate every configuration on the same sampled sequences of ``trace``."""
+    scale = get_scale(scale)
+    trace = resolve_trace(trace, scale)
+    if sequences is None:
+        sequences = _sample_evaluation_sequences(trace, scale, seed)
+    return {
+        configuration.label: evaluate_strategy(trace, configuration, sequences)
+        for configuration in configurations
+    }
+
+
+@dataclass
+class TrainedModel:
+    """A trained RLBackfilling agent plus its provenance."""
+
+    agent: RLBackfillAgent
+    history: TrainingHistory
+    trace_name: str
+    policy_name: str
+
+    @property
+    def label(self) -> str:
+        return f"RL-{self.trace_name}"
+
+    def strategy(self, deterministic: bool = True) -> RLBackfillPolicy:
+        return RLBackfillPolicy(self.agent, deterministic=deterministic)
+
+
+def train_rlbackfilling(
+    trace: str | Trace,
+    policy: str | PriorityPolicy = "FCFS",
+    scale: ExperimentScale | str = "quick",
+    seed: SeedLike = 0,
+    reward_config: RewardConfig | None = None,
+) -> TrainedModel:
+    """Train an RLBackfilling agent on ``trace`` with ``policy`` as the base scheduler."""
+    scale = get_scale(scale)
+    trace = resolve_trace(trace, scale)
+    policy = get_policy(policy)
+    rng = as_rng(seed)
+    observation_config = ObservationConfig(max_queue_size=scale.max_queue_size)
+    environment = BackfillEnvironment(
+        trace,
+        policy=policy,
+        sequence_length=scale.train_sequence_length,
+        observation_config=observation_config,
+        reward_config=reward_config,
+        seed=rng,
+        training_pool_size=scale.training_pool_size,
+        min_baseline_bsld=scale.min_training_bsld,
+    )
+    agent = RLBackfillAgent(observation_config=observation_config, seed=rng)
+    trainer = Trainer(environment, agent, scale.trainer, seed=rng)
+    history = trainer.train()
+    return TrainedModel(
+        agent=agent, history=history, trace_name=trace.name, policy_name=policy.name
+    )
+
+
+def standard_columns(
+    trace: Trace,
+    rl_models: Mapping[str, RLBackfillAgent] | None = None,
+    policies: Tuple[str, ...] = ("FCFS", "SJF"),
+    include_reference_policies: bool = True,
+) -> List[SchedulingConfiguration]:
+    """The Table 4 column set for one trace.
+
+    ``rl_models`` maps a base-policy name to a trained agent; EASY columns are
+    produced only when the trace has user estimates (synthetic Lublin traces
+    report only the EASY-AR-equivalent column, as in the paper).
+    """
+    columns: List[SchedulingConfiguration] = []
+    for policy in policies:
+        if trace.has_user_estimates:
+            columns.append(SchedulingConfiguration.easy(policy))
+        columns.append(SchedulingConfiguration.easy_ar(policy))
+        if rl_models and policy in rl_models:
+            columns.append(SchedulingConfiguration.rl(policy, rl_models[policy]))
+    if include_reference_policies:
+        for policy in ("WFP3", "F1"):
+            if trace.has_user_estimates:
+                columns.append(SchedulingConfiguration.easy(policy))
+            else:
+                columns.append(SchedulingConfiguration.easy_ar(policy))
+    return columns

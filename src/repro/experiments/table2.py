@@ -1,0 +1,64 @@
+"""Table 2: characteristics of the evaluation job traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.runner import resolve_trace
+from repro.utils.tables import format_table
+from repro.workloads.job import Trace
+from repro.workloads.stats import TraceStatistics, trace_statistics
+
+__all__ = ["Table2Result", "run_table2"]
+
+DEFAULT_TRACES: Tuple[str, ...] = ("SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2")
+
+#: The published Table 2 values, used by tests/benchmarks to report the
+#: paper-vs-measured comparison for the synthetic substitutes.
+PAPER_TABLE2 = {
+    "SDSC-SP2": {"size": 128, "it": 1055, "rt": 6687, "nt": 11},
+    "HPC2N": {"size": 240, "it": 538, "rt": 17024, "nt": 6},
+    "Lublin-1": {"size": 256, "it": 771, "rt": 4862, "nt": 22},
+    "Lublin-2": {"size": 256, "it": 460, "rt": 1695, "nt": 39},
+}
+
+
+@dataclass
+class Table2Result:
+    """Measured trace statistics, one row per trace."""
+
+    statistics: Dict[str, TraceStatistics] = field(default_factory=dict)
+
+    def rows(self) -> List[tuple]:
+        return [stats.table2_row() for stats in self.statistics.values()]
+
+    def to_text(self) -> str:
+        headers = ["Name", "size", "it (sec)", "rt (sec)", "nt", "Runtime"]
+        return format_table(headers, self.rows(), title="Table 2 -- job trace characteristics")
+
+    def relative_error(self, trace_name: str, column: str) -> float:
+        """Relative deviation of a measured column from the published value."""
+        stats = self.statistics[trace_name]
+        measured = {
+            "size": stats.num_processors,
+            "it": stats.mean_interarrival,
+            "rt": stats.mean_requested_time,
+            "nt": stats.mean_requested_processors,
+        }[column]
+        published = PAPER_TABLE2[trace_name][column]
+        return abs(measured - published) / published
+
+
+def run_table2(
+    scale: ExperimentScale | str = "quick",
+    traces: Sequence[str | Trace] = DEFAULT_TRACES,
+) -> Table2Result:
+    """Compute Table 2 for the (synthetic or real) evaluation traces."""
+    scale = get_scale(scale)
+    result = Table2Result()
+    for trace in traces:
+        resolved = resolve_trace(trace, scale)
+        result.statistics[resolved.name] = trace_statistics(resolved)
+    return result

@@ -1,0 +1,123 @@
+"""Table 5: generality of RLBackfilling across job traces.
+
+An agent trained on trace X (column ``RL-X``) is applied, without any
+retraining, to every other trace Y (rows).  The paper reports two sections --
+FCFS and SJF as the base scheduling policy -- and observes that the learned
+backfilling strategies transfer: RL-X beats EASY on traces it never saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.runner import (
+    SchedulingConfiguration,
+    TrainedModel,
+    evaluate_strategy,
+    resolve_trace,
+    train_rlbackfilling,
+)
+from repro.utils.rng import SeedLike, derive_seed, spawn_rngs
+from repro.utils.tables import format_mapping_table
+from repro.workloads.job import Trace
+from repro.workloads.sampling import sample_sequence
+
+__all__ = ["Table5Result", "run_table5"]
+
+DEFAULT_TRACES: Tuple[str, ...] = ("SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2")
+DEFAULT_POLICIES: Tuple[str, ...] = ("FCFS", "SJF")
+
+
+@dataclass
+class Table5Result:
+    """Cross-trace evaluation: sections (policies) -> rows (traces) -> columns."""
+
+    #: ``values[policy][trace][column] = mean bsld`` where columns are
+    #: ``EASY``, ``EASY-AR`` and ``RL-<training trace>``.
+    values: Dict[str, Dict[str, Dict[str, Optional[float]]]] = field(default_factory=dict)
+    models: Dict[Tuple[str, str], TrainedModel] = field(default_factory=dict)
+
+    def cell(self, policy: str, trace: str, column: str) -> Optional[float]:
+        return self.values[policy][trace].get(column)
+
+    def transfer_beats_easy(self, policy: str, trained_on: str, applied_to: str) -> bool:
+        """Whether RL trained on ``trained_on`` beats EASY when applied to ``applied_to``."""
+        row = self.values[policy][applied_to]
+        easy = row.get("EASY") if row.get("EASY") is not None else row.get("EASY-AR")
+        rl = row.get(f"RL-{trained_on}")
+        if easy is None or rl is None:
+            return False
+        return rl <= easy
+
+    def to_text(self) -> str:
+        sections = []
+        for policy, rows in self.values.items():
+            sections.append(
+                format_mapping_table(
+                    rows,
+                    row_label="Job Trace",
+                    title=f"Table 5 -- {policy} as the base scheduling policy",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def run_table5(
+    scale: ExperimentScale | str = "quick",
+    traces: Sequence[str | Trace] = DEFAULT_TRACES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    seed: SeedLike = 0,
+    trained_models: Dict[Tuple[str, str], TrainedModel] | None = None,
+) -> Table5Result:
+    """Regenerate Table 5 (optionally reusing agents trained for Table 4)."""
+    scale = get_scale(scale)
+    resolved = [resolve_trace(t, scale) for t in traces]
+    result = Table5Result()
+    if trained_models:
+        result.models.update(trained_models)
+
+    # Train (or reuse) one model per (trace, policy).
+    for policy_index, policy in enumerate(policies):
+        for trace_index, trace in enumerate(resolved):
+            key = (trace.name, policy)
+            if key not in result.models:
+                result.models[key] = train_rlbackfilling(
+                    trace,
+                    policy=policy,
+                    scale=scale,
+                    seed=derive_seed(seed, 500 + policy_index * 50 + trace_index),
+                )
+
+    # Evaluate every model on every trace.
+    for policy in policies:
+        section: Dict[str, Dict[str, Optional[float]]] = {}
+        for trace_index, trace in enumerate(resolved):
+            rngs = spawn_rngs(derive_seed(seed, trace_index), scale.eval_samples)
+            sequences = [
+                sample_sequence(trace, scale.eval_sequence_length, seed=rng) for rng in rngs
+            ]
+            row: Dict[str, Optional[float]] = {}
+            if trace.has_user_estimates:
+                row["EASY"] = evaluate_strategy(
+                    trace, SchedulingConfiguration.easy(policy), sequences
+                )
+                row["EASY-AR"] = evaluate_strategy(
+                    trace, SchedulingConfiguration.easy_ar(policy), sequences
+                )
+            else:
+                row["EASY"] = None
+                row["EASY-AR"] = evaluate_strategy(
+                    trace, SchedulingConfiguration.easy_ar(policy), sequences
+                )
+            for source in resolved:
+                model = result.models[(source.name, policy)]
+                row[f"RL-{source.name}"] = evaluate_strategy(
+                    trace,
+                    SchedulingConfiguration.rl(policy, model.agent, label=f"RL-{source.name}"),
+                    sequences,
+                )
+            section[trace.name] = row
+        result.values[policy] = section
+    return result

@@ -1,0 +1,19 @@
+"""Job runtime estimators used for reservations and backfilling decisions."""
+
+from repro.prediction.predictors import (
+    RuntimeEstimator,
+    UserEstimate,
+    ActualRuntime,
+    NoisyPrediction,
+    ClampedPrediction,
+    get_estimator,
+)
+
+__all__ = [
+    "RuntimeEstimator",
+    "UserEstimate",
+    "ActualRuntime",
+    "NoisyPrediction",
+    "ClampedPrediction",
+    "get_estimator",
+]

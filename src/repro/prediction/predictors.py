@@ -1,0 +1,148 @@
+"""Runtime estimators.
+
+Backfilling needs an estimate of every job's runtime for two purposes: to
+compute the reservation time of the blocked high-priority job and to check
+whether a candidate would finish before that reservation.  The paper's
+Figure 1 experiment compares EASY backfilling under several estimators:
+
+* :class:`UserEstimate` -- the user-submitted Request Time (wall time), the
+  default in production schedulers and typically a large over-estimate.
+* :class:`ActualRuntime` -- the recorded runtime, i.e. a perfect prediction
+  ("EASY-AR" in the tables).
+* :class:`NoisyPrediction` -- the actual runtime inflated by a random
+  relative error up to ``level`` (+5%, +10%, ... +100% in Figure 1), modelling
+  imperfect machine-learning predictors.
+
+Estimators only influence scheduling decisions; simulated job completion
+always uses the true runtime.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Union
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.workloads.job import Job
+
+__all__ = [
+    "RuntimeEstimator",
+    "UserEstimate",
+    "ActualRuntime",
+    "NoisyPrediction",
+    "ClampedPrediction",
+    "get_estimator",
+]
+
+
+class RuntimeEstimator(ABC):
+    """Maps a job to the runtime the scheduler believes it will need."""
+
+    name: str = "estimator"
+
+    @abstractmethod
+    def estimate(self, job: Job) -> float:
+        """Estimated runtime of ``job`` in seconds (always positive)."""
+
+    def __call__(self, job: Job) -> float:
+        return self.estimate(job)
+
+    def reset(self) -> None:
+        """Clear any per-simulation cached state (noop by default)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UserEstimate(RuntimeEstimator):
+    """Use the user-submitted Request Time (the EASY baseline)."""
+
+    name = "request-time"
+
+    def estimate(self, job: Job) -> float:
+        return job.requested_time
+
+
+class ActualRuntime(RuntimeEstimator):
+    """Use the true runtime: the ideal predictor (EASY-AR baseline)."""
+
+    name = "actual-runtime"
+
+    def estimate(self, job: Job) -> float:
+        return job.runtime
+
+
+class NoisyPrediction(RuntimeEstimator):
+    """Actual runtime inflated by a random relative error in ``[0, level]``.
+
+    The error for a given job is sampled once and cached so every query made
+    during a simulation sees a consistent prediction, mimicking a deployed
+    predictive model.  ``level=0.2`` corresponds to the paper's "+20%" case.
+    """
+
+    def __init__(self, level: float, seed: SeedLike = None, cap_at_request: bool = False):
+        if level < 0:
+            raise ValueError(f"noise level must be non-negative, got {level}")
+        self.level = float(level)
+        self.cap_at_request = cap_at_request
+        self._seed = seed
+        self._rng = as_rng(seed)
+        self._cache: Dict[int, float] = {}
+        self.name = f"noisy+{int(round(level * 100))}%"
+
+    def estimate(self, job: Job) -> float:
+        cached = self._cache.get(job.job_id)
+        if cached is None:
+            factor = 1.0 + self._rng.uniform(0.0, self.level)
+            cached = job.runtime * factor
+            if self.cap_at_request:
+                cached = min(cached, job.requested_time)
+            self._cache[job.job_id] = cached
+        return cached
+
+    def reset(self) -> None:
+        self._cache.clear()
+        self._rng = as_rng(self._seed)
+
+    def __repr__(self) -> str:
+        return f"NoisyPrediction(level={self.level}, cap_at_request={self.cap_at_request})"
+
+
+class ClampedPrediction(RuntimeEstimator):
+    """Wrap another estimator, clamping its output to ``[minimum, job.requested_time]``.
+
+    Production schedulers never believe a prediction above the wall-time
+    request (the job would be killed at that point anyway); this wrapper lets
+    any estimator be used under that constraint.
+    """
+
+    def __init__(self, inner: RuntimeEstimator, minimum: float = 1.0):
+        self.inner = inner
+        self.minimum = float(minimum)
+        self.name = f"clamped({inner.name})"
+
+    def estimate(self, job: Job) -> float:
+        return float(min(max(self.inner.estimate(job), self.minimum), job.requested_time))
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+def get_estimator(spec: Union[str, float, RuntimeEstimator], seed: SeedLike = None) -> RuntimeEstimator:
+    """Resolve an estimator from a name, a noise level, or an instance.
+
+    ``"request"``/``"user"`` -> :class:`UserEstimate`;
+    ``"actual"``/``"ar"``/``0`` -> :class:`ActualRuntime`;
+    a positive float ``x`` -> ``NoisyPrediction(level=x)``.
+    """
+    if isinstance(spec, RuntimeEstimator):
+        return spec
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        level = float(spec)
+        return ActualRuntime() if level == 0.0 else NoisyPrediction(level, seed=seed)
+    key = str(spec).strip().lower()
+    if key in {"request", "request-time", "user", "walltime", "easy"}:
+        return UserEstimate()
+    if key in {"actual", "actual-runtime", "ar", "perfect", "easy-ar"}:
+        return ActualRuntime()
+    raise KeyError(f"unknown estimator spec {spec!r}")

@@ -1,0 +1,129 @@
+"""Trajectory storage with Generalized Advantage Estimation (GAE-lambda).
+
+The trainer fills one buffer per epoch with many trajectories (the paper uses
+100 trajectories of 256 scheduled jobs per epoch).  ``finish_path`` closes a
+trajectory, computing discounted returns and GAE advantages; ``get`` returns
+the stacked arrays with advantages normalized across the whole epoch, the
+variance-reduction trick the paper's §3.3.2 describes (learning from the
+improvement over the value baseline rather than the raw return).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["TrajectoryBuffer"]
+
+
+def discount_cumsum(values: np.ndarray, discount: float) -> np.ndarray:
+    """Reverse discounted cumulative sum: out[t] = sum_k discount^k * values[t+k]."""
+    out = np.zeros_like(values, dtype=np.float64)
+    running = 0.0
+    for i in range(len(values) - 1, -1, -1):
+        running = values[i] + discount * running
+        out[i] = running
+    return out
+
+
+@dataclass
+class TrajectoryBuffer:
+    """Stores (observation, mask, action, reward, value, log-prob) tuples."""
+
+    gamma: float = 1.0
+    lam: float = 1.0
+    observations: List[np.ndarray] = field(default_factory=list)
+    masks: List[np.ndarray] = field(default_factory=list)
+    actions: List[int] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    log_probs: List[float] = field(default_factory=list)
+    advantages: List[float] = field(default_factory=list)
+    returns: List[float] = field(default_factory=list)
+    _path_start: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must lie in [0, 1], got {self.gamma}")
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError(f"lam must lie in [0, 1], got {self.lam}")
+
+    def __len__(self) -> int:
+        return len(self.rewards)
+
+    @property
+    def num_complete(self) -> int:
+        """Number of steps already folded into finished trajectories."""
+        return len(self.advantages)
+
+    def store(
+        self,
+        observation: np.ndarray,
+        mask: np.ndarray,
+        action: int,
+        reward: float,
+        value: float,
+        log_prob: float,
+    ) -> None:
+        """Append one interaction step of the current trajectory."""
+        self.observations.append(np.asarray(observation, dtype=np.float64))
+        self.masks.append(np.asarray(mask, dtype=np.float64))
+        self.actions.append(int(action))
+        self.rewards.append(float(reward))
+        self.values.append(float(value))
+        self.log_probs.append(float(log_prob))
+
+    def finish_path(self, last_value: float = 0.0) -> None:
+        """Close the current trajectory, bootstrapping with ``last_value``.
+
+        For terminated trajectories ``last_value`` is 0; for truncated ones it
+        is the critic's estimate of the final state.
+        """
+        path = slice(self._path_start, len(self.rewards))
+        if path.start == path.stop:
+            return
+        rewards = np.asarray(self.rewards[path] + [last_value], dtype=np.float64)
+        values = np.asarray(self.values[path] + [last_value], dtype=np.float64)
+        # GAE-lambda advantages and rewards-to-go returns.
+        deltas = rewards[:-1] + self.gamma * values[1:] - values[:-1]
+        advantages = discount_cumsum(deltas, self.gamma * self.lam)
+        returns = discount_cumsum(rewards, self.gamma)[:-1]
+        self.advantages.extend(advantages.tolist())
+        self.returns.extend(returns.tolist())
+        self._path_start = len(self.rewards)
+
+    def get(self) -> Dict[str, np.ndarray]:
+        """Return stacked arrays for the whole epoch and clear the buffer."""
+        if len(self.rewards) == 0:
+            raise RuntimeError("cannot get() from an empty buffer")
+        if self.num_complete != len(self.rewards):
+            raise RuntimeError(
+                "finish_path() must be called before get(): "
+                f"{len(self.rewards) - self.num_complete} steps belong to an open trajectory"
+            )
+        advantages = np.asarray(self.advantages, dtype=np.float64)
+        std = advantages.std()
+        normalized = (advantages - advantages.mean()) / (std if std > 1e-8 else 1.0)
+        data = {
+            "observations": np.stack(self.observations, axis=0),
+            "masks": np.stack(self.masks, axis=0),
+            "actions": np.asarray(self.actions, dtype=np.int64),
+            "returns": np.asarray(self.returns, dtype=np.float64),
+            "advantages": normalized,
+            "log_probs": np.asarray(self.log_probs, dtype=np.float64),
+        }
+        self.clear()
+        return data
+
+    def clear(self) -> None:
+        self.observations.clear()
+        self.masks.clear()
+        self.actions.clear()
+        self.rewards.clear()
+        self.values.clear()
+        self.log_probs.clear()
+        self.advantages.clear()
+        self.returns.clear()
+        self._path_start = 0

@@ -1,0 +1,57 @@
+"""Minimal environment interface for masked discrete-action RL.
+
+The interface mirrors the Gym/Spinning-Up convention but adds an explicit
+**action mask** to every observation: RLBackfilling's action space is "one of
+the first MAX_OBSV_SIZE queue slots" and only slots holding a job that fits
+the free processors are valid at any decision point (§3.2-§3.4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["StepResult", "Environment"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepResult:
+    """Outcome of one environment step."""
+
+    observation: np.ndarray
+    mask: np.ndarray
+    reward: float
+    done: bool
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class Environment(ABC):
+    """Episodic environment with a masked discrete action space."""
+
+    @property
+    @abstractmethod
+    def observation_size(self) -> int:
+        """Length of the flattened observation vector."""
+
+    @property
+    @abstractmethod
+    def num_actions(self) -> int:
+        """Size of the (fixed) discrete action space."""
+
+    @abstractmethod
+    def reset(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Start a new episode; returns ``(observation, action_mask)``."""
+
+    @abstractmethod
+    def step(self, action: int) -> StepResult:
+        """Apply ``action`` and advance to the next decision point."""
+
+    def validate_action(self, action: int, mask: np.ndarray) -> None:
+        """Raise if ``action`` is out of range or masked out."""
+        if not 0 <= action < self.num_actions:
+            raise ValueError(f"action {action} outside [0, {self.num_actions})")
+        if mask[action] <= 0:
+            raise ValueError(f"action {action} is masked out at this decision point")

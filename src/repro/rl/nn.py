@@ -1,0 +1,180 @@
+"""Neural-network modules on top of the autograd engine.
+
+Provides the pieces the paper's networks need: dense layers with sensible
+initialization, tanh/relu activations, sequential containers, and a
+convenience MLP builder.  Parameters are :class:`~repro.rl.autograd.Tensor`
+objects with ``requires_grad=True``; optimizers consume ``module.parameters()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.rl.autograd import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["Module", "Linear", "Tanh", "ReLU", "Identity", "Sequential", "MLP"]
+
+
+class Module:
+    """Base class for parameterized computations."""
+
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors owned by this module (recursively)."""
+        params: List[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            found: Iterable[Tensor]
+            if isinstance(value, Tensor) and value.requires_grad:
+                found = [value]
+            elif isinstance(value, Module):
+                found = value.parameters()
+            elif isinstance(value, (list, tuple)):
+                found = [p for item in value if isinstance(item, Module) for p in item.parameters()]
+            else:
+                continue
+            for param in found:
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    params.append(param)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state (de)serialization -------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter index -> array (order of ``parameters()``)."""
+        return {str(i): p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state dict has {len(state)} arrays but the module has {len(params)} parameters"
+            )
+        for i, param in enumerate(params):
+            array = np.asarray(state[str(i)], dtype=np.float64)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: module has {param.data.shape}, "
+                    f"state has {array.shape}"
+                )
+            param.data = array.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract by convention
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with scaled-uniform (Xavier) initialization."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = None):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        rng = as_rng(seed)
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(in_features, out_features)), requires_grad=True
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self.modules)
+        return f"Sequential({inner})"
+
+
+_ACTIVATIONS: Dict[str, Callable[[], Module]] = {
+    "tanh": Tanh,
+    "relu": ReLU,
+    "identity": Identity,
+}
+
+
+class MLP(Module):
+    """Fully connected network with a configurable activation.
+
+    ``sizes=[in, h1, h2, out]`` builds three Linear layers with the activation
+    between hidden layers and ``output_activation`` after the last one.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation: str = "tanh",
+        output_activation: str = "identity",
+        seed: SeedLike = None,
+    ):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        if activation not in _ACTIVATIONS or output_activation not in _ACTIVATIONS:
+            raise KeyError(
+                f"unknown activation; available: {', '.join(_ACTIVATIONS)}"
+            )
+        rng = as_rng(seed)
+        layers: List[Module] = []
+        for i, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(Linear(fan_in, fan_out, seed=rng))
+            is_last = i == len(sizes) - 2
+            layers.append(_ACTIVATIONS[output_activation if is_last else activation]())
+        self.network = Sequential(*layers)
+        self.sizes = tuple(sizes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)
+
+    def __repr__(self) -> str:
+        return f"MLP(sizes={self.sizes})"

@@ -1,0 +1,229 @@
+"""Proximal Policy Optimization (clipped surrogate objective).
+
+Follows the Spinning Up reference implementation the paper uses: an
+actor-critic model, GAE-lambda advantages from :class:`TrajectoryBuffer`, 80
+policy/value update iterations per epoch with early stopping on approximate
+KL divergence, and Adam for both networks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.rl.autograd import Tensor, no_grad
+from repro.rl.optim import Adam
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["ActorCritic", "PPOConfig", "PPOUpdateStats", "PPO"]
+
+#: Additive logit penalty applied to masked-out actions before the softmax.
+MASK_PENALTY = 1e8
+
+
+class ActorCritic(ABC):
+    """Actor-critic model interface consumed by :class:`PPO`.
+
+    The actor produces one logit per discrete action; invalid actions are
+    suppressed by the caller through the action mask.  The critic maps the
+    same observation to a scalar state value.
+    """
+
+    @abstractmethod
+    def policy_logits(self, observations: Tensor) -> Tensor:
+        """Batch of unmasked action logits, shape ``(batch, num_actions)``."""
+
+    @abstractmethod
+    def value(self, observations: Tensor) -> Tensor:
+        """Batch of state values, shape ``(batch,)``."""
+
+    @abstractmethod
+    def policy_parameters(self) -> List[Tensor]:
+        ...
+
+    @abstractmethod
+    def value_parameters(self) -> List[Tensor]:
+        ...
+
+    # -- rollout helpers ------------------------------------------------------
+    def masked_log_probs(self, observations: Tensor, masks: np.ndarray) -> Tensor:
+        """Log-probabilities over actions with masked actions pushed to -inf."""
+        logits = self.policy_logits(observations)
+        penalty = Tensor((1.0 - np.asarray(masks, dtype=np.float64)) * -MASK_PENALTY)
+        return (logits + penalty).log_softmax(axis=-1)
+
+    def step(
+        self,
+        observation: np.ndarray,
+        mask: np.ndarray,
+        rng: np.random.Generator | None = None,
+        deterministic: bool = False,
+    ) -> Tuple[int, float, float]:
+        """Sample (or argmax) an action for a single observation.
+
+        Returns ``(action, value, log_prob)``; used during rollout so it runs
+        under ``no_grad``.
+        """
+        rng = as_rng(rng)
+        obs_batch = np.asarray(observation, dtype=np.float64)[None, :]
+        mask_batch = np.asarray(mask, dtype=np.float64)[None, :]
+        with no_grad():
+            log_probs = self.masked_log_probs(Tensor(obs_batch), mask_batch).numpy()[0]
+            value = float(self.value(Tensor(obs_batch)).numpy()[0])
+        probs = np.exp(log_probs)
+        probs = probs / probs.sum()
+        if deterministic:
+            action = int(np.argmax(log_probs))
+        else:
+            action = int(rng.choice(len(probs), p=probs))
+        return action, value, float(log_probs[action])
+
+
+@dataclass(frozen=True, slots=True)
+class PPOConfig:
+    """Hyper-parameters of the PPO update (paper §4.1.1 defaults)."""
+
+    clip_ratio: float = 0.2
+    policy_lr: float = 1e-3
+    value_lr: float = 1e-3
+    policy_iterations: int = 80
+    value_iterations: int = 80
+    target_kl: float = 0.05
+    entropy_coefficient: float = 0.01
+    max_grad_norm: float | None = 10.0
+    #: Discount factor.  The backfilling reward is episodic (only the terminal
+    #: step carries the bsld improvement), so no discounting is applied by
+    #: default -- otherwise early decisions in a multi-hundred-step episode
+    #: would receive a vanishing share of the credit.
+    gamma: float = 1.0
+    #: GAE lambda.  With a terminal-only reward the full-return advantage
+    #: (lambda = 1) is required for every decision in the episode to receive
+    #: credit for the final bsld improvement.
+    lam: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.clip_ratio < 1.0:
+            raise ValueError(f"clip_ratio must lie in (0, 1), got {self.clip_ratio}")
+        if self.policy_iterations <= 0 or self.value_iterations <= 0:
+            raise ValueError("iteration counts must be positive")
+        if self.target_kl <= 0:
+            raise ValueError("target_kl must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class PPOUpdateStats:
+    """Diagnostics of one epoch's PPO update."""
+
+    policy_loss: float
+    value_loss: float
+    approximate_kl: float
+    entropy: float
+    clip_fraction: float
+    policy_iterations_run: int
+
+
+class PPO:
+    """Clipped-surrogate PPO over an :class:`ActorCritic` model."""
+
+    def __init__(self, actor_critic: ActorCritic, config: PPOConfig | None = None, seed: SeedLike = None):
+        self.actor_critic = actor_critic
+        self.config = config or PPOConfig()
+        self.rng = as_rng(seed)
+        self.policy_optimizer = Adam(actor_critic.policy_parameters(), lr=self.config.policy_lr)
+        self.value_optimizer = Adam(actor_critic.value_parameters(), lr=self.config.value_lr)
+
+    # -- loss pieces ----------------------------------------------------------
+    def _policy_loss(
+        self,
+        observations: np.ndarray,
+        masks: np.ndarray,
+        actions: np.ndarray,
+        advantages: np.ndarray,
+        log_probs_old: np.ndarray,
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        cfg = self.config
+        obs_t = Tensor(observations)
+        log_probs_all = self.actor_critic.masked_log_probs(obs_t, masks)
+        one_hot = np.zeros_like(masks, dtype=np.float64)
+        one_hot[np.arange(actions.shape[0]), actions] = 1.0
+        log_probs = (log_probs_all * Tensor(one_hot)).sum(axis=1)
+
+        adv_t = Tensor(advantages)
+        ratio = (log_probs - Tensor(log_probs_old)).exp()
+        clipped_ratio = ratio.clip(1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio)
+        surrogate = (ratio * adv_t).minimum(clipped_ratio * adv_t)
+        loss = -surrogate.mean()
+
+        probs = log_probs_all.exp()
+        entropy = -(probs * log_probs_all).sum(axis=1).mean()
+        if cfg.entropy_coefficient > 0.0:
+            loss = loss - entropy * cfg.entropy_coefficient
+
+        ratio_values = ratio.numpy()
+        stats = {
+            "approximate_kl": float(np.mean(log_probs_old - log_probs.numpy())),
+            "entropy": float(entropy.numpy()),
+            "clip_fraction": float(
+                np.mean(
+                    (ratio_values > 1.0 + cfg.clip_ratio) | (ratio_values < 1.0 - cfg.clip_ratio)
+                )
+            ),
+        }
+        return loss, stats
+
+    def _value_loss(self, observations: np.ndarray, returns: np.ndarray) -> Tensor:
+        values = self.actor_critic.value(Tensor(observations))
+        diff = values - Tensor(returns)
+        return (diff * diff).mean()
+
+    # -- update ----------------------------------------------------------------
+    def update(self, data: Dict[str, np.ndarray]) -> PPOUpdateStats:
+        """Run the PPO update on one epoch of trajectories (output of ``TrajectoryBuffer.get``)."""
+        cfg = self.config
+        observations = data["observations"]
+        masks = data["masks"]
+        actions = data["actions"]
+        advantages = data["advantages"]
+        returns = data["returns"]
+        log_probs_old = data["log_probs"]
+
+        policy_loss_value = 0.0
+        last_stats = {"approximate_kl": 0.0, "entropy": 0.0, "clip_fraction": 0.0}
+        iterations_run = 0
+        for _ in range(cfg.policy_iterations):
+            self.policy_optimizer.zero_grad()
+            loss, stats = self._policy_loss(observations, masks, actions, advantages, log_probs_old)
+            last_stats = stats
+            if stats["approximate_kl"] > 1.5 * cfg.target_kl:
+                # Early stopping as in Spinning Up: the new policy drifted far
+                # enough from the sampling policy that further steps would be
+                # off-policy.
+                break
+            loss.backward()
+            if cfg.max_grad_norm is not None:
+                self.policy_optimizer.clip_grad_norm(cfg.max_grad_norm)
+            self.policy_optimizer.step()
+            policy_loss_value = float(loss.numpy())
+            iterations_run += 1
+
+        value_loss_value = 0.0
+        for _ in range(cfg.value_iterations):
+            self.value_optimizer.zero_grad()
+            value_loss = self._value_loss(observations, returns)
+            value_loss.backward()
+            if cfg.max_grad_norm is not None:
+                self.value_optimizer.clip_grad_norm(cfg.max_grad_norm)
+            self.value_optimizer.step()
+            value_loss_value = float(value_loss.numpy())
+
+        return PPOUpdateStats(
+            policy_loss=policy_loss_value,
+            value_loss=value_loss_value,
+            approximate_kl=last_stats["approximate_kl"],
+            entropy=last_stats["entropy"],
+            clip_fraction=last_stats["clip_fraction"],
+            policy_iterations_run=iterations_run,
+        )

@@ -1,0 +1,42 @@
+"""Running mean/variance estimator (Welford) for streaming normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RunningMeanStd"]
+
+
+class RunningMeanStd:
+    """Tracks mean and variance of a stream of scalars or vectors."""
+
+    def __init__(self, shape: tuple[int, ...] = ()):
+        self.mean = np.zeros(shape, dtype=np.float64)
+        self._m2 = np.zeros(shape, dtype=np.float64)
+        self.count = 0
+
+    def update(self, value) -> None:
+        """Add one observation (scalar or array matching ``shape``)."""
+        value = np.asarray(value, dtype=np.float64)
+        self.count += 1
+        delta = value - self.mean
+        self.mean = self.mean + delta / self.count
+        self._m2 = self._m2 + delta * (value - self.mean)
+
+    def update_batch(self, values) -> None:
+        for value in np.asarray(values, dtype=np.float64):
+            self.update(value)
+
+    @property
+    def variance(self) -> np.ndarray:
+        if self.count < 2:
+            return np.ones_like(self.mean)
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(np.maximum(self.variance, 1e-12))
+
+    def normalize(self, value) -> np.ndarray:
+        """Return ``(value - mean) / std`` with a numerical floor on std."""
+        return (np.asarray(value, dtype=np.float64) - self.mean) / self.std

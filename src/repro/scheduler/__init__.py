@@ -1,0 +1,52 @@
+"""HPC batch scheduling simulator: policies, backfilling strategies, metrics."""
+
+from repro.scheduler.metrics import (
+    JobRecord,
+    ScheduleMetrics,
+    bounded_slowdown,
+    compute_metrics,
+)
+from repro.scheduler.policies import (
+    PriorityPolicy,
+    FCFS,
+    SJF,
+    WFP3,
+    F1,
+    CustomPolicy,
+    get_policy,
+    available_policies,
+)
+from repro.scheduler.events import DecisionPoint, JobArrival, JobCompletion
+from repro.scheduler.backfill import (
+    BackfillStrategy,
+    NoBackfill,
+    EasyBackfill,
+    ConservativeBackfill,
+    GreedyBackfill,
+)
+from repro.scheduler.simulator import Simulator, SimulationResult
+
+__all__ = [
+    "JobRecord",
+    "ScheduleMetrics",
+    "bounded_slowdown",
+    "compute_metrics",
+    "PriorityPolicy",
+    "FCFS",
+    "SJF",
+    "WFP3",
+    "F1",
+    "CustomPolicy",
+    "get_policy",
+    "available_policies",
+    "DecisionPoint",
+    "JobArrival",
+    "JobCompletion",
+    "BackfillStrategy",
+    "NoBackfill",
+    "EasyBackfill",
+    "ConservativeBackfill",
+    "GreedyBackfill",
+    "Simulator",
+    "SimulationResult",
+]

@@ -1,0 +1,20 @@
+"""Backfilling strategies: none, EASY, conservative, greedy, and RL-driven.
+
+The RL-driven strategy lives in :mod:`repro.core.rlbackfill` (it depends on
+the agent); everything here is heuristic and usable without training.
+"""
+
+from repro.scheduler.backfill.base import BackfillStrategy
+from repro.scheduler.backfill.none import NoBackfill
+from repro.scheduler.backfill.easy import EasyBackfill, GreedyBackfill
+from repro.scheduler.backfill.profile import ResourceProfile
+from repro.scheduler.backfill.conservative import ConservativeBackfill
+
+__all__ = [
+    "BackfillStrategy",
+    "NoBackfill",
+    "EasyBackfill",
+    "GreedyBackfill",
+    "ResourceProfile",
+    "ConservativeBackfill",
+]

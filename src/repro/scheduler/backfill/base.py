@@ -1,0 +1,44 @@
+"""Backfilling strategy interface.
+
+A strategy is queried at every :class:`~repro.scheduler.events.DecisionPoint`
+and returns the single job to backfill next (or ``None`` to stop backfilling
+at this opportunity).  The simulator then starts the chosen job, recomputes
+the candidate set, and queries again -- so a strategy that wants to backfill
+several jobs simply keeps answering.  This per-job formulation is exactly the
+action granularity of the paper's RL agent, which lets heuristics and the
+learned policy share one simulation loop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.prediction.predictors import RuntimeEstimator
+from repro.scheduler.events import DecisionPoint
+from repro.workloads.job import Job
+
+__all__ = ["BackfillStrategy"]
+
+
+class BackfillStrategy(ABC):
+    """Chooses which waiting job (if any) to backfill at a decision point."""
+
+    #: Label used in experiment tables ("EASY", "EASY-AR", "RLBF", ...).
+    name: str = "backfill"
+
+    @abstractmethod
+    def select_backfill(
+        self, decision: DecisionPoint, estimator: RuntimeEstimator
+    ) -> Optional[Job]:
+        """Return the candidate to start now, or ``None`` to pass.
+
+        Implementations must only return jobs from ``decision.candidates``;
+        the simulator validates this and raises otherwise.
+        """
+
+    def on_sequence_start(self) -> None:
+        """Hook called once per simulated job sequence (reset caches)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,27 @@
+"""The no-backfilling strategy: strict priority-order scheduling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.prediction.predictors import RuntimeEstimator
+from repro.scheduler.backfill.base import BackfillStrategy
+from repro.scheduler.events import DecisionPoint
+from repro.workloads.job import Job
+
+__all__ = ["NoBackfill"]
+
+
+class NoBackfill(BackfillStrategy):
+    """Never backfill; the machine idles until the reserved job can start.
+
+    This is the pure base-policy scheduler and serves as the lower-bound
+    baseline in the ablation benchmarks.
+    """
+
+    name = "none"
+
+    def select_backfill(
+        self, decision: DecisionPoint, estimator: RuntimeEstimator
+    ) -> Optional[Job]:
+        return None

@@ -1,0 +1,140 @@
+"""Free-processor availability profile.
+
+A step function over time recording how many processors are free, given the
+currently running jobs (under a runtime estimator) and any reservations that
+have been placed.  This is the standard data structure behind conservative
+backfilling: every waiting job gets a reservation carved out of the profile,
+and a candidate may only start now if doing so leaves every reservation
+intact.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, List, Tuple
+
+__all__ = ["ResourceProfile"]
+
+_EPS = 1e-9
+
+
+class ResourceProfile:
+    """Piecewise-constant free-processor profile on ``[origin, +inf)``."""
+
+    def __init__(self, total_processors: int, origin: float = 0.0, initial_free: int | None = None):
+        if total_processors <= 0:
+            raise ValueError("total_processors must be positive")
+        free0 = total_processors if initial_free is None else initial_free
+        if not 0 <= free0 <= total_processors:
+            raise ValueError(
+                f"initial_free={free0} outside [0, {total_processors}]"
+            )
+        self.total = total_processors
+        self.origin = float(origin)
+        # Parallel arrays: breakpoint times and the free count from that time on.
+        self._times: List[float] = [float(origin)]
+        self._free: List[int] = [int(free0)]
+
+    # -- queries -----------------------------------------------------------
+    def free_at(self, time: float) -> int:
+        """Free processors at ``time`` (clamped to the profile origin)."""
+        if time < self.origin:
+            time = self.origin
+        idx = bisect_right(self._times, time + _EPS) - 1
+        return self._free[max(idx, 0)]
+
+    def steps(self) -> List[Tuple[float, int]]:
+        """Return the (time, free) breakpoints (mainly for tests/plots)."""
+        return list(zip(self._times, self._free))
+
+    def min_free_between(self, start: float, end: float) -> int:
+        """Minimum free processors over the half-open interval ``[start, end)``."""
+        if end <= start:
+            return self.free_at(start)
+        lo = max(start, self.origin)
+        idx = max(bisect_right(self._times, lo + _EPS) - 1, 0)
+        minimum = self._free[idx]
+        idx += 1
+        while idx < len(self._times) and self._times[idx] < end - _EPS:
+            minimum = min(minimum, self._free[idx])
+            idx += 1
+        return minimum
+
+    # -- mutation ----------------------------------------------------------
+    def _ensure_breakpoint(self, time: float) -> int:
+        """Insert a breakpoint at ``time`` (if absent) and return its index."""
+        time = max(time, self.origin)
+        idx = bisect_right(self._times, time + _EPS) - 1
+        if abs(self._times[idx] - time) <= _EPS:
+            return idx
+        self._times.insert(idx + 1, time)
+        self._free.insert(idx + 1, self._free[idx])
+        return idx + 1
+
+    def reserve(self, start: float, duration: float, processors: int) -> None:
+        """Subtract ``processors`` from the profile over ``[start, start+duration)``."""
+        if processors <= 0:
+            raise ValueError("processors must be positive")
+        if duration <= 0:
+            return
+        if math.isinf(duration):
+            end = math.inf
+        else:
+            end = start + duration
+        start_idx = self._ensure_breakpoint(start)
+        if math.isinf(end):
+            end_idx = len(self._times)
+        else:
+            end_idx = self._ensure_breakpoint(end)
+        for i in range(start_idx, end_idx):
+            new_free = self._free[i] - processors
+            if new_free < -_EPS:
+                raise RuntimeError(
+                    f"profile over-subscribed at t={self._times[i]}: "
+                    f"free={self._free[i]}, reserving {processors}"
+                )
+            self._free[i] = new_free
+
+    def earliest_start(self, processors: int, duration: float, earliest: float | None = None) -> float:
+        """Earliest time >= ``earliest`` at which ``processors`` stay free for ``duration``."""
+        if processors > self.total:
+            raise ValueError(
+                f"request for {processors} processors exceeds the machine size {self.total}"
+            )
+        candidate_times = [max(earliest if earliest is not None else self.origin, self.origin)]
+        candidate_times.extend(t for t in self._times if t > candidate_times[0] + _EPS)
+        for start in candidate_times:
+            if math.isinf(duration):
+                # Must stay free forever from `start` on.
+                idx = max(bisect_right(self._times, start + _EPS) - 1, 0)
+                if all(f >= processors for f in self._free[idx:]):
+                    return start
+                continue
+            if self.min_free_between(start, start + duration) >= processors:
+                return start
+        raise RuntimeError(
+            f"no feasible start found for {processors} processors x {duration}s "
+            "(profile never frees enough capacity)"
+        )
+
+    @classmethod
+    def from_running_jobs(
+        cls,
+        total_processors: int,
+        now: float,
+        running: Iterable[Tuple[float, int]],
+    ) -> "ResourceProfile":
+        """Build a profile from ``(estimated_end_time, processors)`` pairs of running jobs."""
+        profile = cls(total_processors, origin=now)
+        for end_time, processors in running:
+            # A job whose estimate already elapsed still holds its processors;
+            # the scheduler has no better information than "it will finish
+            # very soon", so keep the processors held for at least one second
+            # rather than pretending they are already free.
+            end = max(end_time, now + 1.0)
+            profile.reserve(now, end - now, processors)
+        return profile
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResourceProfile(total={self.total}, steps={len(self._times)})"

@@ -1,0 +1,143 @@
+"""Scheduling quality metrics.
+
+The paper's headline metric is the **average bounded job slowdown** (bsld,
+Feitelson & Rudolph 1998): slowdown measured against an interactivity
+threshold (10 seconds) so that near-instant jobs do not dominate the average:
+
+    bsld(job) = max( (wait + runtime) / max(runtime, threshold), 1 )
+
+This module also reports mean wait time, mean turnaround, makespan, and
+machine utilization for completeness; the RL reward and every experiment
+driver go through :func:`compute_metrics` so the definition is applied
+uniformly everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.workloads.job import Job
+
+__all__ = [
+    "BSLD_THRESHOLD",
+    "bounded_slowdown",
+    "JobRecord",
+    "ScheduleMetrics",
+    "compute_metrics",
+]
+
+#: Interactivity threshold (seconds) used by the bounded-slowdown metric.
+BSLD_THRESHOLD = 10.0
+
+
+def bounded_slowdown(wait_time: float, runtime: float, threshold: float = BSLD_THRESHOLD) -> float:
+    """Bounded slowdown of a single job."""
+    if wait_time < 0:
+        raise ValueError(f"wait_time must be non-negative, got {wait_time}")
+    if runtime <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime}")
+    return max((wait_time + runtime) / max(runtime, threshold), 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """Per-job outcome of one simulated schedule."""
+
+    job: Job
+    start_time: float
+    end_time: float
+    backfilled: bool = False
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.job.submit_time
+
+    @property
+    def turnaround(self) -> float:
+        return self.end_time - self.job.submit_time
+
+    @property
+    def slowdown(self) -> float:
+        return self.turnaround / self.job.runtime
+
+    def bounded_slowdown(self, threshold: float = BSLD_THRESHOLD) -> float:
+        return bounded_slowdown(self.wait_time, self.job.runtime, threshold)
+
+    def validate(self) -> None:
+        """Sanity-check the causality invariants of a completed job."""
+        if self.start_time + 1e-9 < self.job.submit_time:
+            raise ValueError(
+                f"job {self.job.job_id} started at {self.start_time} before its "
+                f"submission at {self.job.submit_time}"
+            )
+        expected_end = self.start_time + self.job.runtime
+        if abs(self.end_time - expected_end) > 1e-6:
+            raise ValueError(
+                f"job {self.job.job_id} end time {self.end_time} does not equal "
+                f"start + runtime = {expected_end}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleMetrics:
+    """Aggregate metrics over one scheduled job sequence."""
+
+    num_jobs: int
+    average_bounded_slowdown: float
+    average_slowdown: float
+    average_wait_time: float
+    average_turnaround: float
+    max_wait_time: float
+    makespan: float
+    utilization: float
+    backfilled_jobs: int
+
+    @property
+    def bsld(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.average_bounded_slowdown
+
+    def as_dict(self) -> Mapping[str, float]:
+        return {
+            "num_jobs": self.num_jobs,
+            "average_bounded_slowdown": self.average_bounded_slowdown,
+            "average_slowdown": self.average_slowdown,
+            "average_wait_time": self.average_wait_time,
+            "average_turnaround": self.average_turnaround,
+            "max_wait_time": self.max_wait_time,
+            "makespan": self.makespan,
+            "utilization": self.utilization,
+            "backfilled_jobs": self.backfilled_jobs,
+        }
+
+
+def compute_metrics(
+    records: Sequence[JobRecord] | Iterable[JobRecord],
+    utilization: float = 0.0,
+    threshold: float = BSLD_THRESHOLD,
+) -> ScheduleMetrics:
+    """Aggregate per-job records into :class:`ScheduleMetrics`."""
+    records = list(records)
+    if not records:
+        raise ValueError("cannot compute metrics over an empty schedule")
+    waits = np.array([r.wait_time for r in records], dtype=np.float64)
+    runtimes = np.array([r.job.runtime for r in records], dtype=np.float64)
+    turnarounds = np.array([r.turnaround for r in records], dtype=np.float64)
+    bslds = np.maximum((waits + runtimes) / np.maximum(runtimes, threshold), 1.0)
+    slowdowns = turnarounds / runtimes
+    submit0 = min(r.job.submit_time for r in records)
+    makespan = max(r.end_time for r in records) - submit0
+    return ScheduleMetrics(
+        num_jobs=len(records),
+        average_bounded_slowdown=float(bslds.mean()),
+        average_slowdown=float(slowdowns.mean()),
+        average_wait_time=float(waits.mean()),
+        average_turnaround=float(turnarounds.mean()),
+        max_wait_time=float(waits.max()),
+        makespan=float(makespan),
+        utilization=float(utilization),
+        backfilled_jobs=sum(1 for r in records if r.backfilled),
+    )

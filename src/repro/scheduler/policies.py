@@ -1,0 +1,139 @@
+"""Base job scheduling policies (the paper's Table 3).
+
+A priority policy assigns a score to every waiting job; the scheduler picks
+the job with the **lowest** score as the next job to run.  The four policies
+evaluated in the paper are:
+
+=======  =============================================================
+FCFS     ``score = submit_time``
+SJF      ``score = requested_time``
+WFP3     ``score = -(wait_time / requested_time)^3 * requested_processors``
+F1       ``score = log10(requested_time) * processors + 870 * log10(submit_time)``
+=======  =============================================================
+
+WFP3 (Tang et al. 2009) favours short, narrow, long-waiting jobs; F1
+(Carastan-Santos & de Camargo, SC'17) is the best non-linear policy obtained
+by simulation + regression for minimizing average bounded slowdown.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Sequence
+
+from repro.workloads.job import Job
+
+__all__ = [
+    "PriorityPolicy",
+    "FCFS",
+    "SJF",
+    "WFP3",
+    "F1",
+    "CustomPolicy",
+    "get_policy",
+    "available_policies",
+]
+
+
+class PriorityPolicy(ABC):
+    """Assigns priority scores to waiting jobs (lower score = scheduled first)."""
+
+    #: Human-readable policy name used in experiment tables.
+    name: str = "policy"
+
+    @abstractmethod
+    def score(self, job: Job, now: float) -> float:
+        """Priority score of ``job`` at simulation time ``now`` (lower is better)."""
+
+    def select(self, queue: Sequence[Job], now: float) -> Job:
+        """Return the highest-priority job in ``queue`` at time ``now``.
+
+        Ties are broken by submission time then job id so the simulation is
+        fully deterministic.
+        """
+        if not queue:
+            raise ValueError(f"{self.name}: cannot select from an empty queue")
+        return min(queue, key=lambda j: (self.score(j, now), j.submit_time, j.job_id))
+
+    def sort(self, queue: Sequence[Job], now: float) -> list[Job]:
+        """Return ``queue`` ordered from highest to lowest priority."""
+        return sorted(queue, key=lambda j: (self.score(j, now), j.submit_time, j.job_id))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FCFS(PriorityPolicy):
+    """First-Come-First-Serve: jobs run in submission order."""
+
+    name = "FCFS"
+
+    def score(self, job: Job, now: float) -> float:
+        return job.submit_time
+
+
+class SJF(PriorityPolicy):
+    """Shortest-Job-First by the user-requested wall time."""
+
+    name = "SJF"
+
+    def score(self, job: Job, now: float) -> float:
+        return job.requested_time
+
+
+class WFP3(PriorityPolicy):
+    """Cubic waiting-time-over-runtime policy weighted by job width (Tang et al. 2009)."""
+
+    name = "WFP3"
+
+    def score(self, job: Job, now: float) -> float:
+        wait = max(now - job.submit_time, 0.0)
+        return -((wait / job.requested_time) ** 3) * job.requested_processors
+
+
+class F1(PriorityPolicy):
+    """Non-linear regression policy of Carastan-Santos & de Camargo (SC'17)."""
+
+    name = "F1"
+
+    def score(self, job: Job, now: float) -> float:
+        # submit_time can legitimately be zero for the first job of a rebased
+        # sequence; clamp so the logarithm stays finite.
+        st = max(job.submit_time, 1.0)
+        rt = max(job.requested_time, 1.0)
+        return math.log10(rt) * job.requested_processors + 870.0 * math.log10(st)
+
+
+class CustomPolicy(PriorityPolicy):
+    """Wrap an arbitrary ``score(job, now)`` callable as a policy."""
+
+    def __init__(self, fn: Callable[[Job, float], float], name: str = "custom"):
+        self._fn = fn
+        self.name = name
+
+    def score(self, job: Job, now: float) -> float:
+        return self._fn(job, now)
+
+
+_POLICIES: Dict[str, Callable[[], PriorityPolicy]] = {
+    "FCFS": FCFS,
+    "SJF": SJF,
+    "WFP3": WFP3,
+    "F1": F1,
+}
+
+
+def available_policies() -> list[str]:
+    """Names accepted by :func:`get_policy`."""
+    return list(_POLICIES)
+
+
+def get_policy(name: str | PriorityPolicy) -> PriorityPolicy:
+    """Resolve a policy by name (case-insensitive); passes instances through."""
+    if isinstance(name, PriorityPolicy):
+        return name
+    key = name.upper()
+    if key not in _POLICIES:
+        raise KeyError(f"unknown policy {name!r}; available: {', '.join(_POLICIES)}")
+    return _POLICIES[key]()

@@ -1,0 +1,300 @@
+"""Discrete-event HPC batch scheduling simulator.
+
+The simulator replays a job sequence against a homogeneous machine under a
+base priority policy (FCFS, SJF, WFP3, F1) and a backfilling strategy.  It is
+the RL-compatible simulator the paper builds on (the RLScheduler simulator):
+the core loop is a generator that *yields* a
+:class:`~repro.scheduler.events.DecisionPoint` whenever a backfilling
+opportunity arises and receives the chosen job in response.  Heuristic
+strategies (EASY, conservative, ...) are driven by :meth:`Simulator.run`;
+the RL training environment drives the same generator step by step.
+
+Simulation rules (matching the paper's setting):
+
+* Jobs are rigid: a job occupies exactly ``requested_processors`` processors
+  for exactly its *actual* runtime once started.
+* The base policy picks the highest-priority waiting job; if it fits it
+  starts immediately, otherwise a reservation is computed from the runtime
+  estimator and backfilling is attempted.
+* Runtime estimates affect only reservations and backfilling checks, never
+  the simulated completion times.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Iterable, List, Optional, Sequence
+
+from repro.cluster.machine import Machine
+from repro.prediction.predictors import RuntimeEstimator, UserEstimate
+from repro.scheduler.backfill.base import BackfillStrategy
+from repro.scheduler.backfill.none import NoBackfill
+from repro.scheduler.events import DecisionPoint
+from repro.scheduler.metrics import BSLD_THRESHOLD, JobRecord, ScheduleMetrics, compute_metrics
+from repro.scheduler.policies import PriorityPolicy, get_policy
+from repro.workloads.job import Job
+
+__all__ = ["Simulator", "SimulationResult"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of scheduling one job sequence."""
+
+    label: str
+    records: tuple[JobRecord, ...]
+    metrics: ScheduleMetrics
+    decision_count: int = 0
+    backfill_count: int = 0
+
+    @property
+    def bsld(self) -> float:
+        """Average bounded slowdown (the paper's headline metric)."""
+        return self.metrics.average_bounded_slowdown
+
+    def record_for(self, job_id: int) -> JobRecord:
+        for record in self.records:
+            if record.job.job_id == job_id:
+                return record
+        raise KeyError(f"no record for job {job_id}")
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(label={self.label!r}, jobs={len(self.records)}, "
+            f"bsld={self.bsld:.2f}, backfilled={self.backfill_count})"
+        )
+
+
+@dataclass
+class _SimState:
+    """Mutable state threaded through one simulation run."""
+
+    machine: Machine
+    pending: deque
+    queue: List[Job] = field(default_factory=list)
+    now: float = 0.0
+    records: Dict[int, JobRecord] = field(default_factory=dict)
+    decision_count: int = 0
+    backfill_count: int = 0
+
+
+class Simulator:
+    """Schedules job sequences on a simulated homogeneous cluster."""
+
+    def __init__(
+        self,
+        num_processors: int,
+        policy: PriorityPolicy | str = "FCFS",
+        backfill: BackfillStrategy | None = None,
+        estimator: RuntimeEstimator | None = None,
+        bsld_threshold: float = BSLD_THRESHOLD,
+    ):
+        if num_processors <= 0:
+            raise ValueError(f"num_processors must be positive, got {num_processors}")
+        self.num_processors = int(num_processors)
+        self.policy = get_policy(policy)
+        self.backfill = backfill if backfill is not None else NoBackfill()
+        self.estimator = estimator if estimator is not None else UserEstimate()
+        self.bsld_threshold = float(bsld_threshold)
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Human-readable configuration label, e.g. ``FCFS+EASY(request-time)``."""
+        return f"{self.policy.name}+{self.backfill.name}({self.estimator.name})"
+
+    def run(self, jobs: Iterable[Job], backfill: BackfillStrategy | None = None) -> SimulationResult:
+        """Schedule ``jobs`` to completion with the configured (or given) strategy."""
+        strategy = backfill if backfill is not None else self.backfill
+        strategy.on_sequence_start()
+        self.estimator.reset()
+        gen = self.decision_points(jobs)
+        try:
+            decision = next(gen)
+            while True:
+                choice = strategy.select_backfill(decision, self.estimator)
+                decision = gen.send(choice)
+        except StopIteration as stop:
+            result: SimulationResult = stop.value
+            return result
+
+    def decision_points(
+        self, jobs: Iterable[Job]
+    ) -> Generator[DecisionPoint, Optional[Job], SimulationResult]:
+        """Generator form of the simulation: yields decision points, expects a
+        candidate job (or ``None``) back via ``send``; returns the
+        :class:`SimulationResult` when the sequence completes."""
+        job_list = self._validated(jobs)
+        state = _SimState(
+            machine=Machine(self.num_processors),
+            pending=deque(sorted(job_list, key=lambda j: (j.submit_time, j.job_id))),
+        )
+        state.now = state.pending[0].submit_time if state.pending else 0.0
+        self._admit(state)
+
+        while state.pending or state.queue or state.machine.num_running:
+            if state.queue:
+                blocked = yield from self._schedule_now(state)
+            else:
+                blocked = False
+            advanced = self._advance_time(state)
+            if not advanced and not blocked and not state.queue and not state.pending:
+                break
+            if not advanced and state.queue and not blocked:
+                # Defensive: the queue is non-empty, nothing is running and no
+                # arrivals remain, yet the head job could not start -- this
+                # means a job is wider than the machine.
+                widest = max(state.queue, key=lambda j: j.requested_processors)
+                raise RuntimeError(
+                    f"simulation deadlocked: job {widest.job_id} requests "
+                    f"{widest.requested_processors} of {self.num_processors} processors"
+                )
+        return self._finalize(state)
+
+    # -- internals ----------------------------------------------------------
+    def _validated(self, jobs: Iterable[Job]) -> List[Job]:
+        job_list = list(jobs)
+        if not job_list:
+            raise ValueError("cannot simulate an empty job sequence")
+        seen: set[int] = set()
+        for job in job_list:
+            if job.requested_processors > self.num_processors:
+                raise ValueError(
+                    f"job {job.job_id} requests {job.requested_processors} processors but the "
+                    f"machine has only {self.num_processors}"
+                )
+            if job.job_id in seen:
+                raise ValueError(f"duplicate job id {job.job_id} in sequence")
+            seen.add(job.job_id)
+        return job_list
+
+    def _admit(self, state: _SimState) -> None:
+        while state.pending and state.pending[0].submit_time <= state.now + _EPS:
+            state.queue.append(state.pending.popleft())
+
+    def _start(self, state: _SimState, job: Job, backfilled: bool) -> None:
+        record = state.machine.start(job, state.now)
+        state.records[job.job_id] = JobRecord(
+            job=job,
+            start_time=state.now,
+            end_time=record.end_time,
+            backfilled=backfilled,
+        )
+        if backfilled:
+            state.backfill_count += 1
+
+    @staticmethod
+    def _remove(queue: List[Job], job_id: int) -> None:
+        for i, queued in enumerate(queue):
+            if queued.job_id == job_id:
+                del queue[i]
+                return
+        raise KeyError(f"job {job_id} is not in the waiting queue")
+
+    def _schedule_now(
+        self, state: _SimState
+    ) -> Generator[DecisionPoint, Optional[Job], bool]:
+        """Start every job that can start at the current instant.
+
+        Returns ``True`` if the highest-priority job ended up blocked (i.e. a
+        reservation exists and time must advance), ``False`` if the queue was
+        drained.
+        """
+        while state.queue:
+            rjob = self.policy.select(state.queue, state.now)
+            if state.machine.can_start(rjob):
+                self._start(state, rjob, backfilled=False)
+                self._remove(state.queue, rjob.job_id)
+                continue
+            # Backfilling opportunity: the selected job is blocked.
+            yield from self._backfill_opportunity(state, rjob)
+            return True
+        return False
+
+    def _backfill_opportunity(
+        self, state: _SimState, rjob: Job
+    ) -> Generator[DecisionPoint, Optional[Job], None]:
+        while True:
+            candidates = [
+                job
+                for job in state.queue
+                if job.job_id != rjob.job_id and state.machine.can_start(job)
+            ]
+            if not candidates:
+                return
+            reservation_time, extra = state.machine.earliest_start_estimate(
+                rjob, state.now, self.estimator
+            )
+            decision = DecisionPoint(
+                time=state.now,
+                reserved_job=rjob,
+                reservation_time=reservation_time,
+                extra_processors=extra,
+                candidates=candidates,
+                queue=sorted(state.queue, key=lambda j: (j.submit_time, j.job_id)),
+                machine=state.machine,
+            )
+            state.decision_count += 1
+            choice = yield decision
+            if choice is None:
+                return
+            candidate_ids = {job.job_id for job in candidates}
+            if choice.job_id not in candidate_ids:
+                raise ValueError(
+                    f"backfill strategy returned job {choice.job_id} which is not a candidate "
+                    f"(candidates: {sorted(candidate_ids)})"
+                )
+            self._start(state, choice, backfilled=True)
+            self._remove(state.queue, choice.job_id)
+
+    def _advance_time(self, state: _SimState) -> bool:
+        next_arrival = state.pending[0].submit_time if state.pending else math.inf
+        next_completion = state.machine.next_completion_time()
+        next_completion = math.inf if next_completion is None else next_completion
+        next_time = min(next_arrival, next_completion)
+        if math.isinf(next_time):
+            return False
+        state.now = max(state.now, next_time)
+        state.machine.release_completed(state.now)
+        self._admit(state)
+        return True
+
+    def _finalize(self, state: _SimState) -> SimulationResult:
+        records = tuple(
+            sorted(state.records.values(), key=lambda r: (r.job.submit_time, r.job.job_id))
+        )
+        for record in records:
+            record.validate()
+        metrics = compute_metrics(
+            records,
+            utilization=state.machine.utilization(state.now),
+            threshold=self.bsld_threshold,
+        )
+        return SimulationResult(
+            label=self.label,
+            records=records,
+            metrics=metrics,
+            decision_count=state.decision_count,
+            backfill_count=state.backfill_count,
+        )
+
+
+def run_schedule(
+    jobs: Sequence[Job],
+    num_processors: int,
+    policy: PriorityPolicy | str = "FCFS",
+    backfill: BackfillStrategy | None = None,
+    estimator: RuntimeEstimator | None = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(
+        num_processors=num_processors,
+        policy=policy,
+        backfill=backfill,
+        estimator=estimator,
+    )
+    return simulator.run(jobs)

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG handling, table formatting, logging."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.logging import get_logger
+
+__all__ = ["as_rng", "spawn_rngs", "format_table", "get_logger"]

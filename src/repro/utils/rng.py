@@ -1,0 +1,67 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library (workload generators, trace
+samplers, PPO exploration, noisy runtime predictors) accepts either an
+integer seed, ``None``, or an existing :class:`numpy.random.Generator`.  The
+helpers here normalize those inputs so experiments are reproducible end to
+end from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent generators from one seed.
+
+    Used when an experiment needs independent streams (e.g. one per sampled
+    job sequence) that remain reproducible from a single top-level seed.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the generator's own stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, index: int) -> int:
+    """Derive a stable integer sub-seed from ``seed`` and an ``index``."""
+    if isinstance(seed, np.random.Generator):
+        raise TypeError("derive_seed requires a reproducible seed, not a Generator")
+    base = 0 if seed is None else int(seed) if not isinstance(seed, np.random.SeedSequence) else int(seed.entropy or 0)
+    mixed = np.random.SeedSequence(entropy=base, spawn_key=(index,))
+    return int(mixed.generate_state(1, dtype=np.uint64)[0] % (2**63 - 1))
+
+
+def check_probability(p: float, name: str = "probability") -> float:
+    """Validate that ``p`` lies in ``[0, 1]`` and return it."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {p}")
+    return float(p)
+
+
+__all__: Sequence[str] = ["SeedLike", "as_rng", "spawn_rngs", "derive_seed", "check_probability"]

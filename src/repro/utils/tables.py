@@ -1,0 +1,72 @@
+"""Plain-text table rendering used by experiment drivers and benchmarks.
+
+The experiment drivers print the same rows/columns the paper's tables report;
+this module keeps the formatting in one place so benchmark output stays
+readable under ``pytest -s``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows = [[_fmt_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping_table(
+    data: Mapping[str, Mapping[str, Cell]],
+    row_label: str = "row",
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render a nested mapping ``{row: {column: value}}`` as a table.
+
+    Column order follows first-seen order across rows so tables with sparse
+    rows (e.g. Table 4 where synthetic traces omit the EASY columns) stay
+    aligned.
+    """
+    columns: list[str] = []
+    for row_values in data.values():
+        for col in row_values:
+            if col not in columns:
+                columns.append(col)
+    headers = [row_label] + columns
+    rows = [[name] + [values.get(col) for col in columns] for name, values in data.items()]
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+__all__ = ["format_table", "format_mapping_table"]

@@ -1,0 +1,31 @@
+"""Workload models: SWF jobs/traces, synthetic generators, sampling, statistics."""
+
+from repro.workloads.job import Job, Trace
+from repro.workloads.swf import read_swf, write_swf, parse_swf_lines
+from repro.workloads.lublin import LublinParams, lublin_trace
+from repro.workloads.synthetic import SyntheticTraceSpec, synthetic_trace, SDSC_SP2_SPEC, HPC2N_SPEC
+from repro.workloads.sampling import sample_sequence, sample_sequences, rebase_sequence
+from repro.workloads.stats import TraceStatistics, trace_statistics
+from repro.workloads.archive import load_trace, available_traces, register_trace
+
+__all__ = [
+    "Job",
+    "Trace",
+    "read_swf",
+    "write_swf",
+    "parse_swf_lines",
+    "LublinParams",
+    "lublin_trace",
+    "SyntheticTraceSpec",
+    "synthetic_trace",
+    "SDSC_SP2_SPEC",
+    "HPC2N_SPEC",
+    "sample_sequence",
+    "sample_sequences",
+    "rebase_sequence",
+    "TraceStatistics",
+    "trace_statistics",
+    "load_trace",
+    "available_traces",
+    "register_trace",
+]

@@ -1,0 +1,84 @@
+"""Trace statistics matching the columns of the paper's Table 2.
+
+``trace_statistics`` summarizes a trace with the cluster size, mean
+inter-arrival time, mean requested runtime and mean requested processors,
+plus a few extra distributional figures useful for sanity checking the
+synthetic substitutes against the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Mapping
+
+import numpy as np
+
+from repro.workloads.job import Trace
+
+__all__ = ["TraceStatistics", "trace_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStatistics:
+    """Summary statistics for a job trace (paper Table 2 columns + extras)."""
+
+    name: str
+    num_jobs: int
+    num_processors: int                 # "size" column
+    mean_interarrival: float            # "it" column (seconds)
+    mean_requested_time: float          # "rt" column (seconds)
+    mean_requested_processors: float    # "nt" column
+    mean_runtime: float                 # mean actual runtime (seconds)
+    median_runtime: float
+    p95_runtime: float
+    mean_overestimation: float          # mean requested_time / runtime
+    has_user_estimates: bool
+    offered_load: float                 # sum(area) / (span * processors)
+
+    def as_dict(self) -> Mapping[str, float]:
+        return asdict(self)
+
+    def table2_row(self) -> tuple:
+        """Return the row exactly as Table 2 reports it: (name, size, it, rt, nt, runtime-kinds)."""
+        runtime_kinds = "both" if self.has_user_estimates else "AR"
+        return (
+            self.name,
+            self.num_processors,
+            round(self.mean_interarrival),
+            round(self.mean_requested_time),
+            round(self.mean_requested_processors),
+            runtime_kinds,
+        )
+
+
+def trace_statistics(trace: Trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for ``trace``."""
+    if len(trace) == 0:
+        raise ValueError(f"trace {trace.name!r} is empty")
+    submit = np.array([j.submit_time for j in trace], dtype=np.float64)
+    runtimes = np.array([j.runtime for j in trace], dtype=np.float64)
+    requested_time = np.array([j.requested_time for j in trace], dtype=np.float64)
+    processors = np.array([j.requested_processors for j in trace], dtype=np.float64)
+
+    gaps = np.diff(np.sort(submit))
+    mean_gap = float(gaps.mean()) if gaps.size else 0.0
+    span = float(submit.max() - submit.min())
+    total_area = float((runtimes * processors).sum())
+    # Offered load approximates utilization demand; guard the degenerate
+    # single-instant trace.
+    offered_load = total_area / (span * trace.num_processors) if span > 0 else float("inf")
+
+    return TraceStatistics(
+        name=trace.name,
+        num_jobs=len(trace),
+        num_processors=trace.num_processors,
+        mean_interarrival=mean_gap,
+        mean_requested_time=float(requested_time.mean()),
+        mean_requested_processors=float(processors.mean()),
+        mean_runtime=float(runtimes.mean()),
+        median_runtime=float(np.median(runtimes)),
+        p95_runtime=float(np.percentile(runtimes, 95)),
+        mean_overestimation=float((requested_time / runtimes).mean()),
+        has_user_estimates=trace.has_user_estimates,
+        offered_load=offered_load,
+    )

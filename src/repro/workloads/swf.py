@@ -1,0 +1,193 @@
+"""Reader/writer for the Standard Workload Format (SWF).
+
+The Parallel Workloads Archive distributes job traces as SWF text files: one
+job per line, 18 whitespace-separated fields, ``;`` comment lines carrying
+header metadata such as ``MaxProcs``.  The paper's real traces (SDSC-SP2,
+HPC2N) come from this archive; this module lets users drop in the original
+files, while :mod:`repro.workloads.synthetic` provides offline substitutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Sequence
+
+from repro.workloads.job import Job, Trace
+
+__all__ = ["read_swf", "write_swf", "parse_swf_lines", "SWF_FIELD_COUNT"]
+
+#: Number of whitespace-separated fields in a standard SWF record.
+SWF_FIELD_COUNT = 18
+
+# SWF field indices (0-based) used by the simulator.
+_F_JOB_ID = 0
+_F_SUBMIT = 1
+_F_WAIT = 2
+_F_RUNTIME = 3
+_F_ALLOC_PROCS = 4
+_F_REQ_PROCS = 7
+_F_REQ_TIME = 8
+_F_STATUS = 10
+_F_USER = 11
+_F_GROUP = 12
+_F_EXE = 13
+_F_QUEUE = 14
+_F_PARTITION = 15
+
+
+def _parse_header_max_procs(line: str) -> int | None:
+    """Extract ``MaxProcs`` (or ``MaxNodes``) from an SWF comment line."""
+    stripped = line.lstrip(";").strip()
+    for key in ("MaxProcs:", "MaxNodes:"):
+        if stripped.startswith(key):
+            value = stripped[len(key) :].strip().split()[0]
+            try:
+                return int(value)
+            except ValueError:
+                return None
+    return None
+
+
+def parse_swf_lines(
+    lines: Iterable[str],
+    name: str = "swf",
+    num_processors: int | None = None,
+    skip_invalid: bool = True,
+) -> Trace:
+    """Parse SWF text ``lines`` into a :class:`Trace`.
+
+    Jobs with non-positive runtime or processor counts (cancelled jobs, jobs
+    killed at submission) are skipped when ``skip_invalid`` is true, matching
+    the preprocessing used by RLScheduler and the paper.  Missing request
+    times (``-1``) fall back to the actual runtime.
+    """
+    jobs: list[Job] = []
+    header_procs: int | None = None
+    max_seen_procs = 0
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            parsed = _parse_header_max_procs(line)
+            if parsed is not None:
+                header_procs = parsed
+            continue
+        fields = line.split()
+        if len(fields) < SWF_FIELD_COUNT:
+            if skip_invalid:
+                continue
+            raise ValueError(f"line {lineno}: expected {SWF_FIELD_COUNT} fields, got {len(fields)}")
+        try:
+            job_id = int(fields[_F_JOB_ID])
+            submit = float(fields[_F_SUBMIT])
+            runtime = float(fields[_F_RUNTIME])
+            alloc = int(float(fields[_F_ALLOC_PROCS]))
+            req_procs = int(float(fields[_F_REQ_PROCS]))
+            req_time = float(fields[_F_REQ_TIME])
+        except ValueError as exc:
+            if skip_invalid:
+                continue
+            raise ValueError(f"line {lineno}: malformed SWF record") from exc
+        processors = req_procs if req_procs > 0 else alloc
+        if req_time <= 0:
+            req_time = runtime
+        if runtime <= 0 or processors <= 0 or submit < 0:
+            if skip_invalid:
+                continue
+            raise ValueError(f"line {lineno}: job {job_id} has non-positive runtime/processors")
+        max_seen_procs = max(max_seen_procs, processors)
+        jobs.append(
+            Job(
+                job_id=job_id,
+                submit_time=submit,
+                runtime=runtime,
+                requested_processors=processors,
+                requested_time=max(req_time, runtime) if req_time < runtime else req_time,
+                user_id=int(float(fields[_F_USER])),
+                group_id=int(float(fields[_F_GROUP])),
+                executable=int(float(fields[_F_EXE])),
+                queue=int(float(fields[_F_QUEUE])),
+                partition=int(float(fields[_F_PARTITION])),
+                status=int(float(fields[_F_STATUS])),
+            )
+        )
+    procs = num_processors or header_procs or max_seen_procs
+    if procs <= 0:
+        raise ValueError("could not determine cluster size: no MaxProcs header and no jobs parsed")
+    return Trace.from_jobs(name=name, num_processors=procs, jobs=jobs)
+
+
+def read_swf(path: str | os.PathLike, name: str | None = None, num_processors: int | None = None) -> Trace:
+    """Read an SWF file from ``path`` into a :class:`Trace`."""
+    trace_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        return parse_swf_lines(handle, name=trace_name, num_processors=num_processors)
+
+
+def _format_job(job: Job, wait_time: float = -1.0) -> str:
+    fields: list[float | int] = [0] * SWF_FIELD_COUNT
+    fields[_F_JOB_ID] = job.job_id
+    fields[_F_SUBMIT] = int(job.submit_time)
+    fields[_F_WAIT] = int(wait_time)
+    fields[_F_RUNTIME] = int(round(job.runtime))
+    fields[_F_ALLOC_PROCS] = job.requested_processors
+    fields[5] = -1  # average CPU time
+    fields[6] = -1  # used memory
+    fields[_F_REQ_PROCS] = job.requested_processors
+    fields[_F_REQ_TIME] = int(round(job.requested_time))
+    fields[9] = -1  # requested memory
+    fields[_F_STATUS] = job.status
+    fields[_F_USER] = job.user_id
+    fields[_F_GROUP] = job.group_id
+    fields[_F_EXE] = job.executable
+    fields[_F_QUEUE] = job.queue
+    fields[_F_PARTITION] = job.partition
+    fields[16] = -1  # preceding job
+    fields[17] = -1  # think time
+    return " ".join(str(v) for v in fields)
+
+
+def write_swf(trace: Trace, path: str | os.PathLike) -> None:
+    """Write ``trace`` to ``path`` in SWF format (round-trips with :func:`read_swf`)."""
+    lines: list[str] = [
+        f"; Generated by repro.workloads.swf",
+        f"; MaxProcs: {trace.num_processors}",
+        f"; MaxJobs: {len(trace)}",
+    ]
+    lines.extend(_format_job(job) for job in trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def iter_swf_records(trace: Trace) -> Iterator[str]:
+    """Yield SWF-formatted records for ``trace`` without touching disk."""
+    for job in trace:
+        yield _format_job(job)
+
+
+def merge_traces(name: str, traces: Sequence[Trace]) -> Trace:
+    """Concatenate traces in time: each trace starts after the previous ends."""
+    if not traces:
+        raise ValueError("merge_traces requires at least one trace")
+    jobs: list[Job] = []
+    offset = 0.0
+    next_id = 1
+    for trace in traces:
+        for job in trace:
+            jobs.append(
+                Job(
+                    job_id=next_id,
+                    submit_time=job.submit_time + offset,
+                    runtime=job.runtime,
+                    requested_processors=job.requested_processors,
+                    requested_time=job.requested_time,
+                    user_id=job.user_id,
+                    group_id=job.group_id,
+                )
+            )
+            next_id += 1
+        offset += trace.duration + 1.0
+    return Trace.from_jobs(
+        name=name, num_processors=max(t.num_processors for t in traces), jobs=jobs
+    )

@@ -1,0 +1,69 @@
+"""Shared fixtures: small deterministic traces and job factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.job import Job, Trace
+from repro.workloads.synthetic import SyntheticTraceSpec, synthetic_trace
+
+
+def make_job(
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    runtime: float = 100.0,
+    processors: int = 4,
+    requested_time: float | None = None,
+) -> Job:
+    """Concise job constructor used across the test suite."""
+    return Job(
+        job_id=job_id,
+        submit_time=submit_time,
+        runtime=runtime,
+        requested_processors=processors,
+        requested_time=requested_time if requested_time is not None else runtime * 2.0,
+    )
+
+
+@pytest.fixture
+def job_factory():
+    return make_job
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A hand-built 8-job trace on a 16-processor machine with known contention."""
+    jobs = [
+        make_job(1, submit_time=0, runtime=1000, processors=8, requested_time=2000),
+        make_job(2, submit_time=10, runtime=500, processors=8, requested_time=1000),
+        make_job(3, submit_time=20, runtime=100, processors=12, requested_time=300),
+        make_job(4, submit_time=30, runtime=50, processors=2, requested_time=100),
+        make_job(5, submit_time=40, runtime=200, processors=4, requested_time=600),
+        make_job(6, submit_time=50, runtime=800, processors=6, requested_time=1600),
+        make_job(7, submit_time=60, runtime=30, processors=1, requested_time=60),
+        make_job(8, submit_time=70, runtime=400, processors=10, requested_time=900),
+    ]
+    return Trace.from_jobs("tiny", num_processors=16, jobs=jobs)
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> SyntheticTraceSpec:
+    return SyntheticTraceSpec(
+        name="small",
+        num_processors=64,
+        mean_interarrival=300.0,
+        mean_runtime=3000.0,
+        mean_processors=8.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_spec) -> Trace:
+    """A 600-job synthetic trace small enough for fast scheduling tests."""
+    return synthetic_trace(small_spec, num_jobs=600, seed=123)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,154 @@
+"""Tests for the experiment drivers (smoke scale) and the integration path."""
+
+import pytest
+
+from repro.experiments import (
+    QUICK_SCALE,
+    SMOKE_SCALE,
+    evaluate_configurations,
+    get_scale,
+    run_ablations,
+    run_figure1,
+    run_figure4,
+    run_table2,
+    run_table4,
+    run_table5,
+    train_rlbackfilling,
+)
+from repro.experiments.ablations import run_heuristic_comparison
+from repro.experiments.config import ExperimentScale, PAPER_SCALE
+from repro.experiments.runner import SchedulingConfiguration, standard_columns, resolve_trace
+from repro.experiments.table2 import PAPER_TABLE2
+
+
+class TestScales:
+    def test_get_scale_by_name(self):
+        assert get_scale("paper") is PAPER_SCALE
+        assert get_scale("quick") is QUICK_SCALE
+
+    def test_get_scale_passthrough(self):
+        assert get_scale(SMOKE_SCALE) is SMOKE_SCALE
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_paper_scale_matches_paper(self):
+        assert PAPER_SCALE.eval_sequence_length == 1024
+        assert PAPER_SCALE.eval_samples == 10
+        assert PAPER_SCALE.train_sequence_length == 256
+        assert PAPER_SCALE.max_queue_size == 128
+        assert PAPER_SCALE.trainer.trajectories_per_epoch == 100
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentScale("bad", 0, 1, 1, 1, 1)
+
+    def test_with_epochs(self):
+        assert SMOKE_SCALE.with_epochs(7).trainer.epochs == 7
+
+
+class TestRunnerHelpers:
+    def test_evaluate_configurations_same_sequences(self, small_trace):
+        configs = [
+            SchedulingConfiguration.easy("FCFS"),
+            SchedulingConfiguration.easy_ar("FCFS"),
+        ]
+        values = evaluate_configurations(small_trace, configs, scale=SMOKE_SCALE, seed=0)
+        assert set(values) == {"FCFS+EASY", "FCFS+EASY-AR"}
+        assert all(v >= 1.0 for v in values.values())
+
+    def test_standard_columns_with_and_without_estimates(self, small_trace):
+        with_estimates = standard_columns(small_trace)
+        labels = [c.label for c in with_estimates]
+        assert "FCFS+EASY" in labels and "WFP3+EASY" in labels
+
+    def test_resolve_trace_by_name(self):
+        trace = resolve_trace("SDSC-SP2", SMOKE_SCALE)
+        assert trace.num_processors == 128
+        assert len(trace) == SMOKE_SCALE.trace_jobs
+
+    def test_train_rlbackfilling_smoke(self, small_trace):
+        model = train_rlbackfilling(small_trace, policy="FCFS", scale=SMOKE_SCALE, seed=0)
+        assert model.policy_name == "FCFS"
+        assert len(model.history) == SMOKE_SCALE.trainer.epochs
+        assert model.strategy().name == "RLBF"
+
+
+class TestFigure1:
+    def test_structure(self):
+        result = run_figure1(SMOKE_SCALE, policies=("FCFS", "SJF"), noise_levels=(0.0, 0.2), seed=0)
+        assert set(result.values) == {"FCFS", "SJF"}
+        assert set(result.values["FCFS"]) == {"AR", "+20%"}
+        assert len(result.series("FCFS")) == 2
+        assert result.best_noise("FCFS") in {"AR", "+20%"}
+        assert "Figure 1" in result.to_text()
+
+
+class TestTable2:
+    def test_rows_and_paper_reference(self):
+        result = run_table2(SMOKE_SCALE)
+        assert set(result.statistics) == set(PAPER_TABLE2)
+        # The synthetic substitutes should land near the published means.
+        for trace in ("SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2"):
+            assert result.relative_error(trace, "size") == 0.0
+            assert result.relative_error(trace, "it") < 0.10
+            assert result.relative_error(trace, "nt") < 0.40
+        assert "Table 2" in result.to_text()
+
+
+class TestFigure4:
+    def test_training_curves(self):
+        result = run_figure4(SMOKE_SCALE, traces=("SDSC-SP2",), seed=0)
+        assert "SDSC-SP2" in result.histories
+        assert len(result.curve("SDSC-SP2")) == SMOKE_SCALE.trainer.epochs
+        assert isinstance(result.converged("SDSC-SP2"), bool)
+        assert "Figure 4" in result.to_text()
+
+
+class TestTable4:
+    def test_columns_present(self):
+        result = run_table4(SMOKE_SCALE, traces=("SDSC-SP2", "Lublin-1"), seed=0)
+        sdsc = result.values["SDSC-SP2"]
+        for label in ("FCFS+EASY", "FCFS+EASY-AR", "FCFS+RLBF", "SJF+EASY", "SJF+RLBF", "WFP3+EASY", "F1+EASY"):
+            assert label in sdsc
+        # Lublin traces carry no user estimates: EASY-AR column is blank.
+        assert result.values["Lublin-1"]["FCFS+EASY-AR"] is None
+        assert "Table 4" in result.to_text()
+
+    def test_models_reusable_by_table5(self):
+        t4 = run_table4(SMOKE_SCALE, traces=("SDSC-SP2",), seed=0)
+        t5 = run_table5(SMOKE_SCALE, traces=("SDSC-SP2",), seed=0, trained_models=t4.models)
+        assert ("SDSC-SP2", "FCFS") in t5.models
+        assert t5.models[("SDSC-SP2", "FCFS")] is t4.models[("SDSC-SP2", "FCFS")]
+
+
+class TestTable5:
+    def test_structure(self):
+        result = run_table5(SMOKE_SCALE, traces=("SDSC-SP2", "Lublin-1"), policies=("FCFS",), seed=0)
+        assert set(result.values) == {"FCFS"}
+        rows = result.values["FCFS"]
+        assert set(rows) == {"SDSC-SP2", "Lublin-1"}
+        assert "RL-SDSC-SP2" in rows["Lublin-1"]
+        assert isinstance(result.transfer_beats_easy("FCFS", "SDSC-SP2", "Lublin-1"), bool)
+        assert "Table 5" in result.to_text()
+
+
+class TestAblations:
+    def test_heuristic_comparison(self):
+        values = run_heuristic_comparison(SMOKE_SCALE, seed=0)
+        assert {"no-backfill", "EASY", "EASY-AR", "conservative", "greedy"} <= set(values)
+        # Backfilling should never be (meaningfully) worse than no backfilling.
+        assert values["EASY"] <= values["no-backfill"] * 1.05
+
+    def test_ablation_result(self):
+        result = run_ablations(
+            SMOKE_SCALE,
+            delay_penalties=(-2.0,),
+            queue_sizes=(8,),
+            include_heuristics=False,
+            seed=0,
+        )
+        assert -2.0 in result.delay_penalty
+        assert 8 in result.queue_size
+        assert "Ablation" in result.to_text()

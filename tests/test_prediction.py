@@ -1,0 +1,101 @@
+"""Tests for runtime estimators."""
+
+import pytest
+
+from repro.prediction.predictors import (
+    ActualRuntime,
+    ClampedPrediction,
+    NoisyPrediction,
+    UserEstimate,
+    get_estimator,
+)
+from tests.conftest import make_job
+
+
+class TestBasicEstimators:
+    def test_user_estimate(self):
+        job = make_job(runtime=100, requested_time=400)
+        assert UserEstimate()(job) == 400
+
+    def test_actual_runtime(self):
+        job = make_job(runtime=100, requested_time=400)
+        assert ActualRuntime()(job) == 100
+
+    def test_names(self):
+        assert UserEstimate().name == "request-time"
+        assert ActualRuntime().name == "actual-runtime"
+
+
+class TestNoisyPrediction:
+    def test_within_bounds(self):
+        estimator = NoisyPrediction(0.2, seed=0)
+        job = make_job(runtime=100)
+        estimate = estimator(job)
+        assert 100.0 <= estimate <= 120.0
+
+    def test_cached_per_job(self):
+        estimator = NoisyPrediction(0.5, seed=0)
+        job = make_job(1, runtime=100)
+        assert estimator(job) == estimator(job)
+
+    def test_different_jobs_different_noise(self):
+        estimator = NoisyPrediction(1.0, seed=0)
+        estimates = {estimator(make_job(i, runtime=100)) for i in range(1, 30)}
+        assert len(estimates) > 1
+
+    def test_zero_level_equals_actual(self):
+        estimator = NoisyPrediction(0.0, seed=0)
+        job = make_job(runtime=123)
+        assert estimator(job) == pytest.approx(123)
+
+    def test_reset_clears_cache_and_restores_stream(self):
+        estimator = NoisyPrediction(0.5, seed=7)
+        job = make_job(1, runtime=100)
+        first = estimator(job)
+        estimator.reset()
+        assert estimator(job) == pytest.approx(first)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyPrediction(-0.1)
+
+    def test_cap_at_request(self):
+        estimator = NoisyPrediction(5.0, seed=0, cap_at_request=True)
+        job = make_job(runtime=100, requested_time=150)
+        assert estimator(job) <= 150
+
+    def test_name_encodes_level(self):
+        assert NoisyPrediction(0.2).name == "noisy+20%"
+
+
+class TestClampedPrediction:
+    def test_clamps_above_request(self):
+        clamped = ClampedPrediction(NoisyPrediction(10.0, seed=0))
+        job = make_job(runtime=100, requested_time=120)
+        assert clamped(job) <= 120
+
+    def test_minimum(self):
+        class Tiny(ActualRuntime):
+            def estimate(self, job):
+                return 0.001
+
+        clamped = ClampedPrediction(Tiny(), minimum=5.0)
+        assert clamped(make_job(runtime=100)) == 5.0
+
+
+class TestGetEstimator:
+    def test_by_name(self):
+        assert isinstance(get_estimator("request"), UserEstimate)
+        assert isinstance(get_estimator("EASY-AR"), ActualRuntime)
+
+    def test_by_level(self):
+        assert isinstance(get_estimator(0.2), NoisyPrediction)
+        assert isinstance(get_estimator(0.0), ActualRuntime)
+
+    def test_passthrough(self):
+        inst = UserEstimate()
+        assert get_estimator(inst) is inst
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_estimator("bogus")

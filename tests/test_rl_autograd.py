@@ -1,0 +1,211 @@
+"""Tests for the reverse-mode autograd engine, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.rl.autograd import Tensor, is_grad_enabled, no_grad
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(x.copy())
+        flat[i] = original - eps
+        down = fn(x.copy())
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, shape, seed=0, atol=1e-5):
+    """Compare autograd gradient of build(Tensor) against numerical gradient."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+
+    def scalar_fn(values):
+        return float(build(Tensor(values)).numpy())
+
+    expected = numerical_grad(scalar_fn, x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestGradientChecks:
+    def test_sum(self):
+        check_gradient(lambda t: t.sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda t: t.mean(), (5,))
+
+    def test_add_mul(self):
+        check_gradient(lambda t: ((t + 2.0) * 3.0).sum(), (4,))
+
+    def test_mul_elementwise(self):
+        check_gradient(lambda t: (t * t).sum(), (3, 3))
+
+    def test_sub_div(self):
+        check_gradient(lambda t: ((t - 0.5) / 2.0).sum(), (6,))
+
+    def test_pow(self):
+        check_gradient(lambda t: (t**3).sum(), (4,))
+
+    def test_exp(self):
+        check_gradient(lambda t: t.exp().sum(), (4,))
+
+    def test_log(self):
+        check_gradient(lambda t: (t.exp() + 1.0).log().sum(), (4,))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), (5,))
+
+    def test_relu(self):
+        check_gradient(lambda t: (t.relu() * 2.0).sum(), (10,), seed=3)
+
+    def test_matmul(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t @ Tensor(w)).sum(), (3, 4))
+
+    def test_matmul_second_arg(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (Tensor(x) @ t).sum(), (4, 2))
+
+    def test_reshape(self):
+        check_gradient(lambda t: (t.reshape(6) * 2.0).sum(), (2, 3))
+
+    def test_log_softmax(self):
+        check_gradient(lambda t: (t.log_softmax(axis=-1) * 0.3).sum(), (2, 5))
+
+    def test_softmax(self):
+        check_gradient(lambda t: (t.softmax(axis=-1) ** 2).sum(), (2, 4))
+
+    def test_minimum(self):
+        rng = np.random.default_rng(2)
+        other = rng.normal(size=(6,))
+        check_gradient(lambda t: t.minimum(Tensor(other)).sum(), (6,))
+
+    def test_maximum(self):
+        rng = np.random.default_rng(2)
+        other = rng.normal(size=(6,))
+        check_gradient(lambda t: t.maximum(Tensor(other)).sum(), (6,))
+
+    def test_clip(self):
+        check_gradient(lambda t: t.clip(-0.5, 0.5).sum(), (8,), seed=4)
+
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), (3, 4))
+
+    def test_mean_axis(self):
+        check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(), (3, 4))
+
+    def test_broadcast_add(self):
+        rng = np.random.default_rng(5)
+        big = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (Tensor(big) + t).sum(), (3,))
+
+    def test_broadcast_mul(self):
+        rng = np.random.default_rng(6)
+        big = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (Tensor(big) * t).sum(), (3,))
+
+    def test_composite_mlp_like(self):
+        rng = np.random.default_rng(7)
+        w1 = rng.normal(size=(5, 8))
+        w2 = rng.normal(size=(8, 1))
+
+        def net(t):
+            hidden = (t @ Tensor(w1)).tanh()
+            return (hidden @ Tensor(w2)).sum()
+
+        check_gradient(net, (3, 5))
+
+    def test_ppo_style_objective(self):
+        rng = np.random.default_rng(8)
+        adv = rng.normal(size=(6,))
+        logp_old = rng.normal(size=(6,)) * 0.1
+
+        def objective(t):
+            ratio = (t - Tensor(logp_old)).exp()
+            clipped = ratio.clip(0.8, 1.2)
+            return -(ratio * Tensor(adv)).minimum(clipped * Tensor(adv)).mean()
+
+        check_gradient(objective, (6,))
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_without_grad_flag(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t.sum()).backward()
+        (t.sum()).backward()
+        np.testing.assert_allclose(t.grad, 2 * np.ones(3))
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        t.sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_no_grad_context(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (t * 2).sum()
+        assert is_grad_enabled()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 99
+        assert t.data[0] == 1.0
+
+    def test_reused_node_gradients_sum(self):
+        # y = x*x uses x twice through separate ops; gradient must be 2x.
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = (x * 2.0 + x * 1.0).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [3.0])
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)) @ Tensor(np.ones(3))
+
+    def test_item_and_shape(self):
+        t = Tensor(np.array([[2.5]]))
+        assert t.item() == 2.5
+        assert t.shape == (1, 1)
+        assert t.ndim == 2
+        assert t.size == 1
+
+    def test_radd_rsub_rmul_rdiv(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = ((1.0 + t) * 2.0 - 1.0) / 1.0
+        assert out.numpy()[0] == pytest.approx(5.0)
+        out2 = 1.0 - t
+        assert out2.numpy()[0] == pytest.approx(-1.0)
+        out3 = 6.0 / t
+        assert out3.numpy()[0] == pytest.approx(3.0)
+
+    def test_zeros_constructor(self):
+        t = Tensor.zeros(2, 3, requires_grad=True)
+        assert t.shape == (2, 3)
+        assert t.requires_grad

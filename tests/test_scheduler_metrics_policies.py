@@ -1,0 +1,172 @@
+"""Tests for scheduling metrics and the base priority policies."""
+
+import math
+
+import pytest
+
+from repro.scheduler.metrics import JobRecord, bounded_slowdown, compute_metrics
+from repro.scheduler.policies import (
+    FCFS,
+    SJF,
+    WFP3,
+    F1,
+    CustomPolicy,
+    available_policies,
+    get_policy,
+)
+from tests.conftest import make_job
+
+
+class TestBoundedSlowdown:
+    def test_no_wait_is_one(self):
+        assert bounded_slowdown(0.0, 100.0) == 1.0
+
+    def test_simple_value(self):
+        # (wait + runtime) / runtime when runtime above the threshold.
+        assert bounded_slowdown(100.0, 100.0) == pytest.approx(2.0)
+
+    def test_threshold_bounds_short_jobs(self):
+        # A 1-second job waiting 10 seconds: slowdown uses the 10s threshold.
+        assert bounded_slowdown(10.0, 1.0) == pytest.approx(11.0 / 10.0)
+
+    def test_lower_bound_one(self):
+        assert bounded_slowdown(0.0, 5.0) == 1.0
+
+    def test_negative_wait_raises(self):
+        with pytest.raises(ValueError):
+            bounded_slowdown(-1.0, 10.0)
+
+    def test_invalid_runtime_raises(self):
+        with pytest.raises(ValueError):
+            bounded_slowdown(1.0, 0.0)
+
+
+class TestJobRecord:
+    def test_derived_quantities(self):
+        job = make_job(1, submit_time=10, runtime=100, processors=2)
+        record = JobRecord(job=job, start_time=60, end_time=160)
+        assert record.wait_time == 50
+        assert record.turnaround == 150
+        assert record.slowdown == pytest.approx(1.5)
+        assert record.bounded_slowdown() == pytest.approx(1.5)
+
+    def test_validate_ok(self):
+        job = make_job(1, submit_time=0, runtime=100)
+        JobRecord(job=job, start_time=5, end_time=105).validate()
+
+    def test_validate_start_before_submit(self):
+        job = make_job(1, submit_time=50, runtime=100)
+        with pytest.raises(ValueError):
+            JobRecord(job=job, start_time=0, end_time=100).validate()
+
+    def test_validate_end_mismatch(self):
+        job = make_job(1, submit_time=0, runtime=100)
+        with pytest.raises(ValueError):
+            JobRecord(job=job, start_time=0, end_time=250).validate()
+
+
+class TestComputeMetrics:
+    def _records(self):
+        jobs = [
+            make_job(1, submit_time=0, runtime=100),
+            make_job(2, submit_time=0, runtime=50),
+        ]
+        return [
+            JobRecord(job=jobs[0], start_time=0, end_time=100),
+            JobRecord(job=jobs[1], start_time=100, end_time=150, backfilled=True),
+        ]
+
+    def test_average_bsld(self):
+        metrics = compute_metrics(self._records())
+        expected = (1.0 + (100 + 50) / 50) / 2
+        assert metrics.average_bounded_slowdown == pytest.approx(expected)
+
+    def test_wait_and_turnaround(self):
+        metrics = compute_metrics(self._records())
+        assert metrics.average_wait_time == pytest.approx(50.0)
+        assert metrics.average_turnaround == pytest.approx(125.0)
+        assert metrics.max_wait_time == pytest.approx(100.0)
+
+    def test_makespan(self):
+        assert compute_metrics(self._records()).makespan == pytest.approx(150.0)
+
+    def test_backfilled_count(self):
+        assert compute_metrics(self._records()).backfilled_jobs == 1
+
+    def test_bsld_alias(self):
+        metrics = compute_metrics(self._records())
+        assert metrics.bsld == metrics.average_bounded_slowdown
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compute_metrics([])
+
+    def test_as_dict(self):
+        assert "average_bounded_slowdown" in compute_metrics(self._records()).as_dict()
+
+
+class TestPolicies:
+    def test_fcfs_orders_by_submit(self):
+        queue = [make_job(1, submit_time=100), make_job(2, submit_time=10)]
+        assert FCFS().select(queue, now=200).job_id == 2
+
+    def test_sjf_orders_by_requested_time(self):
+        queue = [
+            make_job(1, requested_time=1000),
+            make_job(2, requested_time=10),
+        ]
+        assert SJF().select(queue, now=0).job_id == 2
+
+    def test_wfp3_favours_long_waiting_short_jobs(self):
+        long_waiting_short = make_job(1, submit_time=0, runtime=10, requested_time=100, processors=2)
+        fresh_long = make_job(2, submit_time=990, runtime=5000, requested_time=10000, processors=2)
+        assert WFP3().select([fresh_long, long_waiting_short], now=1000).job_id == 1
+
+    def test_wfp3_zero_wait_score_is_zero(self):
+        job = make_job(1, submit_time=100, requested_time=50)
+        assert WFP3().score(job, now=100) == 0.0
+
+    def test_f1_prefers_narrow_short_jobs(self):
+        small = make_job(1, submit_time=100, requested_time=100, processors=1)
+        big = make_job(2, submit_time=100, requested_time=10000, processors=64)
+        assert F1().select([big, small], now=200).job_id == 1
+
+    def test_f1_handles_zero_submit_time(self):
+        job = make_job(1, submit_time=0, requested_time=100)
+        assert math.isfinite(F1().score(job, now=0))
+
+    def test_select_empty_queue_raises(self):
+        with pytest.raises(ValueError):
+            FCFS().select([], now=0)
+
+    def test_sort_is_full_ordering(self):
+        queue = [make_job(i, submit_time=100 - i) for i in range(1, 6)]
+        ordered = FCFS().sort(queue, now=200)
+        submits = [j.submit_time for j in ordered]
+        assert submits == sorted(submits)
+
+    def test_tie_break_deterministic(self):
+        a = make_job(1, submit_time=10)
+        b = make_job(2, submit_time=10)
+        assert FCFS().select([b, a], now=20).job_id == 1
+
+    def test_custom_policy(self):
+        policy = CustomPolicy(lambda job, now: -job.requested_processors, name="widest")
+        queue = [make_job(1, processors=2), make_job(2, processors=10)]
+        assert policy.select(queue, now=0).job_id == 2
+        assert policy.name == "widest"
+
+    def test_get_policy_by_name(self):
+        assert isinstance(get_policy("fcfs"), FCFS)
+        assert isinstance(get_policy("SJF"), SJF)
+
+    def test_get_policy_passthrough(self):
+        policy = WFP3()
+        assert get_policy(policy) is policy
+
+    def test_get_policy_unknown(self):
+        with pytest.raises(KeyError):
+            get_policy("nope")
+
+    def test_available_policies(self):
+        assert set(available_policies()) == {"FCFS", "SJF", "WFP3", "F1"}

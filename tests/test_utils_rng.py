@@ -1,0 +1,81 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, check_probability, derive_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).integers(0, 1000) == as_rng(42).integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).random(8)
+        b = as_rng(2).random(8)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert not np.allclose(a.random(16), b.random(16))
+
+    def test_spawn_reproducible_from_same_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(11, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(11, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 4)
+        assert len(children) == 4
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+
+    def test_index_changes_seed(self):
+        assert derive_seed(10, 0) != derive_seed(10, 1)
+
+    def test_base_changes_seed(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_rejects_generator(self):
+        with pytest.raises(TypeError):
+            derive_seed(np.random.default_rng(0), 1)
+
+    def test_none_base_allowed(self):
+        assert isinstance(derive_seed(None, 2), int)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_valid(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, 5.0])
+    def test_invalid(self, p):
+        with pytest.raises(ValueError):
+            check_probability(p)

@@ -1,0 +1,52 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_mapping_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bbbb" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_precision(self):
+        text = format_table(["v"], [[3.14159]], precision=3)
+        assert "3.142" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["v"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_string_cells(self):
+        text = format_table(["name"], [["hello"]])
+        assert "hello" in text
+
+
+class TestFormatMappingTable:
+    def test_columns_from_union_of_rows(self):
+        data = {"r1": {"a": 1.0}, "r2": {"a": 2.0, "b": 3.0}}
+        text = format_mapping_table(data)
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_missing_cells_dash(self):
+        data = {"r1": {"a": 1.0}, "r2": {"b": 2.0}}
+        text = format_mapping_table(data)
+        assert "-" in text
+
+    def test_row_label(self):
+        data = {"r1": {"a": 1.0}}
+        text = format_mapping_table(data, row_label="trace")
+        assert text.splitlines()[0].startswith("trace")

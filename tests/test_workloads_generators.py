@@ -1,0 +1,144 @@
+"""Tests for the Lublin model and the calibrated synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lublin import LUBLIN_1, LUBLIN_2, LublinParams, lublin_trace
+from repro.workloads.stats import trace_statistics
+from repro.workloads.synthetic import HPC2N_SPEC, SDSC_SP2_SPEC, SyntheticTraceSpec, synthetic_trace
+
+
+class TestLublinParams:
+    def test_defaults_valid(self):
+        params = LublinParams()
+        assert params.uhi > params.umed
+
+    def test_invalid_serial_prob(self):
+        with pytest.raises(ValueError):
+            LublinParams(serial_prob=1.5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LublinParams(ulow=5.0, umed=4.0)
+
+    def test_with_targets(self):
+        params = LublinParams().with_targets(mean_runtime=1000.0)
+        assert params.target_mean_runtime == 1000.0
+
+
+class TestLublinTrace:
+    def test_job_count_and_machine(self):
+        trace = lublin_trace(200, seed=0)
+        assert len(trace) == 200
+        assert trace.num_processors == 256
+
+    def test_deterministic_for_seed(self):
+        a = lublin_trace(100, seed=5)
+        b = lublin_trace(100, seed=5)
+        assert [j.runtime for j in a] == [j.runtime for j in b]
+
+    def test_different_seeds_differ(self):
+        a = lublin_trace(100, seed=1)
+        b = lublin_trace(100, seed=2)
+        assert [j.runtime for j in a] != [j.runtime for j in b]
+
+    def test_no_user_estimates(self):
+        trace = lublin_trace(50, seed=0)
+        assert not trace.has_user_estimates
+
+    def test_sizes_within_machine(self):
+        trace = lublin_trace(500, seed=3)
+        assert all(1 <= j.requested_processors <= 256 for j in trace)
+
+    def test_submit_times_monotone_from_zero(self):
+        trace = lublin_trace(100, seed=4)
+        submits = [j.submit_time for j in trace]
+        assert submits[0] == 0.0
+        assert all(b >= a for a, b in zip(submits, submits[1:]))
+
+    def test_calibration_to_table2_lublin1(self):
+        stats = trace_statistics(lublin_trace(3000, params=LUBLIN_1, seed=0))
+        assert stats.mean_interarrival == pytest.approx(771, rel=0.10)
+        assert stats.mean_requested_time == pytest.approx(4862, rel=0.10)
+        assert stats.mean_requested_processors == pytest.approx(22, rel=0.25)
+
+    def test_calibration_to_table2_lublin2(self):
+        stats = trace_statistics(lublin_trace(3000, params=LUBLIN_2, seed=0))
+        assert stats.mean_interarrival == pytest.approx(460, rel=0.10)
+        assert stats.mean_requested_time == pytest.approx(1695, rel=0.10)
+        assert stats.mean_requested_processors == pytest.approx(39, rel=0.25)
+
+    def test_invalid_num_jobs(self):
+        with pytest.raises(ValueError):
+            lublin_trace(0)
+
+    def test_lublin2_wider_than_lublin1(self):
+        s1 = trace_statistics(lublin_trace(2000, params=LUBLIN_1, seed=0))
+        s2 = trace_statistics(lublin_trace(2000, params=LUBLIN_2, seed=0))
+        assert s2.mean_requested_processors > s1.mean_requested_processors
+
+
+class TestSyntheticSpec:
+    def test_invalid_means(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceSpec("x", 10, -1.0, 100.0, 2.0)
+
+    def test_invalid_burstiness(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceSpec("x", 10, 1.0, 100.0, 2.0, burstiness=1.0)
+
+    def test_invalid_overestimate(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceSpec("x", 10, 1.0, 100.0, 2.0, overestimate_low=0.5)
+
+
+class TestSyntheticTrace:
+    def test_job_count(self, small_spec):
+        assert len(synthetic_trace(small_spec, 100, seed=0)) == 100
+
+    def test_deterministic(self, small_spec):
+        a = synthetic_trace(small_spec, 100, seed=9)
+        b = synthetic_trace(small_spec, 100, seed=9)
+        assert [j.requested_time for j in a] == [j.requested_time for j in b]
+
+    def test_request_time_never_below_runtime(self, small_spec):
+        trace = synthetic_trace(small_spec, 500, seed=1)
+        assert all(j.requested_time >= j.runtime - 1e-9 for j in trace)
+
+    def test_has_user_estimates(self, small_spec):
+        assert synthetic_trace(small_spec, 200, seed=2).has_user_estimates
+
+    def test_processors_within_machine(self, small_spec):
+        trace = synthetic_trace(small_spec, 500, seed=3)
+        assert all(1 <= j.requested_processors <= small_spec.num_processors for j in trace)
+
+    def test_interarrival_calibrated(self, small_spec):
+        stats = trace_statistics(synthetic_trace(small_spec, 2000, seed=4))
+        assert stats.mean_interarrival == pytest.approx(small_spec.mean_interarrival, rel=0.05)
+
+    def test_sdsc_spec_matches_table2(self):
+        stats = trace_statistics(synthetic_trace(SDSC_SP2_SPEC, 4000, seed=0))
+        assert stats.num_processors == 128
+        assert stats.mean_interarrival == pytest.approx(1055, rel=0.05)
+        assert stats.mean_requested_processors == pytest.approx(11, rel=0.3)
+
+    def test_hpc2n_spec_matches_table2(self):
+        stats = trace_statistics(synthetic_trace(HPC2N_SPEC, 4000, seed=0))
+        assert stats.num_processors == 240
+        assert stats.mean_interarrival == pytest.approx(538, rel=0.05)
+        assert stats.mean_requested_processors == pytest.approx(6, rel=0.35)
+
+    def test_offered_load_is_realistic(self):
+        stats = trace_statistics(synthetic_trace(SDSC_SP2_SPEC, 4000, seed=0))
+        assert 0.6 <= stats.offered_load <= 1.1
+
+    def test_overestimation_present(self):
+        stats = trace_statistics(synthetic_trace(SDSC_SP2_SPEC, 2000, seed=0))
+        assert stats.mean_overestimation > 1.2
+
+    def test_invalid_num_jobs(self, small_spec):
+        with pytest.raises(ValueError):
+            synthetic_trace(small_spec, 0)
+
+    def test_custom_name(self, small_spec):
+        assert synthetic_trace(small_spec, 10, seed=0, name="custom").name == "custom"

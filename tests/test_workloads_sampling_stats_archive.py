@@ -1,0 +1,164 @@
+"""Tests for sequence sampling, trace statistics, and the trace registry."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.archive import (
+    available_traces,
+    clear_trace_cache,
+    load_all,
+    load_trace,
+    register_trace,
+)
+from repro.workloads.job import Trace
+from repro.workloads.sampling import rebase_sequence, sample_sequence, sample_sequences
+from repro.workloads.stats import trace_statistics
+from tests.conftest import make_job
+
+
+class TestRebase:
+    def test_rebase_to_zero(self, tiny_trace):
+        jobs = rebase_sequence(list(tiny_trace)[2:5])
+        assert min(j.submit_time for j in jobs) == 0.0
+
+    def test_rebase_to_epoch(self, tiny_trace):
+        jobs = rebase_sequence(list(tiny_trace), epoch=100.0)
+        assert min(j.submit_time for j in jobs) == 100.0
+
+    def test_rebase_empty(self):
+        assert rebase_sequence([]) == []
+
+    def test_relative_spacing_preserved(self, tiny_trace):
+        original = list(tiny_trace)
+        rebased = rebase_sequence(original)
+        gaps_a = np.diff([j.submit_time for j in original])
+        gaps_b = np.diff([j.submit_time for j in rebased])
+        assert np.allclose(gaps_a, gaps_b)
+
+
+class TestSampleSequence:
+    def test_length(self, small_trace):
+        assert len(sample_sequence(small_trace, 50, seed=0)) == 50
+
+    def test_longer_than_trace_returns_whole(self, tiny_trace):
+        assert len(sample_sequence(tiny_trace, 100, seed=0)) == len(tiny_trace)
+
+    def test_deterministic_seed(self, small_trace):
+        a = sample_sequence(small_trace, 20, seed=3)
+        b = sample_sequence(small_trace, 20, seed=3)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+
+    def test_rebased_by_default(self, small_trace):
+        jobs = sample_sequence(small_trace, 20, seed=1)
+        assert min(j.submit_time for j in jobs) == 0.0
+
+    def test_no_rebase(self, small_trace):
+        jobs = sample_sequence(small_trace, 20, seed=1, rebase=False)
+        assert min(j.submit_time for j in jobs) > 0.0 or jobs[0].job_id == small_trace[0].job_id
+
+    def test_explicit_start(self, tiny_trace):
+        jobs = sample_sequence(tiny_trace, 3, start=2, rebase=False)
+        assert [j.job_id for j in jobs] == [3, 4, 5]
+
+    def test_start_out_of_range(self, tiny_trace):
+        with pytest.raises(IndexError):
+            sample_sequence(tiny_trace, 5, start=6)
+
+    def test_invalid_length(self, tiny_trace):
+        with pytest.raises(ValueError):
+            sample_sequence(tiny_trace, 0)
+
+    def test_consecutive_jobs(self, small_trace):
+        jobs = sample_sequence(small_trace, 10, seed=5, rebase=False)
+        ids = [j.job_id for j in jobs]
+        assert ids == sorted(ids)
+
+    def test_sample_sequences_count(self, small_trace):
+        seqs = sample_sequences(small_trace, 20, count=4, seed=0)
+        assert len(seqs) == 4
+        assert all(len(s) == 20 for s in seqs)
+
+    def test_sample_sequences_differ(self, small_trace):
+        seqs = sample_sequences(small_trace, 20, count=3, seed=0)
+        starts = {tuple(j.job_id for j in s) for s in seqs}
+        assert len(starts) > 1
+
+
+class TestStatistics:
+    def test_counts(self, tiny_trace):
+        stats = trace_statistics(tiny_trace)
+        assert stats.num_jobs == 8
+        assert stats.num_processors == 16
+
+    def test_mean_interarrival(self, tiny_trace):
+        stats = trace_statistics(tiny_trace)
+        assert stats.mean_interarrival == pytest.approx(10.0)
+
+    def test_mean_requested_processors(self, tiny_trace):
+        stats = trace_statistics(tiny_trace)
+        expected = np.mean([8, 8, 12, 2, 4, 6, 1, 10])
+        assert stats.mean_requested_processors == pytest.approx(expected)
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            trace_statistics(Trace("empty", 4))
+
+    def test_table2_row_shape(self, tiny_trace):
+        row = trace_statistics(tiny_trace).table2_row()
+        assert len(row) == 6
+        assert row[-1] == "both"
+
+    def test_overestimation(self, tiny_trace):
+        stats = trace_statistics(tiny_trace)
+        assert stats.mean_overestimation > 1.0
+
+    def test_as_dict(self, tiny_trace):
+        data = trace_statistics(tiny_trace).as_dict()
+        assert data["num_jobs"] == 8
+
+
+class TestArchive:
+    def test_available_traces_contains_paper_set(self):
+        names = available_traces()
+        for expected in ("SDSC-SP2", "HPC2N", "Lublin-1", "Lublin-2"):
+            assert expected in names
+
+    def test_load_trace_size(self):
+        trace = load_trace("SDSC-SP2", num_jobs=300)
+        assert len(trace) == 300
+        assert trace.num_processors == 128
+
+    def test_load_is_cached(self):
+        a = load_trace("HPC2N", num_jobs=200)
+        b = load_trace("HPC2N", num_jobs=200)
+        assert a is b
+
+    def test_load_is_deterministic_across_cache_clears(self):
+        a = load_trace("Lublin-1", num_jobs=200)
+        clear_trace_cache()
+        b = load_trace("Lublin-1", num_jobs=200)
+        assert [j.runtime for j in a] == [j.runtime for j in b]
+
+    def test_unknown_trace(self):
+        with pytest.raises(KeyError):
+            load_trace("does-not-exist")
+
+    def test_register_custom_trace(self):
+        def factory(num_jobs, seed):
+            jobs = [make_job(i, submit_time=float(i), processors=1) for i in range(1, num_jobs + 1)]
+            return Trace.from_jobs("custom-test", 8, jobs)
+
+        register_trace("custom-test", factory, overwrite=True)
+        try:
+            trace = load_trace("custom-test", num_jobs=5)
+            assert len(trace) == 5
+        finally:
+            clear_trace_cache()
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ValueError):
+            register_trace("SDSC-SP2", lambda n, s: None)  # type: ignore[arg-type]
+
+    def test_load_all(self):
+        traces = load_all(num_jobs=100, names=["SDSC-SP2", "HPC2N"])
+        assert set(traces) == {"SDSC-SP2", "HPC2N"}

@@ -1,0 +1,100 @@
+"""Tests for SWF parsing and writing."""
+
+import pytest
+
+from repro.workloads.job import Trace
+from repro.workloads.swf import merge_traces, parse_swf_lines, read_swf, write_swf
+from tests.conftest import make_job
+
+
+def _swf_line(job_id, submit, run, procs, req_time, wait=10):
+    fields = [job_id, submit, wait, run, procs, -1, -1, procs, req_time, -1, 1, 3, 2, 1, 1, 1, -1, -1]
+    return " ".join(str(f) for f in fields)
+
+
+class TestParse:
+    def test_basic_parse(self):
+        lines = ["; MaxProcs: 64", _swf_line(1, 0, 100, 4, 300), _swf_line(2, 50, 200, 8, 400)]
+        trace = parse_swf_lines(lines, name="test")
+        assert len(trace) == 2
+        assert trace.num_processors == 64
+        assert trace[0].runtime == 100
+        assert trace[1].requested_processors == 8
+
+    def test_header_max_nodes(self):
+        lines = ["; MaxNodes: 32", _swf_line(1, 0, 10, 2, 20)]
+        assert parse_swf_lines(lines).num_processors == 32
+
+    def test_no_header_uses_max_seen(self):
+        lines = [_swf_line(1, 0, 10, 6, 20)]
+        assert parse_swf_lines(lines).num_processors == 6
+
+    def test_missing_request_time_falls_back_to_runtime(self):
+        lines = [_swf_line(1, 0, 120, 4, -1)]
+        assert parse_swf_lines(lines)[0].requested_time == 120
+
+    def test_skips_cancelled_jobs(self):
+        lines = [_swf_line(1, 0, -1, 4, 100), _swf_line(2, 0, 50, 4, 100)]
+        trace = parse_swf_lines(lines)
+        assert len(trace) == 1
+        assert trace[0].job_id == 2
+
+    def test_skips_short_lines(self):
+        trace = parse_swf_lines(["1 2 3", _swf_line(2, 0, 50, 4, 100)])
+        assert len(trace) == 1
+
+    def test_strict_mode_raises_on_short_lines(self):
+        with pytest.raises(ValueError):
+            parse_swf_lines(["1 2 3"], skip_invalid=False, num_processors=8)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            parse_swf_lines([])
+
+    def test_explicit_num_processors_wins(self):
+        lines = ["; MaxProcs: 64", _swf_line(1, 0, 10, 2, 20)]
+        assert parse_swf_lines(lines, num_processors=128).num_processors == 128
+
+    def test_blank_and_comment_lines_ignored(self):
+        lines = ["", ";; a comment", _swf_line(1, 0, 10, 2, 20)]
+        assert len(parse_swf_lines(lines)) == 1
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path, tiny_trace):
+        path = tmp_path / "trace.swf"
+        write_swf(tiny_trace, path)
+        loaded = read_swf(path)
+        assert len(loaded) == len(tiny_trace)
+        assert loaded.num_processors == tiny_trace.num_processors
+        for original, parsed in zip(tiny_trace, loaded):
+            assert parsed.job_id == original.job_id
+            assert parsed.requested_processors == original.requested_processors
+            assert parsed.runtime == pytest.approx(original.runtime, abs=1.0)
+            assert parsed.requested_time == pytest.approx(original.requested_time, abs=1.0)
+
+    def test_read_swf_names_from_filename(self, tmp_path, tiny_trace):
+        path = tmp_path / "MY-TRACE.swf"
+        write_swf(tiny_trace, path)
+        assert read_swf(path).name == "MY-TRACE"
+
+
+class TestMergeTraces:
+    def test_merge_concatenates_in_time(self, tiny_trace):
+        merged = merge_traces("merged", [tiny_trace, tiny_trace])
+        assert len(merged) == 2 * len(tiny_trace)
+        # The second copy starts after the first copy's span.
+        assert merged[len(tiny_trace)].submit_time >= tiny_trace.duration
+
+    def test_merge_reassigns_ids(self, tiny_trace):
+        merged = merge_traces("merged", [tiny_trace, tiny_trace])
+        ids = [j.job_id for j in merged]
+        assert len(set(ids)) == len(ids)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_traces("m", [])
+
+    def test_merge_uses_max_processors(self, tiny_trace):
+        other = Trace.from_jobs("o", 256, [make_job(1, processors=100)])
+        assert merge_traces("m", [tiny_trace, other]).num_processors == 256
