@@ -7,6 +7,10 @@ reproducing the structure of the paper's generality experiment.  Run with:
 """
 
 import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments import run_table5
 

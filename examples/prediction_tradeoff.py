@@ -8,6 +8,10 @@ base scheduling policies.  Run with:
 """
 
 import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments import run_figure1
 

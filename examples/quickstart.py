@@ -1,7 +1,13 @@
 """Quickstart: load a workload, schedule it with several backfilling strategies.
 
-Run with:  python examples/quickstart.py
+Run from the repository root with:  python examples/quickstart.py
+(no PYTHONPATH needed; alternatively ``pip install -e .``)
 """
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.prediction import ActualRuntime, UserEstimate
 from repro.scheduler import ConservativeBackfill, EasyBackfill, NoBackfill, Simulator

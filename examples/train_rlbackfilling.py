@@ -1,14 +1,19 @@
 """Train an RLBackfilling agent and compare it against the EASY baselines.
 
 This walks the full §3/§4.2 pipeline: build the backfilling environment on a
-trace, train the PPO actor-critic, plot (textually) the Figure 4 training
-curve, evaluate the trained policy on held-out job sequences, and save a
-checkpoint.  Run with:
+trace, train the PPO actor-critic (rollouts collected through the vectorized
+multi-environment engine), plot (textually) the Figure 4 training curve,
+evaluate the trained policy on held-out job sequences, and save a checkpoint.
+Run from the repository root with:
 
-    python examples/train_rlbackfilling.py [--trace SDSC-SP2] [--epochs 12]
+    python examples/train_rlbackfilling.py [--trace SDSC-SP2] [--epochs 12] [--num-envs 4]
 """
 
 import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import (
     BackfillEnvironment,
@@ -33,6 +38,8 @@ def main() -> None:
     parser.add_argument("--trajectories", type=int, default=8)
     parser.add_argument("--sequence-length", type=int, default=256)
     parser.add_argument("--max-queue", type=int, default=32)
+    parser.add_argument("--num-envs", type=int, default=4,
+                        help="environment lanes stepped in lockstep by the vectorized rollout engine")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--checkpoint", default="rlbackfill_agent.npz")
     args = parser.parse_args()
@@ -56,12 +63,14 @@ def main() -> None:
             epochs=args.epochs,
             trajectories_per_epoch=args.trajectories,
             ppo=PPOConfig(policy_iterations=20, value_iterations=20),
+            num_envs=args.num_envs,
         ),
         seed=args.seed,
     )
 
     print(f"Training RLBackfilling on {trace.name} with {args.policy} base policy "
-          f"({args.epochs} epochs x {args.trajectories} trajectories)")
+          f"({args.epochs} epochs x {args.trajectories} trajectories, "
+          f"{args.num_envs} vectorized rollout lanes)")
     history = trainer.train(
         callback=lambda e: print(
             f"  epoch {e.epoch:3d}: bsld {e.mean_bsld:8.2f} "

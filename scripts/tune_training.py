@@ -1,11 +1,17 @@
 """Offline tuning run: does a longer quick-scale training beat EASY?
 
 Writes progress to stdout; used to pick the quick-scale defaults recorded in
-EXPERIMENTS.md.  Not part of the test/benchmark suites.
+EXPERIMENTS.md.  Not part of the test/benchmark suites.  Rollouts go through
+the vectorized engine; pass ``--num-envs`` to change the lane count.
 """
+import argparse
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import BackfillEnvironment, RLBackfillAgent, Trainer, TrainerConfig
 from repro.core.environment import RewardConfig
@@ -39,6 +45,11 @@ def evaluate(trace, agent, seqs):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-envs", type=int, default=4,
+                        help="vectorized rollout lanes (1 = serial collection)")
+    parser.add_argument("--epochs", type=int, default=60)
+    args = parser.parse_args()
     trace = load_trace("SDSC-SP2", num_jobs=4000)
     obs_cfg = ObservationConfig(max_queue_size=32)
     env = BackfillEnvironment(
@@ -55,10 +66,11 @@ def main():
     seqs = [sample_sequence(trace, 512, seed=100 + i) for i in range(3)]
     print("untrained", evaluate(trace, agent, seqs), flush=True)
     cfg = TrainerConfig(
-        epochs=60,
+        epochs=args.epochs,
         trajectories_per_epoch=8,
         ppo=PPOConfig(policy_iterations=20, value_iterations=30, value_lr=3e-3, lam=0.9),
         seed=7,
+        num_envs=args.num_envs,
     )
     trainer = Trainer(env, agent, cfg, seed=7)
     start = time.time()

@@ -5,12 +5,23 @@ class: start a job, ask which running job finishes next, release completed
 jobs, and query availability.  Completion always uses the job's *actual*
 runtime; runtime estimates only influence reservations and backfilling
 decisions, never the physics of the simulated machine.
+
+Two internal caches keep the hot simulator loop cheap without changing any
+observable behaviour:
+
+* completion queries go through a lazily-invalidated min-heap of
+  ``(end_time, job_id)`` entries instead of scanning every running job, and
+* the estimated-release plan consumed by :meth:`Machine.earliest_start_estimate`
+  is memoized per (estimator, running-set version) so repeated backfilling
+  decisions at one instant do not re-query the runtime estimator.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.resources import Allocation, ResourcePool
 from repro.workloads.job import Job
@@ -51,6 +62,20 @@ class Machine:
         # Utilization accounting: integral of busy processors over time.
         self._busy_area = 0.0
         self._last_accounting_time = 0.0
+        # Min-heap of (end_time, job_id); entries go stale on forced release
+        # and are discarded lazily when they surface.
+        self._completion_heap: List[Tuple[float, int]] = []
+        # Version counter for the running set, bumped on every start/release;
+        # keys the estimated-release-plan cache below.
+        self._version = 0
+        self._release_plan: Optional[Tuple[int, object, List[Tuple[float, int]]]] = None
+        # Incrementally-maintained *sorted* (estimated_end, processors) plan,
+        # valid only for a stateless estimator (one whose estimate is a pure
+        # function of the job): entries are inserted at job start and removed
+        # at release, so reservation queries skip the per-decision sort.
+        self._sorted_plan: Optional[List[Tuple[float, int]]] = None
+        self._sorted_plan_estimator: Optional[object] = None
+        self._sorted_plan_entries: Dict[int, Tuple[float, int]] = {}
 
     # -- properties -------------------------------------------------------
     @property
@@ -98,33 +123,112 @@ class Machine:
         return (self._busy_area + pending) / (end * self.num_processors)
 
     # -- lifecycle ---------------------------------------------------------
-    def start(self, job: Job, now: float) -> RunningJob:
-        """Start ``job`` at time ``now``; raises if processors are unavailable."""
+    def start(
+        self,
+        job: Job,
+        now: float,
+        estimator: Callable[[Job], float] | None = None,
+    ) -> RunningJob:
+        """Start ``job`` at time ``now``; raises if processors are unavailable.
+
+        ``estimator`` (optional) is the scheduler's runtime estimator; when it
+        is stateless and matches the active sorted release plan, the job's
+        estimated release is inserted into the plan incrementally so the next
+        reservation query needs no re-sort.
+        """
         if job.job_id in self._running:
             raise RuntimeError(f"job {job.job_id} is already running")
         self._account(now)
         allocation = self.pool.allocate(job.requested_processors)
         record = RunningJob(job=job, start_time=now, allocation=allocation)
         self._running[job.job_id] = record
+        heapq.heappush(self._completion_heap, (record.end_time, job.job_id))
+        self._version += 1
+        if self._sorted_plan is not None:
+            if estimator is self._sorted_plan_estimator:
+                entry = (record.estimated_end_time(estimator), allocation.processors)
+                insort(self._sorted_plan, entry)
+                self._sorted_plan_entries[job.job_id] = entry
+            else:
+                self._drop_sorted_plan()
         return record
+
+    # -- sorted release plan ------------------------------------------------
+    def _drop_sorted_plan(self) -> None:
+        self._sorted_plan = None
+        self._sorted_plan_estimator = None
+        self._sorted_plan_entries.clear()
+
+    def _sorted_plan_remove(self, job_id: int) -> None:
+        entry = self._sorted_plan_entries.pop(job_id, None)
+        if entry is None or self._sorted_plan is None:
+            return
+        index = bisect_left(self._sorted_plan, entry)
+        # Equal entries are interchangeable for reservation queries; remove
+        # the first exact match in the equal run.
+        while self._sorted_plan[index] != entry:  # pragma: no cover - defensive
+            index += 1
+        del self._sorted_plan[index]
+
+    def _sorted_releases(
+        self, estimator: Callable[[Job], float]
+    ) -> List[Tuple[float, int]]:
+        """Sorted ``(estimated_end, processors)`` plan for a stateless estimator.
+
+        Built once from the running set and maintained incrementally by
+        :meth:`start` / :meth:`release_completed`; statelessness guarantees
+        the entries cannot go stale between queries.
+        """
+        if self._sorted_plan is None or self._sorted_plan_estimator is not estimator:
+            entries = {
+                job_id: (record.estimated_end_time(estimator), record.allocation.processors)
+                for job_id, record in self._running.items()
+            }
+            self._sorted_plan = sorted(entries.values())
+            self._sorted_plan_estimator = estimator
+            self._sorted_plan_entries = entries
+        return self._sorted_plan
+
+    def _heap_entry_live(self, end_time: float, job_id: int) -> bool:
+        record = self._running.get(job_id)
+        return record is not None and record.end_time == end_time
 
     def next_completion_time(self) -> Optional[float]:
         """Earliest true completion time among running jobs, or ``None`` if idle."""
+        heap = self._completion_heap
+        while heap and not self._heap_entry_live(*heap[0]):
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def last_completion_time(self) -> Optional[float]:
+        """Latest true completion time among running jobs, or ``None`` if idle.
+
+        The simulator's skip-ahead fast path uses this to drain the machine in
+        a single jump once no waiting or future jobs remain.
+        """
         if not self._running:
             return None
-        return min(record.end_time for record in self._running.values())
+        return max(record.end_time for record in self._running.values())
 
     def release_completed(self, now: float) -> List[RunningJob]:
         """Release every running job whose true end time is <= ``now``."""
-        finished = [r for r in self._running.values() if r.end_time <= now + 1e-9]
-        finished.sort(key=lambda r: (r.end_time, r.job.job_id))
-        for record in finished:
+        finished: List[RunningJob] = []
+        heap = self._completion_heap
+        while heap and heap[0][0] <= now + 1e-9:
+            end_time, job_id = heapq.heappop(heap)
+            if not self._heap_entry_live(end_time, job_id):
+                continue
+            record = self._running[job_id]
             # Account utilization up to the completion instant (clamped so a
             # completion that technically precedes the last accounting point,
             # e.g. released late within the same timestep, never rewinds time).
             self._account(max(min(record.end_time, now), self._last_accounting_time))
             self.pool.release(record.allocation)
-            del self._running[record.job.job_id]
+            del self._running[job_id]
+            self._sorted_plan_remove(job_id)
+            finished.append(record)
+        if finished:
+            self._version += 1
         self._account(now)
         return finished
 
@@ -134,9 +238,33 @@ class Machine:
         if record is None:
             raise KeyError(f"job {job_id} is not running")
         self.pool.release(record.allocation)
+        self._version += 1
+        self._sorted_plan_remove(job_id)
         return record
 
     # -- reservations -------------------------------------------------------
+    def _estimated_releases(
+        self, estimator: Callable[[Job], float]
+    ) -> List[Tuple[float, int]]:
+        """``(estimated_end_time, processors)`` for every running job.
+
+        Memoized per (estimator, running-set version): consecutive backfilling
+        decisions at the same instant re-plan the same running set many times,
+        and the estimator answers are stable within one simulated sequence.
+        The list preserves the running-set insertion order so estimators that
+        lazily cache per-job draws (e.g. ``NoisyPrediction``) are queried in
+        exactly the order the uncached code would use.
+        """
+        cached = self._release_plan
+        if cached is not None and cached[0] == self._version and cached[1] is estimator:
+            return cached[2]
+        releases = [
+            (r.estimated_end_time(estimator), r.allocation.processors)
+            for r in self._running.values()
+        ]
+        self._release_plan = (self._version, estimator, releases)
+        return releases
+
     def earliest_start_estimate(
         self, job: Job, now: float, estimator: Callable[[Job], float]
     ) -> tuple[float, int]:
@@ -153,10 +281,20 @@ class Machine:
         free = self.free_processors
         if needed <= free:
             return now, free - needed
-        releases = sorted(
-            (max(r.estimated_end_time(estimator), now), r.allocation.processors)
-            for r in self._running.values()
-        )
+        if getattr(estimator, "stateless", False):
+            plan = self._sorted_releases(estimator)
+            if not plan or plan[0][0] >= now:
+                # Every estimated release lies at or after ``now`` (always the
+                # case for over-estimating estimators), so the maintained plan
+                # is the clamped, sorted release sequence as-is.
+                releases = plan
+            else:
+                releases = sorted((max(t, now), p) for t, p in plan)
+        else:
+            releases = sorted(
+                (max(end_time, now), processors)
+                for end_time, processors in self._estimated_releases(estimator)
+            )
         for end_time, processors in releases:
             free += processors
             if free >= needed:
@@ -171,6 +309,10 @@ class Machine:
         self.pool.reset()
         self._busy_area = 0.0
         self._last_accounting_time = 0.0
+        self._completion_heap.clear()
+        self._version += 1
+        self._release_plan = None
+        self._drop_sorted_plan()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

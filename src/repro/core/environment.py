@@ -17,6 +17,7 @@ the paper:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Generator, List, Optional, Sequence, Tuple
 
@@ -119,11 +120,38 @@ class BackfillEnvironment(Environment):
         self._decision: Optional[DecisionPoint] = None
         self._slot_jobs: List[Optional[Job]] = []
         self._mask: Optional[np.ndarray] = None
+        self._encode_queue: List[Job] = []
         self._jobs: List[Job] = []
+        self._static_rows = np.empty((0, 4), dtype=np.float64)
+        self._static_index: dict[int, int] = {}
         self.baseline_bsld: float = float("nan")
         self.last_result: Optional[SimulationResult] = None
         self.episode_steps = 0
         self.episode_violations = 0
+
+    # -- vectorization ----------------------------------------------------------
+    def clone(self, seed: SeedLike = None) -> "BackfillEnvironment":
+        """An independent lane with this environment's configuration.
+
+        Used by :class:`~repro.rl.vec_env.VecBackfillEnv` to build N rollout
+        lanes from one template.  The clone gets its own sampling rng, its own
+        (deep-copied) estimator and baseline strategy so per-sequence caches
+        are never shared across lanes, and a fresh training pool.
+        """
+        return BackfillEnvironment(
+            self.trace,
+            policy=self.policy,
+            sequence_length=self.sequence_length,
+            observation_config=self.observation_config,
+            reward_config=self.reward_config,
+            estimator=copy.deepcopy(self.estimator),
+            baseline_backfill=copy.deepcopy(self.baseline_backfill),
+            num_processors=self.num_processors,
+            seed=seed,
+            max_reset_attempts=self.max_reset_attempts,
+            training_pool_size=self.training_pool_size,
+            min_baseline_bsld=self.min_baseline_bsld,
+        )
 
     # -- Environment interface --------------------------------------------------
     @property
@@ -152,6 +180,18 @@ class BackfillEnvironment(Environment):
         """Begin an episode over ``jobs``; returns the first observation or
         ``None`` if the sequence produces no backfilling opportunity."""
         self._jobs = list(jobs)
+        # Static per-job quantities (columns: submit_time, requested_time,
+        # requested_processors, job_id), gathered once per episode so the
+        # encoder can fancy-index them instead of touching every Job object
+        # at every decision point.
+        self._static_rows = np.array(
+            [
+                (j.submit_time, j.requested_time, j.requested_processors, j.job_id)
+                for j in self._jobs
+            ],
+            dtype=np.float64,
+        )
+        self._static_index = {j.job_id: row for row, j in enumerate(self._jobs)}
         self.baseline_bsld = (
             cached_baseline if cached_baseline is not None else self._baseline_bsld(self._jobs)
         )
@@ -170,10 +210,13 @@ class BackfillEnvironment(Environment):
             self._generator = None
             self._decision = None
             return None
-        return self._advance_to_actionable()
+        mask = self._advance_to_actionable()
+        if mask is None:
+            return None
+        return self.encode_observation(), mask
 
-    def _advance_to_actionable(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """Encode the current decision point, auto-declining unactionable ones.
+    def _advance_to_actionable(self) -> Optional[np.ndarray]:
+        """Advance to the next actionable decision point, returning its mask.
 
         A decision point can carry candidates that all sit beyond the
         MAX_OBSV_SIZE window (the observation truncates the queue in FCFS
@@ -182,15 +225,22 @@ class BackfillEnvironment(Environment):
         behaviour the deployed :class:`RLBackfillPolicy` exhibits -- and moves
         on to the next decision point.  Returns ``None`` when the episode
         finishes while advancing.
+
+        Only the cheap mask half of the encoding
+        (:meth:`ObservationBuilder.prepare`) runs here; callers encode the
+        observation either per decision (:meth:`encode_observation`) or
+        batched across lanes (:meth:`ObservationBuilder.encode_batch` via
+        :meth:`pending_encode`).
         """
         assert self._generator is not None
         skip_actions = 1.0 if self.observation_config.skip_slot is not None else 0.0
         while True:
-            observation, mask, slots = self.builder.build(self._decision)
+            queue, mask, slots = self.builder.prepare(self._decision)
             if mask.sum() - skip_actions > 0.0:
+                self._encode_queue = queue
                 self._slot_jobs = slots
                 self._mask = mask
-                return observation, mask
+                return mask
             try:
                 self._decision = self._generator.send(None)
             except StopIteration as stop:
@@ -198,6 +248,37 @@ class BackfillEnvironment(Environment):
                 self._generator = None
                 self._decision = None
                 return None
+
+    def pending_encode(
+        self,
+    ) -> Tuple[DecisionPoint, List[Job], Optional[np.ndarray], Optional[np.ndarray]]:
+        """The current decision point, prepared for feature encoding.
+
+        Returns ``(decision, queue, static_rows, can_run)`` in the item
+        format of :meth:`ObservationBuilder.encode_batch`: ``static_rows``
+        carries the episode's pre-gathered per-job columns for the slot
+        queue, and ``can_run`` is the candidate mask over those slots (the
+        action mask restricted to the queue, which is exactly the can-run
+        feature because the reserved job is never a candidate).  The
+        vectorized engine collects these from every active lane and encodes
+        them in one :meth:`ObservationBuilder.encode_batch` call.
+        """
+        if self._decision is None or self._mask is None:
+            raise RuntimeError("no pending decision point to encode")
+        queue = self._encode_queue
+        indices = np.fromiter(
+            (self._static_index[j.job_id] for j in queue), dtype=np.intp, count=len(queue)
+        )
+        return (
+            self._decision,
+            queue,
+            self._static_rows[indices],
+            self._mask[: len(queue)],
+        )
+
+    def encode_observation(self) -> np.ndarray:
+        """Encode the current decision point's observation vector."""
+        return self.builder.encode_batch([self.pending_encode()])[0]
 
     def reset(self, jobs: Sequence[Job] | None = None) -> Tuple[np.ndarray, np.ndarray]:
         """Sample (or accept) a job sequence and run to the first decision point."""
@@ -251,7 +332,14 @@ class BackfillEnvironment(Environment):
             f"{self.trace.name!r} after {self.max_reset_attempts} attempts"
         )
 
-    def step(self, action: int) -> StepResult:
+    def step(self, action: int, encode: bool = True) -> StepResult:
+        """Apply ``action`` and advance to the next actionable decision point.
+
+        With ``encode=False`` the returned ``StepResult.observation`` is
+        ``None`` and the caller encodes later -- the vectorized engine uses
+        this to batch the feature encoding of all lanes into one numpy pass
+        (:meth:`pending_encode` exposes what to encode).
+        """
         if self._generator is None or self._decision is None or self._mask is None:
             raise RuntimeError("step() called before reset() or after the episode ended")
         self.validate_action(action, self._mask)
@@ -277,12 +365,12 @@ class BackfillEnvironment(Environment):
             self._decision = None
             return self._terminal_step(reward)
 
-        advanced = self._advance_to_actionable()
-        if advanced is None:
+        mask = self._advance_to_actionable()
+        if mask is None:
             # The rest of the sequence scheduled itself without another
             # actionable decision point.
             return self._terminal_step(reward)
-        observation, mask = advanced
+        observation = self.encode_observation() if encode else None
         return StepResult(observation=observation, mask=mask, reward=reward, done=False, info={})
 
     def _terminal_step(self, reward_so_far: float) -> StepResult:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,16 +36,29 @@ __all__ = ["ObservationConfig", "ObservationBuilder", "JOB_FEATURES"]
 #: Number of features per job slot (see :meth:`ObservationBuilder._job_features`).
 JOB_FEATURES = 10
 
-#: Normalization caps (seconds) for the logarithmic time features.
+#: Normalization caps (seconds) for the logarithmic time features.  The
+#: vectorized encoder in :meth:`ObservationBuilder.build` folds the wait and
+#: runtime features into one ``log1p`` call, which requires the first two
+#: caps to stay equal.
 _MAX_WAIT = 8.0 * 86400.0        # 8 days
 _MAX_RUNTIME = 8.0 * 86400.0     # 8 days
 _MAX_HORIZON = 8.0 * 86400.0
+assert _MAX_WAIT == _MAX_RUNTIME
 
 
 def _log_norm(value: float, cap: float) -> float:
     """Map ``value`` (seconds) into [0, 1] with a logarithmic scale."""
     value = min(max(value, 0.0), cap)
     return math.log1p(value) / math.log1p(cap)
+
+
+def _log_norm_array(values: np.ndarray, cap: float) -> np.ndarray:
+    """Vectorized :func:`_log_norm`.
+
+    ``np.log1p`` may differ from ``math.log1p`` by one ulp on some inputs, so
+    this matches the scalar form to floating-point rounding, not bit-for-bit.
+    """
+    return np.log1p(np.clip(values, 0.0, cap)) / math.log1p(cap)
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,41 +131,163 @@ class ObservationBuilder:
         features[9] = 1.0  # slot occupied
         return features
 
+    def prepare(
+        self, decision: DecisionPoint
+    ) -> Tuple[List[Job], np.ndarray, List[Optional[Job]]]:
+        """Cheap, feature-free half of the encoding.
+
+        Returns ``(queue, mask, slot_jobs)`` where ``queue`` is the sorted,
+        truncated slot queue that :meth:`encode_batch` will turn into
+        features.  The environment uses this to decide whether a decision
+        point is actionable (``mask``) without paying for feature encoding,
+        and the vectorized engine uses it to defer encoding until the
+        observations of every lane can be batched into one numpy pass.
+        """
+        cfg = self.config
+        candidate_ids = {job.job_id for job in decision.candidates}
+        if decision.queue_sorted:
+            queue = decision.queue
+        else:
+            queue = sorted(decision.queue, key=lambda j: (j.submit_time, j.job_id))
+        if len(queue) > cfg.max_queue_size:
+            queue = queue[: cfg.max_queue_size]
+
+        mask = np.zeros(cfg.num_slots, dtype=np.float64)
+        slot_jobs: List[Optional[Job]] = [None] * cfg.num_slots
+        slot_jobs[: len(queue)] = queue
+        reserved_id = decision.reserved_job.job_id
+        for slot, job in enumerate(queue):
+            # The reserved job is visible but never a valid action (§3.2).
+            if job.job_id in candidate_ids and job.job_id != reserved_id:
+                mask[slot] = 1.0
+        if cfg.skip_slot is not None:
+            mask[cfg.skip_slot] = 1.0
+        return queue, mask, slot_jobs
+
+    def encode_batch(
+        self,
+        items: Sequence[tuple],
+    ) -> np.ndarray:
+        """Encode many prepared decisions into one ``(batch, observation_size)`` matrix.
+
+        Each item is ``(decision, queue)`` -- with ``queue`` as returned by
+        :meth:`prepare` -- or the extended form
+        ``(decision, queue, static_rows, can_run)`` produced by
+        :meth:`~repro.core.environment.BackfillEnvironment.pending_encode`,
+        where ``static_rows`` holds the pre-gathered per-job columns
+        ``(submit_time, requested_time, requested_processors, job_id)`` and
+        ``can_run`` the candidate mask over the queue slots.  All queues are
+        concatenated so every feature is computed with a single numpy
+        operation across the whole batch -- the vectorized engine calls this
+        once per lockstep iteration instead of once per lane.  A batch of one
+        performs exactly the same operations as the serial path
+        (:meth:`build` delegates here), which keeps the ``num_envs=1`` engine
+        bit-identical to serial rollouts.
+        """
+        cfg = self.config
+        batch = len(items)
+        observation = np.zeros((batch, cfg.num_slots, cfg.job_features), dtype=np.float64)
+        counts = [len(item[1]) for item in items]
+        total_jobs = sum(counts)
+        if total_jobs:
+            # One pass over all queues gathers every per-job quantity; the
+            # feature math below is pure numpy over the concatenation.
+            # Columns: submit, requested_time, processors, is_reserved, can_run.
+            blocks: List[np.ndarray] = []
+            for item in items:
+                decision, queue = item[0], item[1]
+                reserved_id = decision.reserved_job.job_id
+                if len(item) >= 4 and item[2] is not None and item[3] is not None:
+                    static, can_run = item[2], item[3]
+                    block = np.empty((len(queue), 5), dtype=np.float64)
+                    block[:, 0:3] = static[:, 0:3]
+                    block[:, 3] = static[:, 3] == reserved_id
+                    block[:, 4] = can_run
+                else:
+                    cand_ids = {job.job_id for job in decision.candidates}
+                    block = np.array(
+                        [
+                            (
+                                j.submit_time,
+                                j.requested_time,
+                                j.requested_processors,
+                                j.job_id == reserved_id,
+                                j.job_id in cand_ids,
+                            )
+                            for j in queue
+                        ],
+                        dtype=np.float64,
+                    ).reshape(len(queue), 5)
+                blocks.append(block)
+            raw = blocks[0] if batch == 1 else np.concatenate(blocks, axis=0)
+            procs = raw[:, 2]
+            # Per-decision scalars, repeated once per job of that decision.
+            scalars = np.array(
+                [
+                    (
+                        d.time,
+                        d.free_fraction,
+                        _log_norm(d.reservation_time - d.time, _MAX_HORIZON),
+                        float(d.extra_processors),
+                        float(d.machine.num_processors) if d.machine is not None else 0.0,
+                    )
+                    for d, *_ in items
+                ],
+                dtype=np.float64,
+            )
+            rep = np.repeat(scalars, counts, axis=0)
+            total = np.where(rep[:, 4] > 0.0, rep[:, 4], np.maximum(procs, 1.0))
+
+            features = np.zeros((total_jobs, cfg.job_features), dtype=np.float64)
+            # _MAX_WAIT and _MAX_RUNTIME share one cap, so both logarithmic
+            # time features go through a single log1p call.
+            times = np.empty((2, total_jobs))
+            times[0] = rep[:, 0] - raw[:, 0]
+            times[1] = raw[:, 1]
+            features[:, 0:2] = _log_norm_array(times, _MAX_WAIT).T
+            features[:, 2] = np.minimum(procs / total, 1.0)
+            features[:, 3] = raw[:, 4]  # can_run
+            features[:, 4] = raw[:, 3]  # is_reserved
+            # column 5 (is_skip) stays zero for queue slots.
+            features[:, 6] = rep[:, 1]
+            features[:, 7] = rep[:, 2]
+            features[:, 8] = np.minimum(rep[:, 3] / total, 1.0)
+            features[:, 9] = 1.0  # slot occupied
+
+            offset = 0
+            for row, count in enumerate(counts):
+                observation[row, :count] = features[offset : offset + count]
+                offset += count
+
+        if cfg.skip_slot is not None:
+            # Skip slot: always valid, encoded from the reserved job's features.
+            for row, item in enumerate(items):
+                decision = item[0]
+                observation[row, cfg.skip_slot] = self._job_features(
+                    decision.reserved_job,
+                    decision,
+                    is_reserved=True,
+                    is_skip=True,
+                    can_run=False,
+                )
+        return observation.reshape(batch, -1)
+
     def build(self, decision: DecisionPoint) -> Tuple[np.ndarray, np.ndarray, List[Optional[Job]]]:
         """Encode ``decision`` into ``(observation, action_mask, slot_jobs)``.
 
         ``slot_jobs[i]`` is the job occupying slot ``i`` (``None`` for padding
         and for the skip slot), which is how an action index is mapped back to
         the job to backfill.
+
+        Composed of :meth:`prepare` + :meth:`encode_batch` with a batch of
+        one; :meth:`_job_features` remains the scalar reference
+        implementation and agrees with the vectorized encoder to
+        floating-point rounding (``np.log1p`` vs ``math.log1p`` can differ by
+        one ulp).
         """
-        cfg = self.config
-        candidate_ids = {job.job_id for job in decision.candidates}
-        queue = sorted(decision.queue, key=lambda j: (j.submit_time, j.job_id))
-        queue = queue[: cfg.max_queue_size]
-
-        observation = np.zeros((cfg.num_slots, cfg.job_features), dtype=np.float64)
-        mask = np.zeros(cfg.num_slots, dtype=np.float64)
-        slot_jobs: List[Optional[Job]] = [None] * cfg.num_slots
-
-        for slot, job in enumerate(queue):
-            is_reserved = job.job_id == decision.reserved_job.job_id
-            can_run = job.job_id in candidate_ids
-            observation[slot] = self._job_features(
-                job, decision, is_reserved=is_reserved, is_skip=False, can_run=can_run
-            )
-            slot_jobs[slot] = job
-            # The reserved job is visible but never a valid action (§3.2).
-            if can_run and not is_reserved:
-                mask[slot] = 1.0
-
-        if cfg.skip_slot is not None:
-            # Skip slot: always valid, encoded from the reserved job's features.
-            observation[cfg.skip_slot] = self._job_features(
-                decision.reserved_job, decision, is_reserved=True, is_skip=True, can_run=False
-            )
-            mask[cfg.skip_slot] = 1.0
-
-        return observation.reshape(-1), mask, slot_jobs
+        queue, mask, slot_jobs = self.prepare(decision)
+        observation = self.encode_batch([(decision, queue)])[0]
+        return observation, mask, slot_jobs
 
     def action_to_job(self, action: int, slot_jobs: List[Optional[Job]]) -> Optional[Job]:
         """Translate an action index into the job to backfill (``None`` = skip)."""

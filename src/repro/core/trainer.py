@@ -6,6 +6,13 @@ sampled job sequence scheduled end to end with the agent making every
 backfilling decision).  After the epoch's trajectories are collected the
 policy and value networks are updated with PPO.
 
+Rollout collection goes through the vectorized engine
+(:class:`~repro.rl.vec_env.VecBackfillEnv`): ``TrainerConfig.num_envs``
+independent environment lanes run in lockstep and share one batched forward
+pass per decision step.  ``num_envs=1`` (the default) *is* the serial path --
+one lane, batch-of-one forward passes -- and stays bit-identical to
+:meth:`Trainer.run_trajectory` driven by hand.
+
 The paper's configuration -- 100 trajectories of 256 jobs per epoch and 80
 update iterations with a learning rate of 1e-3 -- is the default; the
 experiment drivers scale these down for the benchmark harness.
@@ -23,8 +30,9 @@ from repro.core.agent import RLBackfillAgent
 from repro.core.environment import BackfillEnvironment
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.ppo import PPO, PPOConfig, PPOUpdateStats
+from repro.rl.vec_env import VecBackfillEnv
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 
 __all__ = ["TrainerConfig", "EpochStats", "TrainingHistory", "Trainer"]
 
@@ -39,12 +47,18 @@ class TrainerConfig:
     trajectories_per_epoch: int = 100
     ppo: PPOConfig = field(default_factory=PPOConfig)
     seed: Optional[int] = None
+    #: Number of environment lanes stepped in lockstep by the vectorized
+    #: rollout engine.  1 = the serial path (one lane, batch-of-one forward
+    #: passes); larger values batch the policy forward pass across lanes.
+    num_envs: int = 1
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.trajectories_per_epoch <= 0:
             raise ValueError("trajectories_per_epoch must be positive")
+        if self.num_envs <= 0:
+            raise ValueError("num_envs must be positive")
 
     @classmethod
     def paper_scale(cls, epochs: int = 200) -> "TrainerConfig":
@@ -134,7 +148,14 @@ class TrainingHistory:
 
 
 class Trainer:
-    """Collects trajectories from a :class:`BackfillEnvironment` and runs PPO."""
+    """Collects trajectories from a :class:`BackfillEnvironment` and runs PPO.
+
+    Rollouts go through :class:`~repro.rl.vec_env.VecBackfillEnv` with
+    ``config.num_envs`` lanes: lane 0 is ``environment`` itself, further
+    lanes are independent clones.  Every lane has its own action-sampling
+    rng (lane 0 uses the trainer rng, preserving bit-identical behaviour of
+    the ``num_envs=1`` case with the serial :meth:`run_trajectory` loop).
+    """
 
     def __init__(
         self,
@@ -155,10 +176,26 @@ class Trainer:
             )
         self.ppo = PPO(self.agent, self.config.ppo, seed=seed)
         self.rng = as_rng(seed if seed is not None else self.config.seed)
+        # The num_envs == 1 branch must not touch self.rng (spawning draws
+        # from it), so the serial case consumes exactly the same rng stream
+        # as a hand-driven run_trajectory loop.
+        if self.config.num_envs == 1:
+            self.vec_env = VecBackfillEnv([environment])
+            self.lane_rngs = [self.rng]
+        else:
+            self.vec_env = VecBackfillEnv.from_template(
+                environment, self.config.num_envs, seed=self.rng
+            )
+            self.lane_rngs = [self.rng] + spawn_rngs(self.rng, self.config.num_envs - 1)
 
     # -- rollouts -----------------------------------------------------------
     def run_trajectory(self, buffer: TrajectoryBuffer) -> dict:
-        """Roll out one full episode, storing every step in ``buffer``."""
+        """Roll out one full episode serially, storing every step in ``buffer``.
+
+        Kept as the reference implementation of an episode; the training loop
+        itself collects through :meth:`collect_rollouts`, whose ``num_envs=1``
+        case is bit-identical to this method.
+        """
         observation, mask = self.environment.reset()
         episode_reward = 0.0
         steps = 0
@@ -175,20 +212,21 @@ class Trainer:
                 return info
             observation, mask = result.observation, result.mask
 
+    def collect_rollouts(self, buffer: TrajectoryBuffer, num_trajectories: int) -> List[dict]:
+        """Collect episodes through the vectorized engine; returns their infos."""
+        return self.vec_env.rollout(
+            self.agent, num_trajectories, buffer, rngs=self.lane_rngs
+        )
+
     # -- training -----------------------------------------------------------
     def train_epoch(self, epoch: int) -> EpochStats:
         start = time.perf_counter()
         buffer = TrajectoryBuffer(gamma=self.config.ppo.gamma, lam=self.config.ppo.lam)
-        rewards: List[float] = []
-        bslds: List[float] = []
-        baselines: List[float] = []
-        violations: List[float] = []
-        for _ in range(self.config.trajectories_per_epoch):
-            info = self.run_trajectory(buffer)
-            rewards.append(info["episode_reward"])
-            bslds.append(info["bsld"])
-            baselines.append(info["baseline_bsld"])
-            violations.append(info["violations"])
+        infos = self.collect_rollouts(buffer, self.config.trajectories_per_epoch)
+        rewards: List[float] = [info["episode_reward"] for info in infos]
+        bslds: List[float] = [info["bsld"] for info in infos]
+        baselines: List[float] = [info["baseline_bsld"] for info in infos]
+        violations: List[float] = [float(info["violations"]) for info in infos]
         steps = len(buffer)
         data = buffer.get()
         update: PPOUpdateStats = self.ppo.update(data)

@@ -9,7 +9,7 @@ per configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -157,8 +157,16 @@ def train_rlbackfilling(
     scale: ExperimentScale | str = "quick",
     seed: SeedLike = 0,
     reward_config: RewardConfig | None = None,
+    num_envs: int | None = None,
 ) -> TrainedModel:
-    """Train an RLBackfilling agent on ``trace`` with ``policy`` as the base scheduler."""
+    """Train an RLBackfilling agent on ``trace`` with ``policy`` as the base scheduler.
+
+    ``num_envs`` overrides the scale's vectorized-rollout width: rollouts are
+    collected by stepping that many independent environment lanes in lockstep
+    with one batched policy forward pass per decision step (see
+    :class:`repro.rl.vec_env.VecBackfillEnv`).  ``None`` keeps the scale's
+    trainer configuration unchanged.
+    """
     scale = get_scale(scale)
     trace = resolve_trace(trace, scale)
     policy = get_policy(policy)
@@ -175,7 +183,10 @@ def train_rlbackfilling(
         min_baseline_bsld=scale.min_training_bsld,
     )
     agent = RLBackfillAgent(observation_config=observation_config, seed=rng)
-    trainer = Trainer(environment, agent, scale.trainer, seed=rng)
+    trainer_config = scale.trainer
+    if num_envs is not None:
+        trainer_config = replace(trainer_config, num_envs=num_envs)
+    trainer = Trainer(environment, agent, trainer_config, seed=rng)
     history = trainer.train()
     return TrainedModel(
         agent=agent, history=history, trace_name=trace.name, policy_name=policy.name

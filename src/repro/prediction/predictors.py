@@ -40,6 +40,16 @@ class RuntimeEstimator(ABC):
 
     name: str = "estimator"
 
+    #: True when :meth:`estimate` is a pure function of the job -- no hidden
+    #: state, no rng draws, so the answer does not depend on *when* or in
+    #: what order jobs are queried.  The machine model exploits this to keep
+    #: an incrementally-sorted release plan instead of re-querying and
+    #: re-sorting at every backfilling decision.  Stateful estimators (e.g.
+    #: :class:`NoisyPrediction`, which lazily draws one noise factor per job)
+    #: must leave this False so query order stays exactly as the unoptimized
+    #: code would produce it.
+    stateless: bool = False
+
     @abstractmethod
     def estimate(self, job: Job) -> float:
         """Estimated runtime of ``job`` in seconds (always positive)."""
@@ -58,6 +68,7 @@ class UserEstimate(RuntimeEstimator):
     """Use the user-submitted Request Time (the EASY baseline)."""
 
     name = "request-time"
+    stateless = True
 
     def estimate(self, job: Job) -> float:
         return job.requested_time
@@ -67,6 +78,7 @@ class ActualRuntime(RuntimeEstimator):
     """Use the true runtime: the ideal predictor (EASY-AR baseline)."""
 
     name = "actual-runtime"
+    stateless = True
 
     def estimate(self, job: Job) -> float:
         return job.runtime
@@ -120,6 +132,7 @@ class ClampedPrediction(RuntimeEstimator):
         self.inner = inner
         self.minimum = float(minimum)
         self.name = f"clamped({inner.name})"
+        self.stateless = getattr(inner, "stateless", False)
 
     def estimate(self, job: Job) -> float:
         return float(min(max(self.inner.estimate(job), self.minimum), job.requested_time))

@@ -11,6 +11,7 @@ building blocks from scratch on top of NumPy:
 * :mod:`repro.rl.buffer` -- trajectory buffer with GAE-lambda advantages.
 * :mod:`repro.rl.ppo` -- the clipped-surrogate PPO update.
 * :mod:`repro.rl.env` -- the minimal environment interface the trainer expects.
+* :mod:`repro.rl.vec_env` -- the vectorized multi-environment rollout engine.
 """
 
 from repro.rl.autograd import Tensor, no_grad
@@ -19,6 +20,7 @@ from repro.rl.optim import Optimizer, SGD, Adam
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.ppo import PPO, PPOConfig, ActorCritic
 from repro.rl.env import Environment, StepResult
+from repro.rl.vec_env import VecBackfillEnv
 from repro.rl.running_stat import RunningMeanStd
 
 __all__ = [
@@ -39,5 +41,6 @@ __all__ = [
     "ActorCritic",
     "Environment",
     "StepResult",
+    "VecBackfillEnv",
     "RunningMeanStd",
 ]

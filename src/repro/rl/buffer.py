@@ -94,6 +94,34 @@ class TrajectoryBuffer:
         self.returns.extend(returns.tolist())
         self._path_start = len(self.rewards)
 
+    def absorb(self, other: "TrajectoryBuffer") -> None:
+        """Append ``other``'s finished trajectories to this buffer and clear it.
+
+        The vectorized rollout engine gives every environment lane its own
+        small buffer (so GAE paths never interleave across lanes) and merges
+        each episode into the epoch buffer as it completes.  Both buffers must
+        have no open trajectory and identical (gamma, lam).
+        """
+        if other is self:
+            raise ValueError("cannot absorb a buffer into itself")
+        if (self.gamma, self.lam) != (other.gamma, other.lam):
+            raise ValueError(
+                f"buffer hyper-parameters differ: gamma/lam {(self.gamma, self.lam)} "
+                f"vs {(other.gamma, other.lam)}"
+            )
+        if self.num_complete != len(self) or other.num_complete != len(other):
+            raise RuntimeError("absorb() requires finish_path() on both buffers first")
+        self.observations.extend(other.observations)
+        self.masks.extend(other.masks)
+        self.actions.extend(other.actions)
+        self.rewards.extend(other.rewards)
+        self.values.extend(other.values)
+        self.log_probs.extend(other.log_probs)
+        self.advantages.extend(other.advantages)
+        self.returns.extend(other.returns)
+        self._path_start = len(self.rewards)
+        other.clear()
+
     def get(self) -> Dict[str, np.ndarray]:
         """Return stacked arrays for the whole epoch and clear the buffer."""
         if len(self.rewards) == 0:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -19,9 +19,14 @@ __all__ = ["StepResult", "Environment"]
 
 @dataclass(frozen=True, slots=True)
 class StepResult:
-    """Outcome of one environment step."""
+    """Outcome of one environment step.
 
-    observation: np.ndarray
+    ``observation`` may be ``None`` when the environment supports deferred
+    encoding and was stepped with ``encode=False``; the vectorized rollout
+    engine then encodes the observations of all lanes in one batched pass.
+    """
+
+    observation: Optional[np.ndarray]
     mask: np.ndarray
     reward: float
     done: bool

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,58 @@ class ActorCritic(ABC):
         penalty = Tensor((1.0 - np.asarray(masks, dtype=np.float64)) * -MASK_PENALTY)
         return (logits + penalty).log_softmax(axis=-1)
 
+    def step_batch(
+        self,
+        observations: np.ndarray,
+        masks: np.ndarray,
+        rngs: Sequence[np.random.Generator] | None = None,
+        deterministic: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample (or argmax) one action per row in a single forward pass.
+
+        This is the vectorized rollout primitive: ``observations`` has shape
+        ``(num_lanes, observation_size)`` and the policy/value networks run
+        once for the whole batch.  ``rngs`` supplies one generator per row so
+        each lane's action stream is independent of how many other lanes are
+        in the batch and of their order -- lane ``i`` always consumes exactly
+        one uniform draw from ``rngs[i]`` per decision.
+
+        Returns ``(actions, values, log_probs)`` arrays of length
+        ``num_lanes``; runs under ``no_grad``.
+        """
+        obs_batch = np.asarray(observations, dtype=np.float64)
+        mask_batch = np.asarray(masks, dtype=np.float64)
+        if obs_batch.ndim != 2 or mask_batch.ndim != 2:
+            raise ValueError("step_batch expects 2-D (batch, features) inputs")
+        batch = obs_batch.shape[0]
+        with no_grad():
+            obs_t = Tensor(obs_batch)
+            log_probs = self.masked_log_probs(obs_t, mask_batch).numpy()
+            values = self.value(obs_t).numpy()
+        if deterministic:
+            actions = np.argmax(log_probs, axis=1)
+        else:
+            if rngs is None or len(rngs) != batch:
+                raise ValueError(
+                    f"step_batch needs one rng per row ({batch}), got "
+                    f"{0 if rngs is None else len(rngs)}"
+                )
+            probs = np.exp(log_probs)
+            probs /= probs.sum(axis=1, keepdims=True)
+            cdfs = np.cumsum(probs, axis=1)
+            # Inverse-CDF sampling: exactly one uniform per lane (drawn from
+            # that lane's own rng, so lanes stay order-independent), rescaled
+            # by the actual cdf total so rounding in the cumsum cannot push
+            # the draw past the last action.  Counting cdf entries <= draw is
+            # searchsorted(side="right"), vectorized over the batch.
+            uniforms = np.fromiter((rng.random() for rng in rngs), dtype=np.float64, count=batch)
+            draws = uniforms * cdfs[:, -1]
+            actions = np.minimum(
+                (cdfs <= draws[:, None]).sum(axis=1), cdfs.shape[1] - 1
+            ).astype(np.int64)
+        chosen = log_probs[np.arange(batch), actions]
+        return actions, values, chosen
+
     def step(
         self,
         observation: np.ndarray,
@@ -64,22 +116,18 @@ class ActorCritic(ABC):
     ) -> Tuple[int, float, float]:
         """Sample (or argmax) an action for a single observation.
 
-        Returns ``(action, value, log_prob)``; used during rollout so it runs
-        under ``no_grad``.
+        Delegates to :meth:`step_batch` with a batch of one, which is what
+        guarantees the serial rollout path and the vectorized engine at
+        ``num_envs=1`` stay bit-identical.
         """
         rng = as_rng(rng)
-        obs_batch = np.asarray(observation, dtype=np.float64)[None, :]
-        mask_batch = np.asarray(mask, dtype=np.float64)[None, :]
-        with no_grad():
-            log_probs = self.masked_log_probs(Tensor(obs_batch), mask_batch).numpy()[0]
-            value = float(self.value(Tensor(obs_batch)).numpy()[0])
-        probs = np.exp(log_probs)
-        probs = probs / probs.sum()
-        if deterministic:
-            action = int(np.argmax(log_probs))
-        else:
-            action = int(rng.choice(len(probs), p=probs))
-        return action, value, float(log_probs[action])
+        actions, values, log_probs = self.step_batch(
+            np.asarray(observation, dtype=np.float64)[None, :],
+            np.asarray(mask, dtype=np.float64)[None, :],
+            rngs=None if deterministic else [rng],
+            deterministic=deterministic,
+        )
+        return int(actions[0]), float(values[0]), float(log_probs[0])
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,261 @@
+"""Vectorized multi-environment rollout engine.
+
+:class:`VecBackfillEnv` steps N independent scheduling environments (each one
+wrapping its own :class:`~repro.scheduler.simulator.Simulator` generator) in
+lockstep.  At every iteration the current observations of all still-active
+lanes are stacked into one ``(lanes, observation_size)`` matrix, the policy
+and value networks run **once** for the whole batch
+(:meth:`~repro.rl.ppo.ActorCritic.step_batch`), and each lane's environment
+is advanced with its sampled action.  Trajectories stream into per-lane
+:class:`~repro.rl.buffer.TrajectoryBuffer` instances and are merged into the
+epoch buffer as episodes complete.
+
+Determinism contract (enforced by ``tests/test_vec_env.py``):
+
+* **Serial parity** -- with one lane, the engine performs exactly the same
+  environment interactions, rng draws, and buffer writes as the serial
+  ``Trainer.run_trajectory`` path, bit for bit.  The serial path is literally
+  the ``num_envs=1`` case.
+* **Lane independence** -- each lane owns its environment and its action rng,
+  so the trajectory produced for a given (sequence, rng) pair does not depend
+  on which lane index it occupies or on what the other lanes are doing.
+  (Independence is exact at the trajectory level -- actions, rewards,
+  schedules.  The raw value/log-prob floats can differ in the last ulp with
+  batch composition because row-blocked BLAS kernels may vary the summation
+  order per row position.)
+
+The design follows Decima-style vectorized trainers (``VecDagSchedEnv``):
+batching across environments amortizes the per-forward-pass overhead, which
+dominates rollout collection for the paper's tiny kernel networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rl.buffer import TrajectoryBuffer
+from repro.rl.env import Environment, StepResult
+from repro.rl.ppo import ActorCritic
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+
+__all__ = ["VecBackfillEnv"]
+
+
+class VecBackfillEnv:
+    """Steps N independent backfilling environments in lockstep."""
+
+    def __init__(self, envs: Sequence[Environment]):
+        if not envs:
+            raise ValueError("VecBackfillEnv needs at least one environment lane")
+        sizes = {(env.observation_size, env.num_actions) for env in envs}
+        if len(sizes) != 1:
+            raise ValueError(
+                f"environment lanes disagree on observation/action sizes: {sorted(sizes)}"
+            )
+        if len({id(env) for env in envs}) != len(envs):
+            raise ValueError("environment lanes must be distinct instances")
+        self.envs: List[Environment] = list(envs)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_template(
+        cls, env: Environment, num_envs: int, seed: SeedLike = None
+    ) -> "VecBackfillEnv":
+        """Build ``num_envs`` lanes from one template environment.
+
+        Lane 0 is the template itself (so the ``num_envs=1`` engine is the
+        serial environment, unchanged); the other lanes are independent
+        clones seeded from ``seed``.  The template must expose ``clone(seed)``
+        (as :class:`~repro.core.environment.BackfillEnvironment` does).
+        """
+        if num_envs <= 0:
+            raise ValueError(f"num_envs must be positive, got {num_envs}")
+        if num_envs == 1:
+            return cls([env])
+        clone = getattr(env, "clone", None)
+        if clone is None:
+            raise TypeError(
+                f"{type(env).__name__} has no clone(); pass explicit lanes to VecBackfillEnv"
+            )
+        lane_rngs = spawn_rngs(as_rng(seed), num_envs - 1)
+        return cls([env] + [clone(seed=rng) for rng in lane_rngs])
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    @property
+    def observation_size(self) -> int:
+        return self.envs[0].observation_size
+
+    @property
+    def num_actions(self) -> int:
+        return self.envs[0].num_actions
+
+    # -- lane access ----------------------------------------------------------
+    def reset_lane(self, lane: int, **kwargs) -> Tuple[np.ndarray, np.ndarray]:
+        """Reset one lane; returns its ``(observation, mask)``."""
+        return self.envs[lane].reset(**kwargs)
+
+    def step_lane(self, lane: int, action: int) -> StepResult:
+        """Advance one lane with ``action``."""
+        return self.envs[lane].step(action)
+
+    # -- lockstep rollout ------------------------------------------------------
+    def rollout(
+        self,
+        actor_critic: ActorCritic,
+        num_trajectories: int,
+        buffer: TrajectoryBuffer,
+        rngs: Sequence[np.random.Generator] | None = None,
+        deterministic: bool = False,
+        episode_jobs: Optional[Sequence] = None,
+    ) -> List[Dict]:
+        """Collect ``num_trajectories`` episodes across all lanes.
+
+        Each iteration batches the observations of every active lane into one
+        matrix, runs a single forward pass through ``actor_critic``, and steps
+        each lane with its sampled action.  A lane that finishes an episode
+        immediately starts the next one while other lanes keep running, so no
+        lane ever idles waiting for a barrier.
+
+        Parameters
+        ----------
+        actor_critic:
+            Policy/value model driven through :meth:`ActorCritic.step_batch`.
+        num_trajectories:
+            Total episodes to collect across all lanes.
+        buffer:
+            Epoch buffer receiving every completed trajectory (via
+            :meth:`TrajectoryBuffer.absorb`, in completion order).
+        rngs:
+            One action-sampling generator per lane.  Defaults to fresh
+            generators (only acceptable for throwaway rollouts).
+        deterministic:
+            Argmax actions instead of sampling (evaluation mode).
+        episode_jobs:
+            Optional list of ``num_trajectories`` fixed job sequences; episode
+            ``k`` is started with ``reset(jobs=episode_jobs[k])`` instead of
+            sampling from the lane's trace.  Episodes are handed to lanes in
+            order as lanes become free.
+
+        Returns one info dict per completed episode (the environment's
+        terminal info plus ``episode_reward``/``episode_steps``), in
+        completion order.
+        """
+        if num_trajectories <= 0:
+            raise ValueError(f"num_trajectories must be positive, got {num_trajectories}")
+        if episode_jobs is not None and len(episode_jobs) != num_trajectories:
+            raise ValueError(
+                f"episode_jobs has {len(episode_jobs)} sequences for "
+                f"{num_trajectories} trajectories"
+            )
+        if rngs is None:
+            rngs = [as_rng(None) for _ in range(self.num_envs)]
+        if len(rngs) != self.num_envs:
+            raise ValueError(f"need one rng per lane ({self.num_envs}), got {len(rngs)}")
+
+        lane_buffers = [
+            TrajectoryBuffer(gamma=buffer.gamma, lam=buffer.lam) for _ in self.envs
+        ]
+        observations: List[Optional[np.ndarray]] = [None] * self.num_envs
+        masks: List[Optional[np.ndarray]] = [None] * self.num_envs
+        episode_rewards = [0.0] * self.num_envs
+        episode_steps = [0] * self.num_envs
+        infos: List[Dict] = []
+        # Environments that support deferred encoding let us batch the
+        # observation feature pass across lanes as well as the forward pass.
+        deferred = all(hasattr(env, "pending_encode") for env in self.envs)
+        builder = getattr(self.envs[0], "builder", None) if deferred else None
+
+        def start_episode(lane: int, episode_index: int) -> None:
+            if episode_jobs is not None:
+                obs, mask = self.envs[lane].reset(jobs=episode_jobs[episode_index])
+            else:
+                obs, mask = self.envs[lane].reset()
+            observations[lane] = obs
+            masks[lane] = mask
+            episode_rewards[lane] = 0.0
+            episode_steps[lane] = 0
+
+        started = min(self.num_envs, num_trajectories)
+        active = list(range(started))
+        for lane in active:
+            start_episode(lane, lane)
+
+        encoded_matrix: Optional[np.ndarray] = None
+        encoded_for: List[int] = []
+        while active:
+            if encoded_matrix is not None and encoded_for == active:
+                # The previous iteration's batched encode already produced
+                # this iteration's observation matrix, row for row.
+                obs_batch = encoded_matrix
+            else:
+                obs_batch = np.stack([observations[lane] for lane in active])
+            mask_batch = np.stack([masks[lane] for lane in active])
+            actions, values, log_probs = actor_critic.step_batch(
+                obs_batch,
+                mask_batch,
+                rngs=None if deterministic else [rngs[lane] for lane in active],
+                deterministic=deterministic,
+            )
+            action_list = actions.tolist()
+            value_list = values.tolist()
+            log_prob_list = log_probs.tolist()
+            still_active: List[int] = []
+            encode_lanes: List[int] = []
+            for row, lane in enumerate(active):
+                action = action_list[row]
+                env = self.envs[lane]
+                result = env.step(action, encode=False) if deferred else env.step(action)
+                lane_buffers[lane].store(
+                    observations[lane],
+                    masks[lane],
+                    action,
+                    result.reward,
+                    value_list[row],
+                    log_prob_list[row],
+                )
+                episode_rewards[lane] += result.reward
+                episode_steps[lane] += 1
+                if result.done:
+                    lane_buffers[lane].finish_path(last_value=0.0)
+                    info = dict(result.info)
+                    info.update(
+                        {
+                            "episode_reward": episode_rewards[lane],
+                            "episode_steps": episode_steps[lane],
+                            "lane": lane,
+                        }
+                    )
+                    infos.append(info)
+                    buffer.absorb(lane_buffers[lane])
+                    if started < num_trajectories:
+                        start_episode(lane, started)
+                        started += 1
+                        still_active.append(lane)
+                else:
+                    masks[lane] = result.mask
+                    if deferred:
+                        encode_lanes.append(lane)
+                    else:
+                        observations[lane] = result.observation
+                    still_active.append(lane)
+            if encode_lanes:
+                # One feature-encoding pass for every lane that advanced.
+                encoded = builder.encode_batch(
+                    [self.envs[lane].pending_encode() for lane in encode_lanes]
+                )
+                for row, lane in enumerate(encode_lanes):
+                    observations[lane] = encoded[row]
+                encoded_matrix, encoded_for = encoded, encode_lanes
+            else:
+                encoded_matrix, encoded_for = None, []
+            active = still_active
+        return infos
+
+    def __repr__(self) -> str:
+        return f"VecBackfillEnv(num_envs={self.num_envs}, envs={type(self.envs[0]).__name__})"

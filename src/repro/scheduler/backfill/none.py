@@ -1,4 +1,11 @@
-"""The no-backfilling strategy: strict priority-order scheduling."""
+"""The no-backfilling strategy: strict priority-order scheduling.
+
+When the highest-priority waiting job cannot start, the machine simply idles
+until it can -- no lower-priority job may jump ahead.  This is the pure base
+policy (FCFS/SJF/WFP3/F1) and the lower bound every backfilling strategy is
+measured against: the gap between ``none`` and EASY on a trace is the whole
+prize that backfilling (heuristic or learned) competes for.
+"""
 
 from __future__ import annotations
 

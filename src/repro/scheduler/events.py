@@ -64,6 +64,11 @@ class DecisionPoint:
         submission time -- the observation the RL agent sees.
     machine:
         Live machine state (read-only use expected).
+    queue_sorted:
+        Producer's promise that ``queue`` is already sorted by
+        ``(submit_time, job_id)``; lets the observation encoder skip its
+        defensive re-sort on the rollout hot path.  Leave ``False`` for
+        hand-built decision points unless the ordering is guaranteed.
     """
 
     time: float
@@ -73,6 +78,7 @@ class DecisionPoint:
     candidates: List[Job]
     queue: List[Job] = field(default_factory=list)
     machine: Optional["Machine"] = None
+    queue_sorted: bool = False
 
     @property
     def free_processors(self) -> int:

@@ -42,6 +42,12 @@ class PriorityPolicy(ABC):
     #: Human-readable policy name used in experiment tables.
     name: str = "policy"
 
+    #: True when the policy's selection order (including tie-breaks) is
+    #: exactly (submit_time, job_id).  The simulator keeps its waiting queue
+    #: sorted that way, so such policies can select the queue head without a
+    #: scan -- the hot path of rollout collection.
+    selects_by_arrival: bool = False
+
     @abstractmethod
     def score(self, job: Job, now: float) -> float:
         """Priority score of ``job`` at simulation time ``now`` (lower is better)."""
@@ -68,6 +74,9 @@ class FCFS(PriorityPolicy):
     """First-Come-First-Serve: jobs run in submission order."""
 
     name = "FCFS"
+    # score = submit_time with (submit_time, job_id) tie-breaks reduces the
+    # selection order to exactly arrival order.
+    selects_by_arrival = True
 
     def score(self, job: Job, now: float) -> float:
         return job.submit_time

@@ -177,7 +177,7 @@ class Simulator:
             state.queue.append(state.pending.popleft())
 
     def _start(self, state: _SimState, job: Job, backfilled: bool) -> None:
-        record = state.machine.start(job, state.now)
+        record = state.machine.start(job, state.now, estimator=self.estimator)
         state.records[job.job_id] = JobRecord(
             job=job,
             start_time=state.now,
@@ -205,7 +205,12 @@ class Simulator:
         drained.
         """
         while state.queue:
-            rjob = self.policy.select(state.queue, state.now)
+            # state.queue is sorted by (submit_time, job_id), so arrival-order
+            # policies (FCFS) take the head directly instead of scanning.
+            if self.policy.selects_by_arrival:
+                rjob = state.queue[0]
+            else:
+                rjob = self.policy.select(state.queue, state.now)
             if state.machine.can_start(rjob):
                 self._start(state, rjob, backfilled=False)
                 self._remove(state.queue, rjob.job_id)
@@ -218,12 +223,27 @@ class Simulator:
     def _backfill_opportunity(
         self, state: _SimState, rjob: Job
     ) -> Generator[DecisionPoint, Optional[Job], None]:
+        rjob_id = rjob.job_id
+        previous: Optional[List[Job]] = None
         while True:
-            candidates = [
-                job
-                for job in state.queue
-                if job.job_id != rjob.job_id and state.machine.can_start(job)
-            ]
+            # ``state.queue`` is kept sorted by (submit_time, job_id) by
+            # construction (jobs are admitted from the sorted pending deque),
+            # so the decision-point snapshot is a plain copy and the candidate
+            # fit check is a direct comparison against the free count.
+            free = state.machine.free_processors
+            if previous is None:
+                candidates = [
+                    job
+                    for job in state.queue
+                    if job.requested_processors <= free and job.job_id != rjob_id
+                ]
+            else:
+                # Same instant, fewer free processors, one job removed: the
+                # new candidate set is a filter of the previous one (queue
+                # order is preserved), so skip the full queue scan.
+                candidates = [
+                    job for job in previous if job.requested_processors <= free
+                ]
             if not candidates:
                 return
             reservation_time, extra = state.machine.earliest_start_estimate(
@@ -235,8 +255,9 @@ class Simulator:
                 reservation_time=reservation_time,
                 extra_processors=extra,
                 candidates=candidates,
-                queue=sorted(state.queue, key=lambda j: (j.submit_time, j.job_id)),
+                queue=list(state.queue),
                 machine=state.machine,
+                queue_sorted=True,
             )
             state.decision_count += 1
             choice = yield decision
@@ -250,12 +271,26 @@ class Simulator:
                 )
             self._start(state, choice, backfilled=True)
             self._remove(state.queue, choice.job_id)
+            previous = [job for job in candidates if job.job_id != choice.job_id]
 
     def _advance_time(self, state: _SimState) -> bool:
         next_arrival = state.pending[0].submit_time if state.pending else math.inf
-        next_completion = state.machine.next_completion_time()
-        next_completion = math.inf if next_completion is None else next_completion
-        next_time = min(next_arrival, next_completion)
+        if not state.queue:
+            # Fast path: with an empty waiting queue, intermediate completions
+            # cannot enable any scheduling decision, so skip the event gap in
+            # one jump -- straight to the next arrival, or (when no arrivals
+            # remain) to the last completion, draining the machine.  Utilization
+            # accounting stays exact because ``release_completed`` integrates
+            # each release at its own completion instant.
+            if state.pending:
+                next_time = next_arrival
+            else:
+                last_completion = state.machine.last_completion_time()
+                next_time = math.inf if last_completion is None else last_completion
+        else:
+            next_completion = state.machine.next_completion_time()
+            next_completion = math.inf if next_completion is None else next_completion
+            next_time = min(next_arrival, next_completion)
         if math.isinf(next_time):
             return False
         state.now = max(state.now, next_time)
