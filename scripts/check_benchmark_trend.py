@@ -1,0 +1,131 @@
+"""CI rollout-throughput trend check.
+
+Compares the ratio metrics recorded in a pytest-benchmark JSON artifact
+(``extra_info`` of each benchmark) against the committed baseline in
+``benchmarks/throughput_baseline.json`` and exits non-zero when any metric
+regresses by more than the configured tolerance (default 20%).
+
+The baseline stores machine-*relative* ratios (e.g. ``vec[16]`` vs the
+serial reference, or the 4-worker lane pool vs the single-process engine)
+rather than absolute decisions/sec, so the check transfers across runner
+hardware.  Metrics can be gated on a minimum usable-core count recorded by
+the benchmark itself (``min_cores``/``cores_key``), which keeps the
+multiprocess speedup check honest on small runners.  Each metric declares
+``higher_is_better``; lower-is-better metrics regress when the measurement
+exceeds ``baseline * (1 + tolerance)``.
+
+A benchmark or metric absent from the results JSON is reported as MISSING
+with a warning but does not fail the check by default -- the (deliberately
+non-blocking) benchmark job's own failure covers that case; pass
+``--strict`` to treat missing data as a failure instead.
+
+Usage:
+    python scripts/check_benchmark_trend.py [--strict] RESULTS.json [BASELINE.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "benchmarks" / "throughput_baseline.json"
+
+
+def load_extra_info(results_path: Path) -> dict[str, dict]:
+    """Map benchmark name fragments to their recorded extra_info dicts."""
+    with results_path.open() as handle:
+        results = json.load(handle)
+    infos: dict[str, dict] = {}
+    for bench in results.get("benchmarks", []):
+        # pytest-benchmark names look like "test_bench_lane_pool" or
+        # "benchmarks/test_bench_lane_pool.py::test_bench_lane_pool".
+        infos[bench["name"].split("::")[-1]] = bench.get("extra_info", {})
+    return infos
+
+
+def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = float(baseline.get("tolerance", 0.2))
+    infos = load_extra_info(results_path)
+
+    failures: list[str] = []
+    missing: list[str] = []
+    skipped: list[str] = []
+    passed: list[str] = []
+    for metric in baseline["metrics"]:
+        bench_name = metric["benchmark"]
+        key = metric["key"]
+        reference = float(metric["baseline"])
+        higher_is_better = bool(metric.get("higher_is_better", True))
+        info = infos.get(bench_name)
+        label = f"{bench_name}:{key}"
+        if info is None:
+            missing.append(f"{label}: benchmark missing from results JSON")
+            continue
+        min_cores = metric.get("min_cores")
+        if min_cores is not None:
+            cores = info.get(metric.get("cores_key", "usable_cores"))
+            if cores is None or int(cores) < int(min_cores):
+                skipped.append(f"{label}: needs >= {min_cores} cores (run had {cores})")
+                continue
+        measured = info.get(key)
+        if measured is None:
+            missing.append(f"{label}: metric missing from benchmark extra_info")
+            continue
+        measured = float(measured)
+        if higher_is_better:
+            limit = reference * (1.0 - tolerance)
+            regressed = measured < limit
+            bound = f"floor {limit:.3f} (-{tolerance:.0%})"
+        else:
+            limit = reference * (1.0 + tolerance)
+            regressed = measured > limit
+            bound = f"ceiling {limit:.3f} (+{tolerance:.0%})"
+        verdict = f"{label}: measured {measured:.3f}, baseline {reference:.3f}, {bound}"
+        if regressed:
+            failures.append(f"REGRESSION {verdict}")
+        else:
+            passed.append(f"ok {verdict}")
+
+    for line in passed:
+        print(line)
+    for line in skipped:
+        print(f"skipped {line}")
+    for line in missing:
+        # ::warning:: renders as an annotation on GitHub runners and is
+        # harmless plain text elsewhere.
+        print(f"::warning::trend check MISSING {line}")
+    if strict and missing:
+        failures.extend(missing)
+    if failures:
+        print()
+        for line in failures:
+            print(line, file=sys.stderr)
+        print(
+            f"\nrollout-throughput trend check FAILED "
+            f"({len(failures)} metric(s) regressed > {tolerance:.0%} or missing)",
+            file=sys.stderr,
+        )
+        return 1
+    note = f", {len(missing)} missing (non-strict)" if missing else ""
+    print(f"\nrollout-throughput trend check passed ({len(passed)} metric(s){note})")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--strict"]
+    strict = "--strict" in argv[1:]
+    if len(args) not in (1, 2):
+        print(__doc__, file=sys.stderr)
+        return 2
+    results_path = Path(args[0])
+    baseline_path = Path(args[1]) if len(args) == 2 else DEFAULT_BASELINE
+    if not results_path.is_file():
+        print(f"results file not found: {results_path}", file=sys.stderr)
+        return 2
+    return check(results_path, baseline_path, strict=strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

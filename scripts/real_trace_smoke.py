@@ -1,0 +1,83 @@
+"""Table-4 smoke test on the real SDSC-SP2 and HPC2N archive traces.
+
+CI fetches (or restores from the actions cache) the public SWF files from the
+Parallel Workloads Archive into ``$REPRO_SWF_DIR`` and runs this script; it
+verifies the *real* traces are actually being parsed (not the calibrated
+synthetic substitutes), regenerates the Table 4 structure at smoke scale on
+both traces, and sanity-checks every measured cell.  Exit codes:
+
+* 0 -- smoke passed,
+* 1 -- table values failed validation,
+* 2 -- the SWF files are missing (environment/setup problem, not a code bug).
+
+Run locally with:
+
+    REPRO_SWF_DIR=/path/to/swf python scripts/real_trace_smoke.py
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.experiments.table4 import run_table4
+from repro.workloads import archive
+from repro.workloads.archive import load_trace
+
+TRACES = ("SDSC-SP2", "HPC2N")
+
+
+def main() -> int:
+    swf_dir = os.environ.get(archive.SWF_DIR_ENV)
+    if not swf_dir:
+        print(f"{archive.SWF_DIR_ENV} is not set; nothing to smoke-test", file=sys.stderr)
+        return 2
+    missing = [name for name in TRACES if archive._find_swf_file(name) is None]
+    if missing:
+        print(
+            f"no SWF archive file found in {swf_dir!r} for: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    for name in TRACES:
+        trace = load_trace(name, num_jobs=1_500)
+        path = archive._find_swf_file(name)
+        print(
+            f"{name}: parsed real archive trace from {path} -- "
+            f"{len(trace)} jobs, {trace.num_processors} processors, "
+            f"user estimates: {trace.has_user_estimates}"
+        )
+        if not trace.has_user_estimates:
+            print(f"{name}: real archive trace should carry user estimates", file=sys.stderr)
+            return 1
+
+    result = run_table4(scale="smoke", traces=TRACES, seed=0)
+    print()
+    print(result.to_text())
+
+    failures = []
+    for trace_name, row in result.values.items():
+        for label, value in row.items():
+            if value is None:
+                continue
+            if not np.isfinite(value) or value < 1.0:
+                failures.append(f"{trace_name}/{label} = {value}")
+        for policy in ("FCFS", "SJF"):
+            if row.get(f"{policy}+RLBF") is None:
+                failures.append(f"{trace_name}/{policy}+RLBF missing")
+    if failures:
+        print("\nreal-trace table-4 smoke FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nreal-trace table-4 smoke passed "
+          f"({sum(len(row) for row in result.values.values())} cells validated)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

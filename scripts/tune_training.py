@@ -48,6 +48,12 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--num-envs", type=int, default=4,
                         help="vectorized rollout lanes (1 = serial collection)")
+    parser.add_argument("--backend", choices=("local", "process"), default="local",
+                        help="where the lanes live: in-process, or sharded across "
+                             "a multiprocess lane pool with shared-memory batching")
+    parser.add_argument("--num-workers", type=int, default=None,
+                        help="worker processes for --backend process "
+                             "(default: one per available core)")
     parser.add_argument("--epochs", type=int, default=60)
     args = parser.parse_args()
     trace = load_trace("SDSC-SP2", num_jobs=4000)
@@ -71,20 +77,22 @@ def main():
         ppo=PPOConfig(policy_iterations=20, value_iterations=30, value_lr=3e-3, lam=0.9),
         seed=7,
         num_envs=args.num_envs,
+        backend=args.backend,
+        num_workers=args.num_workers,
     )
-    trainer = Trainer(env, agent, cfg, seed=7)
-    start = time.time()
-    for epoch in range(1, cfg.epochs + 1):
-        stats = trainer.train_epoch(epoch)
-        if epoch % 5 == 0 or epoch == 1:
-            print(
-                f"epoch {epoch:3d} bsld {stats.mean_bsld:7.1f} baseline {stats.mean_baseline_bsld:7.1f} "
-                f"reward {stats.mean_episode_reward:7.2f} viol {stats.mean_violations:.1f} "
-                f"kl {stats.approximate_kl:.4f} ({time.time() - start:.0f}s)",
-                flush=True,
-            )
-        if epoch % 15 == 0:
-            print("  eval", {k: round(v, 1) for k, v in evaluate(trace, agent, seqs).items()}, flush=True)
+    with Trainer(env, agent, cfg, seed=7) as trainer:
+        start = time.time()
+        for epoch in range(1, cfg.epochs + 1):
+            stats = trainer.train_epoch(epoch)
+            if epoch % 5 == 0 or epoch == 1:
+                print(
+                    f"epoch {epoch:3d} bsld {stats.mean_bsld:7.1f} baseline {stats.mean_baseline_bsld:7.1f} "
+                    f"reward {stats.mean_episode_reward:7.2f} viol {stats.mean_violations:.1f} "
+                    f"kl {stats.approximate_kl:.4f} ({time.time() - start:.0f}s)",
+                    flush=True,
+                )
+            if epoch % 15 == 0:
+                print("  eval", {k: round(v, 1) for k, v in evaluate(trace, agent, seqs).items()}, flush=True)
     print("final eval", {k: round(v, 1) for k, v in evaluate(trace, agent, seqs).items()}, flush=True)
 
 

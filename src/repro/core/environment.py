@@ -176,9 +176,15 @@ class BackfillEnvironment(Environment):
 
     def _start_episode(
         self, jobs: Sequence[Job], cached_baseline: float | None = None
-    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """Begin an episode over ``jobs``; returns the first observation or
-        ``None`` if the sequence produces no backfilling opportunity."""
+    ) -> Optional[np.ndarray]:
+        """Begin an episode over ``jobs``; returns the first action mask or
+        ``None`` if the sequence produces no backfilling opportunity.
+
+        Only the cheap mask half of the first decision point is computed here;
+        the observation is encoded by the caller (:meth:`reset`) once an
+        episode start is accepted, so rejected reset attempts (no opportunity,
+        or below the contention filter) never pay for feature encoding.
+        """
         self._jobs = list(jobs)
         # Static per-job quantities (columns: submit_time, requested_time,
         # requested_processors, job_id), gathered once per episode so the
@@ -210,10 +216,7 @@ class BackfillEnvironment(Environment):
             self._generator = None
             self._decision = None
             return None
-        mask = self._advance_to_actionable()
-        if mask is None:
-            return None
-        return self.encode_observation(), mask
+        return self._advance_to_actionable()
 
     def _advance_to_actionable(self) -> Optional[np.ndarray]:
         """Advance to the next actionable decision point, returning its mask.
@@ -280,33 +283,44 @@ class BackfillEnvironment(Environment):
         """Encode the current decision point's observation vector."""
         return self.builder.encode_batch([self.pending_encode()])[0]
 
-    def reset(self, jobs: Sequence[Job] | None = None) -> Tuple[np.ndarray, np.ndarray]:
-        """Sample (or accept) a job sequence and run to the first decision point."""
+    def reset(
+        self, jobs: Sequence[Job] | None = None, encode: bool = True
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """Sample (or accept) a job sequence and run to the first decision point.
+
+        With ``encode=False`` the returned observation is ``None`` and the
+        caller encodes later through :meth:`pending_encode` -- the vectorized
+        engine and the multiprocess lane pool use this to batch the first
+        observation of restarted lanes together with the stepped lanes'
+        observations in one :meth:`ObservationBuilder.encode_batch` pass.
+        """
+        mask = self._reset_to_mask(jobs)
+        observation = self.encode_observation() if encode else None
+        return observation, mask
+
+    def _reset_to_mask(self, jobs: Sequence[Job] | None) -> np.ndarray:
+        """Start a new episode and return the first action mask."""
         if jobs is not None:
-            started = self._start_episode(jobs)
-            if started is None:
+            mask = self._start_episode(jobs)
+            if mask is None:
                 raise ValueError(
                     "the provided job sequence produced no backfilling opportunity; "
                     "the RL agent has no decisions to make on it"
                 )
-            return started
+            return mask
         if self.training_pool_size is not None and len(self._pool) >= self.training_pool_size:
             index = int(self.rng.integers(0, len(self._pool)))
-            started = self._start_episode(
+            mask = self._start_episode(
                 self._pool[index], cached_baseline=self._pool_baselines[index]
             )
-            if started is None:  # pragma: no cover - pool entries were validated on insert
+            if mask is None:  # pragma: no cover - pool entries were validated on insert
                 raise RuntimeError("pooled training sequence lost its backfilling opportunities")
-            return started
-        best: Tuple[float, Optional[Tuple[np.ndarray, np.ndarray]], Optional[List[Job]]] = (
-            -1.0,
-            None,
-            None,
-        )
+            return mask
+        best: Tuple[float, Optional[List[Job]]] = (-1.0, None)
         for _ in range(self.max_reset_attempts):
             sampled = sample_sequence(self.trace, self.sequence_length, seed=self.rng)
-            started = self._start_episode(sampled)
-            if started is None:
+            mask = self._start_episode(sampled)
+            if mask is None:
                 continue
             contended_enough = (
                 self.min_baseline_bsld is None or self.baseline_bsld >= self.min_baseline_bsld
@@ -315,18 +329,18 @@ class BackfillEnvironment(Environment):
                 if self.training_pool_size is not None:
                     self._pool.append(sampled)
                     self._pool_baselines.append(self.baseline_bsld)
-                return started
+                return mask
             if self.baseline_bsld > best[0]:
-                best = (self.baseline_bsld, started, sampled)
-        if best[1] is not None and best[2] is not None:
+                best = (self.baseline_bsld, sampled)
+        if best[1] is not None:
             # No sequence met the contention filter; fall back to the most
             # contended one seen so the episode can still proceed.
-            started = self._start_episode(best[2], cached_baseline=best[0])
-            if started is not None:
+            mask = self._start_episode(best[1], cached_baseline=best[0])
+            if mask is not None:
                 if self.training_pool_size is not None:
-                    self._pool.append(best[2])
+                    self._pool.append(best[1])
                     self._pool_baselines.append(best[0])
-                return started
+                return mask
         raise RuntimeError(
             f"could not sample a job sequence with backfilling opportunities from trace "
             f"{self.trace.name!r} after {self.max_reset_attempts} attempts"

@@ -29,8 +29,8 @@ import numpy as np
 from repro.core.agent import RLBackfillAgent
 from repro.core.environment import BackfillEnvironment
 from repro.rl.buffer import TrajectoryBuffer
+from repro.rl.lane_pool import make_rollout_engine
 from repro.rl.ppo import PPO, PPOConfig, PPOUpdateStats
-from repro.rl.vec_env import VecBackfillEnv
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 
@@ -51,6 +51,18 @@ class TrainerConfig:
     #: rollout engine.  1 = the serial path (one lane, batch-of-one forward
     #: passes); larger values batch the policy forward pass across lanes.
     num_envs: int = 1
+    #: Where the lanes live: ``"local"`` steps them in-process
+    #: (:class:`~repro.rl.vec_env.VecBackfillEnv`); ``"process"`` shards them
+    #: across a pool of worker processes exchanging fixed-layout arrays
+    #: through shared memory (:class:`~repro.rl.lane_pool.ProcessLanePool`).
+    backend: str = "local"
+    #: Worker-process count for the process backend (``None`` = one per
+    #: available core, capped at ``num_envs``).  Ignored by the local backend.
+    num_workers: Optional[int] = None
+    #: Drain-phase work stealing for the process backend: lanes that finish
+    #: while the epoch drains immediately start next-epoch episodes, which
+    #: are banked and credited to the next collection call.
+    work_stealing: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -59,6 +71,10 @@ class TrainerConfig:
             raise ValueError("trajectories_per_epoch must be positive")
         if self.num_envs <= 0:
             raise ValueError("num_envs must be positive")
+        if self.backend not in ("local", "process"):
+            raise ValueError(f"backend must be 'local' or 'process', got {self.backend!r}")
+        if self.num_workers is not None and self.num_workers <= 0:
+            raise ValueError("num_workers must be positive when given")
 
     @classmethod
     def paper_scale(cls, epochs: int = 200) -> "TrainerConfig":
@@ -155,6 +171,14 @@ class Trainer:
     lanes are independent clones.  Every lane has its own action-sampling
     rng (lane 0 uses the trainer rng, preserving bit-identical behaviour of
     the ``num_envs=1`` case with the serial :meth:`run_trajectory` loop).
+
+    With ``config.backend == "process"`` the lanes are hosted by a
+    :class:`~repro.rl.lane_pool.ProcessLanePool` instead: simulator stepping
+    runs in worker processes while the batched forward pass stays here.  The
+    worker owns its copy of each lane environment, so ``self.environment``
+    no longer reflects rollout state (``last_result`` etc.); call
+    :meth:`close` (or use the trainer as a context manager) to shut the
+    worker pool down deterministically.
     """
 
     def __init__(
@@ -176,16 +200,22 @@ class Trainer:
             )
         self.ppo = PPO(self.agent, self.config.ppo, seed=seed)
         self.rng = as_rng(seed if seed is not None else self.config.seed)
-        # The num_envs == 1 branch must not touch self.rng (spawning draws
-        # from it), so the serial case consumes exactly the same rng stream
-        # as a hand-driven run_trajectory loop.
+        # Both backends derive lane environments through the same factory and
+        # the same seed draws (which is what makes a one-worker process pool
+        # bit-identical to the local engine), and the num_envs == 1 case
+        # draws nothing from self.rng, so the serial path consumes exactly
+        # the same rng stream as a hand-driven run_trajectory loop.
+        self.vec_env = make_rollout_engine(
+            environment,
+            self.config.num_envs,
+            seed=self.rng,
+            backend=self.config.backend,
+            num_workers=self.config.num_workers,
+            work_stealing=self.config.work_stealing,
+        )
         if self.config.num_envs == 1:
-            self.vec_env = VecBackfillEnv([environment])
             self.lane_rngs = [self.rng]
         else:
-            self.vec_env = VecBackfillEnv.from_template(
-                environment, self.config.num_envs, seed=self.rng
-            )
             self.lane_rngs = [self.rng] + spawn_rngs(self.rng, self.config.num_envs - 1)
 
     # -- rollouts -----------------------------------------------------------
@@ -264,3 +294,22 @@ class Trainer:
             if callback is not None:
                 callback(stats)
         return history
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Release the rollout engine (shuts down process-backend workers).
+
+        Idempotent; a no-op for the local backend.  The process pool also
+        cleans itself up at garbage collection and interpreter exit, but
+        explicit shutdown keeps worker lifetime deterministic in long-lived
+        programs.
+        """
+        close = getattr(self.vec_env, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Trainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -158,14 +158,20 @@ def train_rlbackfilling(
     seed: SeedLike = 0,
     reward_config: RewardConfig | None = None,
     num_envs: int | None = None,
+    backend: str | None = None,
+    num_workers: int | None = None,
 ) -> TrainedModel:
     """Train an RLBackfilling agent on ``trace`` with ``policy`` as the base scheduler.
 
     ``num_envs`` overrides the scale's vectorized-rollout width: rollouts are
     collected by stepping that many independent environment lanes in lockstep
     with one batched policy forward pass per decision step (see
-    :class:`repro.rl.vec_env.VecBackfillEnv`).  ``None`` keeps the scale's
-    trainer configuration unchanged.
+    :class:`repro.rl.vec_env.VecBackfillEnv`).  ``backend`` picks where those
+    lanes live: ``"local"`` steps them in-process, ``"process"`` shards them
+    across ``num_workers`` worker processes exchanging observations and
+    actions through shared memory
+    (:class:`repro.rl.lane_pool.ProcessLanePool`).  ``None`` keeps the
+    scale's trainer configuration unchanged.
     """
     scale = get_scale(scale)
     trace = resolve_trace(trace, scale)
@@ -184,10 +190,17 @@ def train_rlbackfilling(
     )
     agent = RLBackfillAgent(observation_config=observation_config, seed=rng)
     trainer_config = scale.trainer
+    overrides = {}
     if num_envs is not None:
-        trainer_config = replace(trainer_config, num_envs=num_envs)
-    trainer = Trainer(environment, agent, trainer_config, seed=rng)
-    history = trainer.train()
+        overrides["num_envs"] = num_envs
+    if backend is not None:
+        overrides["backend"] = backend
+    if num_workers is not None:
+        overrides["num_workers"] = num_workers
+    if overrides:
+        trainer_config = replace(trainer_config, **overrides)
+    with Trainer(environment, agent, trainer_config, seed=rng) as trainer:
+        history = trainer.train()
     return TrainedModel(
         agent=agent, history=history, trace_name=trace.name, policy_name=policy.name
     )

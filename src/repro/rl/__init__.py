@@ -12,6 +12,8 @@ building blocks from scratch on top of NumPy:
 * :mod:`repro.rl.ppo` -- the clipped-surrogate PPO update.
 * :mod:`repro.rl.env` -- the minimal environment interface the trainer expects.
 * :mod:`repro.rl.vec_env` -- the vectorized multi-environment rollout engine.
+* :mod:`repro.rl.ipc` -- shared-memory ring buffers for the lane pool.
+* :mod:`repro.rl.lane_pool` -- the multiprocess rollout lane pool.
 """
 
 from repro.rl.autograd import Tensor, no_grad
@@ -21,6 +23,7 @@ from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.ppo import PPO, PPOConfig, ActorCritic
 from repro.rl.env import Environment, StepResult
 from repro.rl.vec_env import VecBackfillEnv
+from repro.rl.lane_pool import ProcessLanePool, make_rollout_engine
 from repro.rl.running_stat import RunningMeanStd
 
 __all__ = [
@@ -42,5 +45,7 @@ __all__ = [
     "Environment",
     "StepResult",
     "VecBackfillEnv",
+    "ProcessLanePool",
+    "make_rollout_engine",
     "RunningMeanStd",
 ]

@@ -1,0 +1,935 @@
+"""Multiprocess rollout lane pool with shared-memory batching.
+
+:class:`ProcessLanePool` scales rollout collection across CPU cores: a
+persistent pool of worker processes each hosts a contiguous **shard** of
+simulator lanes, and the parent keeps running one batched policy forward pass
+per lockstep iteration across every worker's ready lanes.  Per iteration:
+
+1. the parent stacks the current observations of all running lanes
+   (ascending lane order, exactly like :class:`~repro.rl.vec_env.VecBackfillEnv`),
+   runs **one** ``ActorCritic.step_batch`` forward pass, and samples one
+   action per lane from that lane's own rng;
+2. the sampled actions are written into each worker's command frame in a
+   shared-memory ring (:class:`~repro.rl.ipc.ShmRing`) -- fixed-layout
+   ``int64``/``float64`` arrays, nothing is pickled on the hot path;
+3. each worker steps its shard's environments, encodes the advanced lanes'
+   next observations in one batched
+   :meth:`~repro.core.observation.ObservationBuilder.encode_batch` pass, and
+   writes observations/masks/rewards/terminal infos back through its result
+   ring;
+4. the parent stores the transition in per-lane trajectory buffers and
+   merges finished episodes into the epoch buffer, in lane order.
+
+**Drain-phase work stealing.**  At the tail of an epoch lanes finish at
+different times and the forward-pass batch would shrink.  With
+``work_stealing=True`` (the default for sampled-episode rollouts) a lane that
+finishes an episode immediately starts an episode for the *next* epoch
+instead of idling; episodes completed beyond the requested count -- and the
+partial trajectories still in flight when :meth:`rollout` returns -- are
+**banked** and credited to the next :meth:`rollout` call.  Batches stay full
+through the drain phase at the cost of collecting a small, bounded amount of
+next-epoch experience under the current policy (PPO's importance ratios
+already account for slightly stale behaviour policies).
+
+**Determinism contract** (see ``docs/simulator.md`` §4): worker shards
+preserve global lane indexing, workers process commands in ascending lane
+order, and per-lane episode-sampling rngs live inside the worker's
+environment while per-lane action rngs stay in the parent.  With **one
+worker and work stealing off**, the pool performs exactly the same
+environment interactions, rng draws, encode batches, and forward-pass batch
+compositions as the in-process engine -- trajectories and buffer contents
+are bit-identical (asserted in ``tests/test_lane_pool.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import weakref
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.rl.buffer import TrajectoryBuffer
+from repro.rl.env import Environment, StepResult
+from repro.rl.ipc import Field, FrameLayout, ShmRing
+from repro.rl.ppo import ActorCritic
+from repro.rl.vec_env import VecBackfillEnv, clone_lane_envs, validate_rollout_args
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["ProcessLanePool", "make_rollout_engine", "available_worker_count"]
+
+# -- wire protocol -------------------------------------------------------------
+#: Command-frame kinds.
+_KIND_ROUND = 0
+_KIND_SHUTDOWN = 1
+#: Receive this rollout call's fixed episode sequences from the control pipe
+#: (the parent pushes this frame *before* sending the payload, so a payload
+#: larger than the OS pipe buffer can never deadlock against a worker that is
+#: still blocked on the command ring).  No result frame is produced.
+_KIND_RECV_JOBS = 2
+
+#: Per-lane commands.
+_CMD_NOOP = 0
+_CMD_STEP = 1
+_CMD_RESET = 2
+
+#: ``arg`` values for ``_CMD_RESET`` beyond non-negative episode indices.
+_RESET_SAMPLE = -1     # sample a sequence from the lane's own trace rng
+_RESET_PIPE_JOBS = -2  # jobs for this reset arrive on the control pipe
+
+#: Per-lane result statuses.
+_LANE_IDLE = 0
+_LANE_RUNNING = 1
+_LANE_DONE_RESTARTED = 2
+_LANE_DONE_IDLE = 3
+#: The command for this lane raised a recoverable exception (bad action, a
+#: sequence without backfilling opportunities, reset-sampling exhaustion).
+#: The worker stays alive; details travel over the control pipe.
+_LANE_FAILED = 4
+
+#: Result-frame kinds.
+_RES_OK = 0
+_RES_ERROR = 1
+
+#: Terminal-info columns mirrored through shared memory.
+_INFO_FIELDS = ("bsld", "baseline_bsld", "violations", "steps")
+
+
+def available_worker_count() -> int:
+    """CPU cores usable by this process (affinity-aware, at least 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _command_layout(shard: int) -> FrameLayout:
+    return FrameLayout(
+        [
+            Field("kind", (), "int64"),
+            Field("credit_base", (), "int64"),
+            Field("credits", (), "int64"),
+            Field("cmd", (shard,), "int64"),
+            Field("arg", (shard,), "int64"),
+        ]
+    )
+
+
+def _result_layout(shard: int, observation_size: int, num_actions: int) -> FrameLayout:
+    return FrameLayout(
+        [
+            Field("kind", (), "int64"),
+            Field("claimed", (), "int64"),
+            Field("status", (shard,), "int64"),
+            Field("reward", (shard,), "float64"),
+            Field("info", (shard, len(_INFO_FIELDS)), "float64"),
+            Field("obs", (shard, observation_size), "float64"),
+            Field("mask", (shard, num_actions), "float64"),
+        ]
+    )
+
+
+# -- worker process ------------------------------------------------------------
+def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
+    """Host a shard of lane environments; loop over command frames forever.
+
+    Lanes are processed in ascending (local == global) order, mirroring the
+    in-process engine's active-list iteration; all advanced or restarted
+    lanes of one round share a single batched feature-encoding pass.
+    """
+    import traceback
+
+    shard = len(envs)
+    builder = envs[0].builder
+    episode_jobs = None
+    try:
+        while True:
+            frame = cmd_ring.pop()
+            kind = int(frame["kind"])
+            if kind == _KIND_SHUTDOWN:
+                break
+            if kind == _KIND_RECV_JOBS:
+                # Cold-path payloads ride the pipe, never the hot ring.  The
+                # parent pushed this frame before sending, so blocking here
+                # is what lets an arbitrarily large payload drain through the
+                # bounded pipe buffer without deadlocking either side.
+                _, episode_jobs = pipe.recv()
+                continue
+            credits = int(frame["credits"])
+            next_index = int(frame["credit_base"])
+            claimed = 0
+            status = np.full(shard, _LANE_IDLE, dtype=np.int64)
+            reward = np.zeros(shard, dtype=np.float64)
+            info = np.zeros((shard, len(_INFO_FIELDS)), dtype=np.float64)
+            obs = np.zeros((shard, envs[0].observation_size), dtype=np.float64)
+            mask = np.zeros((shard, envs[0].num_actions), dtype=np.float64)
+            encode_lanes: List[int] = []
+
+            cmd, arg = frame["cmd"], frame["arg"]
+            lane_errors: Dict[int, tuple] = {}
+            for lane, env in enumerate(envs):
+                op = int(cmd[lane])
+                if op == _CMD_NOOP:
+                    continue
+                if op == _CMD_RESET:
+                    index = int(arg[lane])
+                    try:
+                        if index == _RESET_PIPE_JOBS:
+                            # One-off sequence for this reset, sent after the
+                            # command frame (same no-deadlock ordering as above).
+                            _, reset_jobs = pipe.recv()
+                            _, mask[lane] = env.reset(jobs=reset_jobs, encode=False)
+                        elif index >= 0:
+                            _, mask[lane] = env.reset(jobs=episode_jobs[index], encode=False)
+                        else:
+                            _, mask[lane] = env.reset(encode=False)
+                    except Exception as exc:
+                        # Recoverable (e.g. a sequence without backfilling
+                        # opportunities): the lane stays idle, the worker and
+                        # its other lanes stay usable, the parent re-raises.
+                        status[lane] = _LANE_FAILED
+                        lane_errors[lane] = (type(exc).__name__, traceback.format_exc())
+                        continue
+                    status[lane] = _LANE_RUNNING
+                    encode_lanes.append(lane)
+                    continue
+                try:
+                    result = env.step(int(arg[lane]), encode=False)
+                except Exception as exc:
+                    # validate_action raises before mutating, so the episode
+                    # is still intact and the lane can be stepped again.
+                    status[lane] = _LANE_FAILED
+                    lane_errors[lane] = (type(exc).__name__, traceback.format_exc())
+                    continue
+                reward[lane] = result.reward
+                if result.done:
+                    info[lane] = [float(result.info[key]) for key in _INFO_FIELDS]
+                    if credits != 0:
+                        # Auto-restart in the same round, exactly where the
+                        # in-process engine restarts a finished lane.
+                        if episode_jobs is not None:
+                            _, mask[lane] = env.reset(
+                                jobs=episode_jobs[next_index], encode=False
+                            )
+                        else:
+                            _, mask[lane] = env.reset(encode=False)
+                        next_index += 1
+                        claimed += 1
+                        if credits > 0:
+                            credits -= 1
+                        status[lane] = _LANE_DONE_RESTARTED
+                        encode_lanes.append(lane)
+                    else:
+                        status[lane] = _LANE_DONE_IDLE
+                else:
+                    mask[lane] = result.mask
+                    status[lane] = _LANE_RUNNING
+                    encode_lanes.append(lane)
+
+            if encode_lanes:
+                encoded = builder.encode_batch(
+                    [envs[lane].pending_encode() for lane in encode_lanes]
+                )
+                for row, lane in enumerate(encode_lanes):
+                    obs[lane] = encoded[row]
+
+            if lane_errors:
+                # Sent before the result frame so the parent's follow-up
+                # recv finds it already queued.
+                pipe.send(("lane_errors", lane_errors))
+            res_ring.push(
+                {
+                    "kind": _RES_OK,
+                    "claimed": claimed,
+                    "status": status,
+                    "reward": reward,
+                    "info": info,
+                    "obs": obs,
+                    "mask": mask,
+                }
+            )
+    except Exception:  # pragma: no cover - exercised via the error-path test
+        detail = traceback.format_exc()
+        try:
+            pipe.send(("error", detail))
+        except Exception:
+            pass
+        try:
+            res_ring.push({"kind": _RES_ERROR}, timeout=1.0)
+        except Exception:
+            pass
+    finally:
+        cmd_ring.detach()
+        res_ring.detach()
+        pipe.close()
+
+
+def _shutdown_pool(processes, cmd_rings, res_rings, pipes) -> None:
+    """Best-effort teardown shared by ``close()`` and the GC finalizer."""
+    for process, ring in zip(processes, cmd_rings):
+        if process.is_alive():
+            try:
+                ring.push({"kind": _KIND_SHUTDOWN}, timeout=0.5)
+            except Exception:
+                pass
+    deadline = time.monotonic() + 5.0
+    for process in processes:
+        process.join(timeout=max(0.1, deadline - time.monotonic()))
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=1.0)
+    for ring in (*cmd_rings, *res_rings):
+        ring.close()
+    for pipe in pipes:
+        try:
+            pipe.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+
+
+class _LaneState:
+    """Parent-side view of one lane."""
+
+    __slots__ = ("running", "observation", "mask", "episode_reward", "episode_steps")
+
+    def __init__(self) -> None:
+        self.running = False
+        self.observation: Optional[np.ndarray] = None
+        self.mask: Optional[np.ndarray] = None
+        self.episode_reward = 0.0
+        self.episode_steps = 0
+
+    def start(self, observation: Optional[np.ndarray], mask: np.ndarray) -> None:
+        self.running = True
+        self.observation = observation
+        self.mask = mask
+        self.episode_reward = 0.0
+        self.episode_steps = 0
+
+    def retire(self) -> None:
+        self.running = False
+        self.observation = None
+        self.mask = None
+
+
+class ProcessLanePool:
+    """Persistent pool of worker processes hosting simulator lane shards.
+
+    Implements the same ``reset_lane`` / ``step_lane`` / ``rollout`` surface
+    as :class:`~repro.rl.vec_env.VecBackfillEnv`; construct one through
+    :func:`make_rollout_engine` with ``backend="process"``.
+    """
+
+    def __init__(
+        self,
+        envs: Sequence[Environment],
+        num_workers: int | None = None,
+        work_stealing: bool = True,
+        start_method: str | None = None,
+        ring_capacity: int = 2,
+        round_timeout: float = 120.0,
+    ):
+        if not envs:
+            raise ValueError("ProcessLanePool needs at least one environment lane")
+        sizes = {(env.observation_size, env.num_actions) for env in envs}
+        if len(sizes) != 1:
+            raise ValueError(
+                f"environment lanes disagree on observation/action sizes: {sorted(sizes)}"
+            )
+        if len({id(env) for env in envs}) != len(envs):
+            raise ValueError("environment lanes must be distinct instances")
+        for env in envs:
+            if not hasattr(env, "pending_encode"):
+                raise TypeError(
+                    "the process backend requires deferred-encoding environments "
+                    f"(reset/step with encode=False); {type(env).__name__} has no pending_encode()"
+                )
+
+        self._num_envs = len(envs)
+        self._observation_size = int(envs[0].observation_size)
+        self._num_actions = int(envs[0].num_actions)
+        self.work_stealing = bool(work_stealing)
+        self.round_timeout = float(round_timeout)
+
+        num_workers = num_workers if num_workers is not None else available_worker_count()
+        self.num_workers = max(1, min(int(num_workers), self._num_envs))
+        bounds = np.linspace(0, self._num_envs, self.num_workers + 1).astype(int)
+        #: ``shards[w] = (first_lane, one_past_last_lane)`` -- contiguous, so
+        #: global lane order equals (worker order, local lane order).
+        self.shards = [(int(bounds[w]), int(bounds[w + 1])) for w in range(self.num_workers)]
+
+        if start_method is None:
+            start_method = os.environ.get("REPRO_MP_START_METHOD")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+
+        self._cmd_rings: List[ShmRing] = []
+        self._res_rings: List[ShmRing] = []
+        self._pipes = []
+        self._processes = []
+        try:
+            for worker, (lo, hi) in enumerate(self.shards):
+                shard = hi - lo
+                cmd_ring = ShmRing(_command_layout(shard), ring_capacity, ctx)
+                self._cmd_rings.append(cmd_ring)
+                res_ring = ShmRing(
+                    _result_layout(shard, self._observation_size, self._num_actions),
+                    ring_capacity,
+                    ctx,
+                )
+                self._res_rings.append(res_ring)
+                parent_pipe, child_pipe = ctx.Pipe()
+                self._pipes.append(parent_pipe)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(list(envs[lo:hi]), cmd_ring, res_ring, child_pipe),
+                    name=f"lane-pool-worker-{worker}",
+                    daemon=True,
+                )
+                process.start()
+                child_pipe.close()
+                self._processes.append(process)
+        except BaseException:
+            # A mid-loop failure (e.g. unpicklable environment under spawn)
+            # must not leak the rings and workers already created.
+            _shutdown_pool(
+                self._processes, tuple(self._cmd_rings), tuple(self._res_rings),
+                tuple(self._pipes),
+            )
+            raise
+
+        self._closed = False
+        self._desynced = False
+        # finalize() both backs close() and runs at interpreter exit / GC, so
+        # worker processes and shared-memory segments can never leak.
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown_pool,
+            self._processes,
+            tuple(self._cmd_rings),
+            tuple(self._res_rings),
+            tuple(self._pipes),
+        )
+
+        # Parent-side rollout state (persists across rollout() calls so
+        # stolen in-flight episodes can resume next epoch).
+        self._lanes = [_LaneState() for _ in range(self._num_envs)]
+        self._lane_buffers: Optional[List[TrajectoryBuffer]] = None
+        self._bank: List[tuple] = []  # [(info, TrajectoryBuffer)] completed, uncredited
+        self._shipped_jobs: List[Optional[object]] = [None] * self.num_workers
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_template(
+        cls,
+        env: Environment,
+        num_envs: int,
+        seed: SeedLike = None,
+        **kwargs,
+    ) -> "ProcessLanePool":
+        """Build ``num_envs`` lanes from one template environment.
+
+        Lane construction is shared with
+        :meth:`VecBackfillEnv.from_template` (same helper, same rng draws),
+        so a pool and an in-process engine built from the same template and
+        seed host bit-identical lane environments.
+        """
+        return cls(clone_lane_envs(env, num_envs, seed=seed), **kwargs)
+
+    # -- properties ------------------------------------------------------------
+    @property
+    def num_envs(self) -> int:
+        return self._num_envs
+
+    @property
+    def observation_size(self) -> int:
+        return self._observation_size
+
+    @property
+    def num_actions(self) -> int:
+        return self._num_actions
+
+    @property
+    def pending_banked_episodes(self) -> int:
+        """Completed next-epoch episodes waiting to be credited."""
+        return len(self._bank)
+
+    @property
+    def pending_inflight_lanes(self) -> int:
+        """Lanes currently mid-episode (stolen work resumes next call)."""
+        return sum(1 for lane in self._lanes if lane.running)
+
+    # -- plumbing --------------------------------------------------------------
+    def _worker_of(self, lane: int) -> int:
+        for worker, (lo, hi) in enumerate(self.shards):
+            if lo <= lane < hi:
+                return worker
+        raise IndexError(f"lane {lane} outside [0, {self._num_envs})")
+
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise RuntimeError("ProcessLanePool is closed")
+        if self._desynced:
+            raise RuntimeError(
+                "ProcessLanePool is desynchronized (a previous round was aborted "
+                "between command and result frames); close() it and build a new pool"
+            )
+        for worker, process in enumerate(self._processes):
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"lane-pool worker {worker} died unexpectedly"
+                    + self._drain_error(worker)
+                )
+
+    def _drain_error(self, worker: int) -> str:
+        pipe = self._pipes[worker]
+        try:
+            while pipe.poll(0):
+                tag, payload = pipe.recv()
+                if tag == "error":
+                    return f"; worker traceback:\n{payload}"
+        except (EOFError, OSError):
+            pass
+        return ""
+
+    def _push_round(self, worker: int, values: Dict[str, np.ndarray]) -> None:
+        self._cmd_rings[worker].push(
+            values, timeout=self.round_timeout, liveness=self._check_alive
+        )
+
+    def _pop_result(self, worker: int) -> Dict[str, np.ndarray]:
+        frame = self._res_rings[worker].pop(
+            timeout=self.round_timeout, liveness=self._check_alive
+        )
+        if int(frame["kind"]) == _RES_ERROR:
+            raise RuntimeError(
+                f"lane-pool worker {worker} failed" + self._drain_error(worker)
+            )
+        return frame
+
+    def _raise_lane_failures(self, worker: int, frame: Dict[str, np.ndarray]) -> None:
+        """Re-raise a recoverable per-lane failure reported by ``worker``.
+
+        The worker (and its other lanes) remain usable -- this mirrors the
+        local engine, where e.g. a sequence without backfilling
+        opportunities raises ``ValueError`` without harming the engine.
+        """
+        if not np.any(frame["status"] == _LANE_FAILED):
+            return
+        pipe = self._pipes[worker]
+        if not pipe.poll(5.0):  # pragma: no cover - worker sent before pushing
+            raise RuntimeError(f"lane-pool worker {worker} reported a failure without detail")
+        tag, lane_errors = pipe.recv()
+        assert tag == "lane_errors", tag
+        lo, _ = self.shards[worker]
+        local, (exc_type, detail) = next(iter(sorted(lane_errors.items())))
+        exc_class = ValueError if exc_type == "ValueError" else RuntimeError
+        raise exc_class(
+            f"lane {lo + local} command failed in worker {worker} ({exc_type}):\n{detail}"
+        )
+
+    def _ship_jobs(self, episode_jobs) -> None:
+        """Send this rollout call's fixed episode sequences to every worker.
+
+        The ``_KIND_RECV_JOBS`` frame goes out first and the (possibly large,
+        pickled) payload second: the worker is guaranteed to be draining the
+        pipe by the time the send needs buffer space, so the transfer cannot
+        deadlock no matter how big the episode list is.
+        """
+        for worker, pipe in enumerate(self._pipes):
+            if self._shipped_jobs[worker] is not episode_jobs:
+                self._push_round(worker, {"kind": _KIND_RECV_JOBS})
+                pipe.send(("jobs", episode_jobs))
+                self._shipped_jobs[worker] = episode_jobs
+
+    # -- lane access -----------------------------------------------------------
+    def _single_lane_round(self, lane: int, op: int, arg: int, jobs=None):
+        """Drive one command for one lane through its worker; returns the frame.
+
+        When ``jobs`` is given the command frame is pushed *first* and the
+        pickled payload second (see :meth:`_ship_jobs` for why this ordering
+        is deadlock-free).
+        """
+        self._check_alive()
+        worker = self._worker_of(lane)
+        lo, hi = self.shards[worker]
+        cmd = np.zeros(hi - lo, dtype=np.int64)
+        args = np.zeros(hi - lo, dtype=np.int64)
+        cmd[lane - lo] = op
+        args[lane - lo] = arg
+        try:
+            self._push_round(
+                worker,
+                {"kind": _KIND_ROUND, "credit_base": 0, "credits": 0, "cmd": cmd, "arg": args},
+            )
+            if jobs is not None:
+                self._pipes[worker].send(("reset_jobs", jobs))
+            return self._pop_result(worker), lane - lo
+        except BaseException:
+            # An abort between command and result frames leaves an unconsumed
+            # frame in flight; a later pop would pair it with the wrong
+            # command.  Poison the pool so every subsequent call fails loudly
+            # instead of silently desynchronizing.
+            self._desynced = True
+            raise
+
+    def reset_lane(self, lane: int, **kwargs):
+        """Reset one lane; returns its ``(observation, mask)``."""
+        jobs = kwargs.pop("jobs", None)
+        if kwargs:
+            raise TypeError(f"unsupported reset_lane arguments: {sorted(kwargs)}")
+        if jobs is not None:
+            frame, local = self._single_lane_round(
+                lane, _CMD_RESET, _RESET_PIPE_JOBS, jobs=list(jobs)
+            )
+        else:
+            frame, local = self._single_lane_round(lane, _CMD_RESET, _RESET_SAMPLE)
+        self._raise_lane_failures(self._worker_of(lane), frame)
+        if self._lane_buffers is not None:
+            # The lane may hold a stolen in-flight episode's partial steps;
+            # an explicit reset abandons that episode, so its steps must not
+            # splice into the next finish_path().
+            self._lane_buffers[lane].clear()
+        observation = frame["obs"][local].copy()
+        mask = frame["mask"][local].copy()
+        self._lanes[lane].start(observation, mask)
+        return observation, mask
+
+    def step_lane(self, lane: int, action: int) -> StepResult:
+        """Advance one lane with ``action``.
+
+        Refuses to step a lane that still holds a stolen in-flight rollout
+        episode: its partial trajectory lives in the pool's lane buffer, and
+        direct stepping would orphan those stored transitions (splicing them
+        into a later episode's GAE path).  ``reset_lane`` first to abandon
+        the in-flight episode explicitly.
+        """
+        if not self._lanes[lane].running:
+            raise RuntimeError(f"lane {lane} has no active episode; call reset_lane first")
+        if self._lane_buffers is not None and len(self._lane_buffers[lane]):
+            raise RuntimeError(
+                f"lane {lane} holds an in-flight rollout episode (drain-phase work "
+                "stealing); reset_lane() it before stepping it directly"
+            )
+        frame, local = self._single_lane_round(lane, _CMD_STEP, int(action))
+        self._raise_lane_failures(self._worker_of(lane), frame)
+        state = self._lanes[lane]
+        reward = float(frame["reward"][local])
+        state.episode_reward += reward
+        state.episode_steps += 1
+        if int(frame["status"][local]) == _LANE_DONE_IDLE:
+            info = self._terminal_info(frame["info"][local], state, lane)
+            state.retire()
+            return StepResult(
+                observation=np.zeros(self._observation_size, dtype=np.float64),
+                mask=np.zeros(self._num_actions, dtype=np.float64),
+                reward=reward,
+                done=True,
+                info={key: info[key] for key in _INFO_FIELDS},
+            )
+        observation = frame["obs"][local].copy()
+        mask = frame["mask"][local].copy()
+        state.observation = observation
+        state.mask = mask
+        return StepResult(observation=observation, mask=mask, reward=reward, done=False, info={})
+
+    @staticmethod
+    def _terminal_info(row: np.ndarray, state: "_LaneState", lane: int) -> Dict:
+        return {
+            "bsld": float(row[0]),
+            "baseline_bsld": float(row[1]),
+            "violations": int(round(row[2])),
+            "steps": int(round(row[3])),
+            "episode_reward": state.episode_reward,
+            "episode_steps": state.episode_steps,
+            "lane": lane,
+        }
+
+    # -- rollout ---------------------------------------------------------------
+    def _ensure_lane_buffers(self, buffer: TrajectoryBuffer) -> List[TrajectoryBuffer]:
+        if self._lane_buffers is not None:
+            head = self._lane_buffers[0]
+            if (head.gamma, head.lam) != (buffer.gamma, buffer.lam):
+                if any(len(b) for b in self._lane_buffers) or self._bank:
+                    raise ValueError(
+                        "cannot change buffer gamma/lam while stolen episodes are in flight"
+                    )
+                self._lane_buffers = None
+        if self._lane_buffers is None:
+            self._lane_buffers = [
+                TrajectoryBuffer(gamma=buffer.gamma, lam=buffer.lam)
+                for _ in range(self._num_envs)
+            ]
+        return self._lane_buffers
+
+    def rollout(
+        self,
+        actor_critic: ActorCritic,
+        num_trajectories: int,
+        buffer: TrajectoryBuffer,
+        rngs: Sequence[np.random.Generator] | None = None,
+        deterministic: bool = False,
+        episode_jobs: Optional[Sequence] = None,
+    ) -> List[Dict]:
+        """Collect ``num_trajectories`` episodes across all workers' lanes.
+
+        Same contract as :meth:`VecBackfillEnv.rollout`.  With work stealing
+        enabled (sampled episodes only), completed-but-surplus episodes and
+        in-flight partial trajectories carry over to the next call instead of
+        letting the batch drain.
+        """
+        rngs = validate_rollout_args(self._num_envs, num_trajectories, rngs, episode_jobs)
+        self._check_alive()
+
+        if episode_jobs is not None or deterministic:
+            # Fixed sequences or deterministic evaluation: stolen stochastic
+            # work in flight is moot (its early steps were sampled under the
+            # wrong action regime) -- discard partial trajectories; their
+            # lanes restart fresh.  Banked sampled episodes stay banked for
+            # the next stochastic training call.  This happens *before* the
+            # gamma/lam reconciliation below so an evaluation with different
+            # buffer hyper-parameters is accepted (only the bank genuinely
+            # pins gamma/lam).
+            for lane, state in enumerate(self._lanes):
+                if state.running:
+                    if self._lane_buffers is not None:
+                        self._lane_buffers[lane].clear()
+                    state.retire()
+        else:
+            # A lane that was driven manually through reset_lane/step_lane
+            # holds environment progress the pool never stored; adopting it
+            # would splice a partial trajectory into the epoch buffer.  Only
+            # lanes that are untouched since their (re)start, or that hold a
+            # stolen in-flight episode's stored steps, stay resident --
+            # everything else restarts, matching VecBackfillEnv which owns
+            # every episode start it collects.
+            for lane, state in enumerate(self._lanes):
+                stored = (
+                    0 if self._lane_buffers is None else len(self._lane_buffers[lane])
+                )
+                if state.running and stored == 0 and state.episode_steps > 0:
+                    state.retire()
+
+        lane_buffers = self._ensure_lane_buffers(buffer)
+        # Stealing (and crediting previously stolen work) only makes sense
+        # when this call collects the same kind of experience the bank holds:
+        # sampled episodes under the stochastic policy.
+        stealing = self.work_stealing and episode_jobs is None and not deterministic
+        infos: List[Dict] = []
+
+        if episode_jobs is None and not deterministic:
+            # Credit banked episodes (next-epoch work collected during the
+            # previous call's drain phase) before stepping anything.
+            while self._bank and len(infos) < num_trajectories:
+                info, episode_buffer = self._bank.pop(0)
+                buffer.absorb(episode_buffer)
+                infos.append(info)
+            if len(infos) >= num_trajectories:
+                return infos
+
+        self._ship_jobs(episode_jobs)
+
+        # Episodes already in flight count toward the quota of episode starts.
+        in_flight = sum(1 for state in self._lanes if state.running)
+        quota = max(0, num_trajectories - len(infos) - in_flight)
+        next_index = 0  # next episode_jobs index to hand out
+        # Credits let workers restart finished lanes inside the same round
+        # (the in-process engine's inline restart).  With several workers and
+        # fixed sequences, index disjointness cannot be guaranteed without a
+        # shared counter, so restarts fall back to explicit resets issued by
+        # the parent one round later.
+        allow_credits = episode_jobs is None or self.num_workers == 1
+
+        try:
+            while len(infos) < num_trajectories:
+                running = [lane for lane in range(self._num_envs) if self._lanes[lane].running]
+                starts: List[int] = []
+                budget = self._num_envs if stealing else quota
+                for lane in range(self._num_envs):
+                    if len(starts) >= budget:
+                        break
+                    if not self._lanes[lane].running:
+                        starts.append(lane)
+                if not running and not starts:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"lane pool stalled with {len(infos)}/{num_trajectories} episodes collected"
+                    )
+                quota -= 0 if stealing else len(starts)
+
+                actions: Dict[int, int] = {}
+                values: Dict[int, float] = {}
+                log_probs: Dict[int, float] = {}
+                if running:
+                    obs_batch = np.stack([self._lanes[lane].observation for lane in running])
+                    mask_batch = np.stack([self._lanes[lane].mask for lane in running])
+                    acts, vals, lps = actor_critic.step_batch(
+                        obs_batch,
+                        mask_batch,
+                        rngs=None if deterministic else [rngs[lane] for lane in running],
+                        deterministic=deterministic,
+                    )
+                    act_list, val_list, lp_list = acts.tolist(), vals.tolist(), lps.tolist()
+                    for row, lane in enumerate(running):
+                        actions[lane] = act_list[row]
+                        values[lane] = val_list[row]
+                        log_probs[lane] = lp_list[row]
+
+                # One command frame per worker: STEP running lanes, RESET the
+                # idle lanes chosen to start, plus same-round restart credits.
+                # Workers with nothing to do this round (fully drained shard) are
+                # skipped entirely -- no frame, no round-trip.
+                frames: List[Dict[str, np.ndarray]] = []
+                step_counts: List[int] = []
+                engaged: List[bool] = []
+                for worker, (lo, hi) in enumerate(self.shards):
+                    shard = hi - lo
+                    cmd = np.zeros(shard, dtype=np.int64)
+                    arg = np.zeros(shard, dtype=np.int64)
+                    steps_here = 0
+                    resets_here = 0
+                    for lane in range(lo, hi):
+                        if lane in actions:
+                            cmd[lane - lo] = _CMD_STEP
+                            arg[lane - lo] = actions[lane]
+                            steps_here += 1
+                        elif lane in starts:
+                            cmd[lane - lo] = _CMD_RESET
+                            resets_here += 1
+                            if episode_jobs is not None:
+                                arg[lane - lo] = next_index
+                                next_index += 1
+                            else:
+                                arg[lane - lo] = _RESET_SAMPLE
+                    frames.append({"cmd": cmd, "arg": arg})
+                    step_counts.append(steps_here)
+                    engaged.append(steps_here > 0 or resets_here > 0)
+                # Explicit reset indices are assigned above, so worker auto-claims
+                # (one-worker case) start at the first unassigned index.
+                grant_pool = self._num_envs if stealing else quota
+                for worker, frame_values in enumerate(frames):
+                    if not engaged[worker]:
+                        continue
+                    if allow_credits and step_counts[worker]:
+                        credits = -1 if stealing else min(grant_pool, step_counts[worker])
+                        grant_pool -= 0 if stealing else max(credits, 0)
+                    else:
+                        credits = 0
+                    frame_values.update(
+                        {"kind": _KIND_ROUND, "credit_base": next_index, "credits": credits}
+                    )
+                    self._push_round(worker, frame_values)
+
+                # Collect results in worker order == ascending global lane order.
+                for worker, (lo, hi) in enumerate(self.shards):
+                    if not engaged[worker]:
+                        continue
+                    frame = self._pop_result(worker)
+                    self._raise_lane_failures(worker, frame)
+                    claimed = int(frame["claimed"])
+                    if not stealing:
+                        quota -= claimed
+                    if episode_jobs is not None and claimed:
+                        next_index += claimed
+                    for lane in range(lo, hi):
+                        local = lane - lo
+                        status = int(frame["status"][local])
+                        state = self._lanes[lane]
+                        if lane in actions:
+                            reward = float(frame["reward"][local])
+                            lane_buffers[lane].store(
+                                state.observation,
+                                state.mask,
+                                actions[lane],
+                                reward,
+                                values[lane],
+                                log_probs[lane],
+                            )
+                            state.episode_reward += reward
+                            state.episode_steps += 1
+                            if status in (_LANE_DONE_RESTARTED, _LANE_DONE_IDLE):
+                                lane_buffers[lane].finish_path(last_value=0.0)
+                                info = self._terminal_info(frame["info"][local], state, lane)
+                                if len(infos) < num_trajectories:
+                                    infos.append(info)
+                                    buffer.absorb(lane_buffers[lane])
+                                else:
+                                    episode_buffer = TrajectoryBuffer(
+                                        gamma=buffer.gamma, lam=buffer.lam
+                                    )
+                                    episode_buffer.absorb(lane_buffers[lane])
+                                    self._bank.append((info, episode_buffer))
+                                if status == _LANE_DONE_RESTARTED:
+                                    state.start(
+                                        frame["obs"][local].copy(), frame["mask"][local].copy()
+                                    )
+                                else:
+                                    state.retire()
+                            else:
+                                state.observation = frame["obs"][local].copy()
+                                state.mask = frame["mask"][local].copy()
+                        elif lane in starts and status == _LANE_RUNNING:
+                            state.start(frame["obs"][local].copy(), frame["mask"][local].copy())
+        except BaseException:
+            # An abort mid-round (KeyboardInterrupt, one worker timing out
+            # after another's frame was pushed) can leave unconsumed frames
+            # in the rings; a retried rollout would pair stale results with
+            # new commands.  Poison the pool so later calls fail loudly.
+            self._desynced = True
+            raise
+        return infos
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Shut workers down and release every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "ProcessLanePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessLanePool(num_envs={self._num_envs}, num_workers={self.num_workers}, "
+            f"work_stealing={self.work_stealing}, start_method={self.start_method!r})"
+        )
+
+
+def make_rollout_engine(
+    environment: Environment,
+    num_envs: int,
+    seed: SeedLike = None,
+    backend: str = "local",
+    num_workers: int | None = None,
+    work_stealing: bool = True,
+    start_method: str | None = None,
+):
+    """Build a rollout engine over ``num_envs`` lanes cloned from a template.
+
+    ``backend="local"`` returns the in-process
+    :class:`~repro.rl.vec_env.VecBackfillEnv`; ``backend="process"`` returns
+    a :class:`ProcessLanePool` whose lanes live in worker processes.  Both
+    backends derive lane seeds identically from ``seed``, so for one worker
+    (stealing off) they produce bit-identical trajectories.
+    """
+    if backend == "local":
+        return VecBackfillEnv.from_template(environment, num_envs, seed=seed)
+    if backend == "process":
+        return ProcessLanePool.from_template(
+            environment,
+            num_envs,
+            seed=seed,
+            num_workers=num_workers,
+            work_stealing=work_stealing,
+            start_method=start_method,
+        )
+    raise ValueError(f"unknown rollout backend {backend!r}; use 'local' or 'process'")

@@ -40,7 +40,58 @@ from repro.rl.env import Environment, StepResult
 from repro.rl.ppo import ActorCritic
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 
-__all__ = ["VecBackfillEnv"]
+__all__ = ["VecBackfillEnv", "clone_lane_envs", "validate_rollout_args"]
+
+
+def clone_lane_envs(
+    env: Environment, num_envs: int, seed: SeedLike = None
+) -> List[Environment]:
+    """Build ``num_envs`` lane environments from one template.
+
+    Lane 0 is the template itself; lanes 1..N-1 are independent clones seeded
+    from ``seed`` via ``env.clone(seed)``.  The ``num_envs == 1`` case draws
+    nothing from ``seed``, so a one-lane engine consumes exactly the same rng
+    stream as the serial path.  Shared by :meth:`VecBackfillEnv.from_template`
+    and the multiprocess :class:`~repro.rl.lane_pool.ProcessLanePool`, which
+    is what keeps both backends' lane seeding bit-identical.
+    """
+    if num_envs <= 0:
+        raise ValueError(f"num_envs must be positive, got {num_envs}")
+    if num_envs == 1:
+        return [env]
+    clone = getattr(env, "clone", None)
+    if clone is None:
+        raise TypeError(
+            f"{type(env).__name__} has no clone(); pass explicit lanes instead"
+        )
+    lane_rngs = spawn_rngs(as_rng(seed), num_envs - 1)
+    return [env] + [clone(seed=rng) for rng in lane_rngs]
+
+
+def validate_rollout_args(
+    num_envs: int,
+    num_trajectories: int,
+    rngs: Sequence[np.random.Generator] | None,
+    episode_jobs: Optional[Sequence],
+) -> Sequence[np.random.Generator]:
+    """Validate the shared ``rollout`` contract; returns the effective rngs.
+
+    Both rollout engines (:class:`VecBackfillEnv` and
+    :class:`~repro.rl.lane_pool.ProcessLanePool`) promise the same surface,
+    so the argument contract lives in one place.
+    """
+    if num_trajectories <= 0:
+        raise ValueError(f"num_trajectories must be positive, got {num_trajectories}")
+    if episode_jobs is not None and len(episode_jobs) != num_trajectories:
+        raise ValueError(
+            f"episode_jobs has {len(episode_jobs)} sequences for "
+            f"{num_trajectories} trajectories"
+        )
+    if rngs is None:
+        rngs = [as_rng(None) for _ in range(num_envs)]
+    if len(rngs) != num_envs:
+        raise ValueError(f"need one rng per lane ({num_envs}), got {len(rngs)}")
+    return rngs
 
 
 class VecBackfillEnv:
@@ -70,17 +121,7 @@ class VecBackfillEnv:
         clones seeded from ``seed``.  The template must expose ``clone(seed)``
         (as :class:`~repro.core.environment.BackfillEnvironment` does).
         """
-        if num_envs <= 0:
-            raise ValueError(f"num_envs must be positive, got {num_envs}")
-        if num_envs == 1:
-            return cls([env])
-        clone = getattr(env, "clone", None)
-        if clone is None:
-            raise TypeError(
-                f"{type(env).__name__} has no clone(); pass explicit lanes to VecBackfillEnv"
-            )
-        lane_rngs = spawn_rngs(as_rng(seed), num_envs - 1)
-        return cls([env] + [clone(seed=rng) for rng in lane_rngs])
+        return cls(clone_lane_envs(env, num_envs, seed=seed))
 
     # -- properties -----------------------------------------------------------
     @property
@@ -146,17 +187,7 @@ class VecBackfillEnv:
         terminal info plus ``episode_reward``/``episode_steps``), in
         completion order.
         """
-        if num_trajectories <= 0:
-            raise ValueError(f"num_trajectories must be positive, got {num_trajectories}")
-        if episode_jobs is not None and len(episode_jobs) != num_trajectories:
-            raise ValueError(
-                f"episode_jobs has {len(episode_jobs)} sequences for "
-                f"{num_trajectories} trajectories"
-            )
-        if rngs is None:
-            rngs = [as_rng(None) for _ in range(self.num_envs)]
-        if len(rngs) != self.num_envs:
-            raise ValueError(f"need one rng per lane ({self.num_envs}), got {len(rngs)}")
+        rngs = validate_rollout_args(self.num_envs, num_trajectories, rngs, episode_jobs)
 
         lane_buffers = [
             TrajectoryBuffer(gamma=buffer.gamma, lam=buffer.lam) for _ in self.envs
@@ -172,10 +203,20 @@ class VecBackfillEnv:
         builder = getattr(self.envs[0], "builder", None) if deferred else None
 
         def start_episode(lane: int, episode_index: int) -> None:
-            if episode_jobs is not None:
-                obs, mask = self.envs[lane].reset(jobs=episode_jobs[episode_index])
+            """Begin the next episode on ``lane``.
+
+            In the deferred regime the first observation is *not* encoded
+            here: the lane joins ``encode_lanes`` and its features are
+            computed in the same batched :meth:`encode_batch` pass as the
+            stepped lanes' -- restarts never fall back to a batch-of-one
+            encode and never break the encoded-matrix reuse.
+            """
+            env = self.envs[lane]
+            kwargs = {} if episode_jobs is None else {"jobs": episode_jobs[episode_index]}
+            if deferred:
+                obs, mask = env.reset(encode=False, **kwargs)
             else:
-                obs, mask = self.envs[lane].reset()
+                obs, mask = env.reset(**kwargs)
             observations[lane] = obs
             masks[lane] = mask
             episode_rewards[lane] = 0.0
@@ -183,16 +224,25 @@ class VecBackfillEnv:
 
         started = min(self.num_envs, num_trajectories)
         active = list(range(started))
+        encode_lanes: List[int] = []
         for lane in active:
             start_episode(lane, lane)
+            if deferred:
+                encode_lanes.append(lane)
 
-        encoded_matrix: Optional[np.ndarray] = None
-        encoded_for: List[int] = []
         while active:
-            if encoded_matrix is not None and encoded_for == active:
-                # The previous iteration's batched encode already produced
-                # this iteration's observation matrix, row for row.
-                obs_batch = encoded_matrix
+            if encode_lanes:
+                # One feature-encoding pass for every lane that advanced or
+                # (re)started an episode since the previous forward pass.  In
+                # the deferred regime this covers every active lane, so the
+                # encoded matrix *is* the forward-pass input, row for row.
+                encoded = builder.encode_batch(
+                    [self.envs[lane].pending_encode() for lane in encode_lanes]
+                )
+                for row, lane in enumerate(encode_lanes):
+                    observations[lane] = encoded[row]
+            if encode_lanes == active and encode_lanes:
+                obs_batch = encoded
             else:
                 obs_batch = np.stack([observations[lane] for lane in active])
             mask_batch = np.stack([masks[lane] for lane in active])
@@ -206,7 +256,7 @@ class VecBackfillEnv:
             value_list = values.tolist()
             log_prob_list = log_probs.tolist()
             still_active: List[int] = []
-            encode_lanes: List[int] = []
+            encode_lanes = []
             for row, lane in enumerate(active):
                 action = action_list[row]
                 env = self.envs[lane]
@@ -237,6 +287,14 @@ class VecBackfillEnv:
                         start_episode(lane, started)
                         started += 1
                         still_active.append(lane)
+                        if deferred:
+                            encode_lanes.append(lane)
+                    else:
+                        # The lane has exhausted the episode quota: drop its
+                        # observation and mask so it contributes no further
+                        # rows to the encode or forward batches.
+                        observations[lane] = None
+                        masks[lane] = None
                 else:
                     masks[lane] = result.mask
                     if deferred:
@@ -244,16 +302,6 @@ class VecBackfillEnv:
                     else:
                         observations[lane] = result.observation
                     still_active.append(lane)
-            if encode_lanes:
-                # One feature-encoding pass for every lane that advanced.
-                encoded = builder.encode_batch(
-                    [self.envs[lane].pending_encode() for lane in encode_lanes]
-                )
-                for row, lane in enumerate(encode_lanes):
-                    observations[lane] = encoded[row]
-                encoded_matrix, encoded_for = encoded, encode_lanes
-            else:
-                encoded_matrix, encoded_for = None, []
             active = still_active
         return infos
 

@@ -266,6 +266,87 @@ class TestDeferredEncoding:
             assert result.mask[config.skip_slot] == 1.0
 
 
+class TestIdleLaneHandling:
+    def test_finished_lanes_contribute_no_batch_rows(self, small_trace):
+        """Retired lanes ride along in no encode or forward batch.
+
+        Every forward-pass row must correspond to exactly one stored decision
+        step, and a lane that exhausted the episode quota must never reappear
+        in a later batch -- finished lanes are dropped, not padded or
+        re-encoded until the epoch ends.
+        """
+        trainer = make_trainer(small_trace, num_envs=4)
+        agent = trainer.agent
+        forward_rows = 0
+        original_step_batch = agent.step_batch
+
+        def counting_step_batch(observations, masks, rngs=None, deterministic=False):
+            nonlocal forward_rows
+            forward_rows += observations.shape[0]
+            return original_step_batch(
+                observations, masks, rngs=rngs, deterministic=deterministic
+            )
+
+        agent.step_batch = counting_step_batch
+        # Per-lane lifecycle machine: a step is only legal while an episode
+        # is active (after a reset, before its done); stepping a lane whose
+        # episode finished without a restart is the ride-along regression.
+        lane_state = {lane: "idle" for lane in range(4)}
+        violations = []
+        for lane, env in enumerate(trainer.vec_env.envs):
+            original_lane_step = env.step
+            original_lane_reset = env.reset
+
+            def tracking_step(action, encode=True, _lane=lane, _step=original_lane_step):
+                if lane_state[_lane] != "active":
+                    violations.append(("step-while-idle", _lane))
+                result = _step(action, encode=encode)
+                if result.done:
+                    lane_state[_lane] = "idle"
+                return result
+
+            def tracking_reset(_lane=lane, _reset=original_lane_reset, **kwargs):
+                lane_state[_lane] = "active"
+                return _reset(**kwargs)
+
+            env.step = tracking_step
+            env.reset = tracking_reset
+        try:
+            buffer = TrajectoryBuffer()
+            infos = trainer.collect_rollouts(buffer, 6)
+        finally:
+            agent.step_batch = original_step_batch
+        total_steps = sum(info["episode_steps"] for info in infos)
+        assert forward_rows == total_steps == len(buffer)
+        assert violations == []
+        # Every lane ends the epoch retired -- no episode left dangling.
+        assert all(state == "idle" for state in lane_state.values())
+
+    def test_restarted_lanes_share_the_batched_encode(self, small_trace):
+        """Episode restarts must not fall back to batch-of-one encodes."""
+        trainer = make_trainer(small_trace, num_envs=2)
+        builder = trainer.vec_env.envs[0].builder
+        batch_sizes = []
+        original_encode = builder.encode_batch
+
+        def counting_encode(items):
+            batch_sizes.append(len(items))
+            return original_encode(items)
+
+        builder.encode_batch = counting_encode
+        try:
+            buffer = TrajectoryBuffer()
+            infos = trainer.collect_rollouts(buffer, 4)
+        finally:
+            builder.encode_batch = original_encode
+        assert len(infos) == 4
+        # While both lanes run (including across restarts), encodes stay
+        # batched; only the single-lane drain tail may encode one at a time.
+        encoded_rows = sum(batch_sizes)
+        assert encoded_rows == len(buffer)
+        assert max(batch_sizes) == 2
+
+
 class TestEnvironmentClone:
     def test_clone_is_independent(self, small_trace):
         env = make_env(small_trace, seed=1)
