@@ -229,16 +229,19 @@ def test_bench_vec_rollout(benchmark):
 
     speedup_vs_serial = results["vec[16]"] / results["serial-reference"]
     scaling_16_vs_1 = results["vec[16]"] / results["vec[1]"]
+    scaling_4_vs_1 = results["vec[4]"] / results["vec[1]"]
     benchmark.extra_info.update(
         {f"{key}_decisions_per_sec": round(value, 1) for key, value in results.items()}
     )
     benchmark.extra_info["speedup_vec16_vs_serial"] = round(speedup_vs_serial, 2)
     benchmark.extra_info["scaling_vec16_vs_vec1"] = round(scaling_16_vs_1, 2)
+    benchmark.extra_info["scaling_vec4_vs_vec1"] = round(scaling_4_vs_1, 2)
     print(
         "\nrollout throughput (decisions/sec): "
         + ", ".join(f"{key}={value:,.0f}" for key, value in results.items())
         + f"; vec[16] vs serial-reference: {speedup_vs_serial:.2f}x"
         + f"; vec[16] vs vec[1]: {scaling_16_vs_1:.2f}x"
+        + f"; vec[4] vs vec[1]: {scaling_4_vs_1:.2f}x"
     )
 
     assert speedup_vs_serial >= REQUIRED_SPEEDUP, (

@@ -1,18 +1,29 @@
 """CI rollout-throughput trend check.
 
-Compares the ratio metrics recorded in a pytest-benchmark JSON artifact
-(``extra_info`` of each benchmark) against the committed baseline in
-``benchmarks/throughput_baseline.json`` and exits non-zero when any metric
-regresses by more than the configured tolerance (default 20%).
+Compares metrics recorded in a pytest-benchmark JSON artifact against the
+committed baseline in ``benchmarks/throughput_baseline.json`` and exits
+non-zero when any metric regresses by more than the configured tolerance
+(default 20%).
 
-The baseline stores machine-*relative* ratios (e.g. ``vec[16]`` vs the
-serial reference, or the 4-worker lane pool vs the single-process engine)
-rather than absolute decisions/sec, so the check transfers across runner
-hardware.  Metrics can be gated on a minimum usable-core count recorded by
-the benchmark itself (``min_cores``/``cores_key``), which keeps the
-multiprocess speedup check honest on small runners.  Each metric declares
-``higher_is_better``; lower-is-better metrics regress when the measurement
-exceeds ``baseline * (1 + tolerance)``.
+A baseline metric reads one value per benchmark, in one of two forms:
+
+* ``key`` -- a ratio the benchmark itself recorded in its ``extra_info``
+  (e.g. ``speedup_vec16_vs_serial``, ``speedup_pipelined_vs_lockstep``);
+* ``stat`` -- a pytest-benchmark timing statistic of the benchmark run
+  (e.g. ``mean``, ``median``).
+
+An absolute timing statistic does not transfer across runner hardware, so a
+``stat`` metric should declare ``relative_to`` -- another
+``{benchmark, stat|key}`` reference the measurement is divided by before
+comparison.  That turns two machine-dependent timings into one
+machine-relative ratio (e.g. the EASY-backfill simulator's mean run time per
+policy-forward mean), which is what the committed baselines store.  Metrics
+may override the file-level ``tolerance`` per entry, and can be gated on a
+minimum usable-core count recorded by the benchmark itself
+(``min_cores``/``cores_key``), which keeps multiprocess speedup checks
+honest on small runners.  Each metric declares ``higher_is_better``;
+lower-is-better metrics regress when the measurement exceeds
+``baseline * (1 + tolerance)``.
 
 A benchmark or metric absent from the results JSON is reported as MISSING
 with a warning but does not fail the check by default -- the (deliberately
@@ -32,48 +43,76 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "benchmarks" / "throughput_baseline.json"
 
 
-def load_extra_info(results_path: Path) -> dict[str, dict]:
-    """Map benchmark name fragments to their recorded extra_info dicts."""
+def load_benchmarks(results_path: Path) -> dict[str, dict]:
+    """Map benchmark name fragments to their recorded result dicts."""
     with results_path.open() as handle:
         results = json.load(handle)
-    infos: dict[str, dict] = {}
+    benches: dict[str, dict] = {}
     for bench in results.get("benchmarks", []):
         # pytest-benchmark names look like "test_bench_lane_pool" or
         # "benchmarks/test_bench_lane_pool.py::test_bench_lane_pool".
-        infos[bench["name"].split("::")[-1]] = bench.get("extra_info", {})
-    return infos
+        benches[bench["name"].split("::")[-1]] = bench
+    return benches
+
+
+def read_value(benches: dict[str, dict], spec: dict) -> tuple[float | None, str, str]:
+    """Resolve one ``{benchmark, key|stat}`` reference.
+
+    Returns ``(value, label, problem)``; ``value`` is ``None`` when the
+    benchmark or field is missing and ``problem`` says which.
+    """
+    bench_name = spec["benchmark"]
+    if "key" in spec:
+        field, source = spec["key"], "extra_info"
+    else:
+        field, source = spec["stat"], "stats"
+    label = f"{bench_name}:{field}"
+    bench = benches.get(bench_name)
+    if bench is None:
+        return None, label, f"{label}: benchmark missing from results JSON"
+    value = bench.get(source, {}).get(field)
+    if value is None:
+        return None, label, f"{label}: {source}[{field!r}] missing from benchmark"
+    return float(value), label, ""
 
 
 def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
     baseline = json.loads(baseline_path.read_text())
-    tolerance = float(baseline.get("tolerance", 0.2))
-    infos = load_extra_info(results_path)
+    default_tolerance = float(baseline.get("tolerance", 0.2))
+    benches = load_benchmarks(results_path)
 
     failures: list[str] = []
     missing: list[str] = []
     skipped: list[str] = []
     passed: list[str] = []
     for metric in baseline["metrics"]:
-        bench_name = metric["benchmark"]
-        key = metric["key"]
         reference = float(metric["baseline"])
+        tolerance = float(metric.get("tolerance", default_tolerance))
         higher_is_better = bool(metric.get("higher_is_better", True))
-        info = infos.get(bench_name)
-        label = f"{bench_name}:{key}"
-        if info is None:
-            missing.append(f"{label}: benchmark missing from results JSON")
+        measured, label, problem = read_value(benches, metric)
+        if measured is None:
+            missing.append(problem)
             continue
         min_cores = metric.get("min_cores")
         if min_cores is not None:
-            cores = info.get(metric.get("cores_key", "usable_cores"))
+            bench = benches.get(metric["benchmark"], {})
+            cores = bench.get("extra_info", {}).get(
+                metric.get("cores_key", "usable_cores")
+            )
             if cores is None or int(cores) < int(min_cores):
                 skipped.append(f"{label}: needs >= {min_cores} cores (run had {cores})")
                 continue
-        measured = info.get(key)
-        if measured is None:
-            missing.append(f"{label}: metric missing from benchmark extra_info")
-            continue
-        measured = float(measured)
+        relative_to = metric.get("relative_to")
+        if relative_to is not None:
+            ref_value, ref_label, problem = read_value(benches, relative_to)
+            if ref_value is None:
+                missing.append(problem)
+                continue
+            if ref_value == 0.0:
+                missing.append(f"{label}: relative_to {ref_label} measured 0")
+                continue
+            measured = measured / ref_value
+            label = f"{label}/{ref_label}"
         if higher_is_better:
             limit = reference * (1.0 - tolerance)
             regressed = measured < limit
@@ -104,7 +143,7 @@ def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
             print(line, file=sys.stderr)
         print(
             f"\nrollout-throughput trend check FAILED "
-            f"({len(failures)} metric(s) regressed > {tolerance:.0%} or missing)",
+            f"({len(failures)} metric(s) regressed or missing)",
             file=sys.stderr,
         )
         return 1

@@ -35,7 +35,7 @@ def main() -> int:
     if not swf_dir:
         print(f"{archive.SWF_DIR_ENV} is not set; nothing to smoke-test", file=sys.stderr)
         return 2
-    missing = [name for name in TRACES if archive._find_swf_file(name) is None]
+    missing = [name for name in TRACES if archive.real_swf_path(name) is None]
     if missing:
         print(
             f"no SWF archive file found in {swf_dir!r} for: {', '.join(missing)}",
@@ -45,7 +45,7 @@ def main() -> int:
 
     for name in TRACES:
         trace = load_trace(name, num_jobs=1_500)
-        path = archive._find_swf_file(name)
+        path = archive.real_swf_path(name)
         print(
             f"{name}: parsed real archive trace from {path} -- "
             f"{len(trace)} jobs, {trace.num_processors} processors, "

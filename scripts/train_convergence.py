@@ -1,0 +1,113 @@
+"""Nightly quick-scale training-convergence run on the real archive traces.
+
+CI restores the SDSC-SP2/HPC2N SWF files from the actions cache into
+``$REPRO_SWF_DIR`` (the same cache the ``real-traces`` smoke job uses) and
+runs this script nightly; it trains an RLBackfilling agent at quick scale on
+each real trace, records the full per-epoch history, and writes a metrics
+JSON for the uploaded artifact.  Exit codes:
+
+* 0 -- every trace trained and its bsld curve converged (final <= first),
+* 1 -- training ran but at least one curve failed to converge,
+* 2 -- the SWF files are missing (environment/setup problem, not a code bug).
+
+Run locally with:
+
+    REPRO_SWF_DIR=/path/to/swf python scripts/train_convergence.py --out metrics.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.runner import train_rlbackfilling
+from repro.workloads import archive
+
+TRACES = ("SDSC-SP2", "HPC2N")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="convergence-metrics.json",
+                        help="where to write the metrics JSON")
+    parser.add_argument("--traces", nargs="+", default=list(TRACES))
+    parser.add_argument("--scale", default="quick")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="override the scale's epoch count")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    swf_dir = os.environ.get(archive.SWF_DIR_ENV)
+    if not swf_dir:
+        print(f"{archive.SWF_DIR_ENV} is not set; nothing to train on", file=sys.stderr)
+        return 2
+    missing = [name for name in args.traces if archive.real_swf_path(name) is None]
+    if missing:
+        print(
+            f"no SWF archive file found in {swf_dir!r} for: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.experiments.config import get_scale
+
+    scale = get_scale(args.scale)
+    if args.epochs is not None:
+        scale = scale.with_epochs(args.epochs)
+
+    metrics = {
+        "scale": scale.name,
+        "epochs": scale.trainer.epochs,
+        "trajectories_per_epoch": scale.trainer.trajectories_per_epoch,
+        "seed": args.seed,
+        "traces": {},
+    }
+    diverged = []
+    for name in args.traces:
+        print(f"training on real {name} at {scale.name} scale ...", flush=True)
+        start = time.perf_counter()
+        model = train_rlbackfilling(name, policy="FCFS", scale=scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        history = model.history
+        improved = history.improved()
+        final = history.final()
+        metrics["traces"][name] = {
+            "policy": model.policy_name,
+            "wall_time_seconds": round(elapsed, 1),
+            "improved": improved,
+            "first_bsld": history.bslds[0],
+            "final_bsld": history.bslds[-1],
+            "final_baseline_bsld": final.mean_baseline_bsld,
+            "improvement_over_baseline": round(final.improvement_over_baseline, 4),
+            "bsld_curve": [round(v, 3) for v in history.bslds],
+            "reward_curve": [round(v, 4) for v in history.rewards],
+            "mean_violations_final": final.mean_violations,
+        }
+        print(
+            f"{name}: bsld {history.bslds[0]:.1f} -> {history.bslds[-1]:.1f} "
+            f"(baseline {final.mean_baseline_bsld:.1f}) in {elapsed:.0f}s; "
+            f"{'converged' if improved else 'DID NOT CONVERGE'}",
+            flush=True,
+        )
+        if not improved:
+            diverged.append(name)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(metrics, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    if diverged:
+        print(
+            f"training-convergence check FAILED on: {', '.join(diverged)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("training-convergence check passed on all traces")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

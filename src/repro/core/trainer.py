@@ -63,6 +63,13 @@ class TrainerConfig:
     #: while the epoch drains immediately start next-epoch episodes, which
     #: are banked and credited to the next collection call.
     work_stealing: bool = True
+    #: Round scheduling of the process backend: 1 = lockstep (the
+    #: bit-identical path), 2 = double-buffered lane cohorts that overlap the
+    #: parent's batched forward pass with worker simulator stepping, plus
+    #: worker-side background episode pre-sampling (see
+    #: :class:`~repro.rl.lane_pool.ProcessLanePool`).  Ignored by the local
+    #: backend, which steps lanes in this process.
+    pipeline_depth: int = 1
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -75,6 +82,11 @@ class TrainerConfig:
             raise ValueError(f"backend must be 'local' or 'process', got {self.backend!r}")
         if self.num_workers is not None and self.num_workers <= 0:
             raise ValueError("num_workers must be positive when given")
+        if self.pipeline_depth not in (1, 2):
+            raise ValueError(
+                "pipeline_depth must be 1 (lockstep) or 2 (double-buffered cohorts), "
+                f"got {self.pipeline_depth}"
+            )
 
     @classmethod
     def paper_scale(cls, epochs: int = 200) -> "TrainerConfig":
@@ -212,11 +224,15 @@ class Trainer:
             backend=self.config.backend,
             num_workers=self.config.num_workers,
             work_stealing=self.config.work_stealing,
+            pipeline_depth=self.config.pipeline_depth,
         )
         if self.config.num_envs == 1:
             self.lane_rngs = [self.rng]
         else:
             self.lane_rngs = [self.rng] + spawn_rngs(self.rng, self.config.num_envs - 1)
+        # Snapshot of the engine's cumulative counters, so epoch-boundary
+        # logging reports per-epoch deltas.
+        self._engine_stats_snapshot: dict = {}
 
     # -- rollouts -----------------------------------------------------------
     def run_trajectory(self, buffer: TrajectoryBuffer) -> dict:
@@ -247,6 +263,40 @@ class Trainer:
         return self.vec_env.rollout(
             self.agent, num_trajectories, buffer, rngs=self.lane_rngs
         )
+
+    def _log_engine_stats(self, epoch: int) -> None:
+        """Log this epoch's rollout-engine statistics (delta vs last epoch).
+
+        Makes pipeline/stealing wins visible in training output: rounds, the
+        worker idle fraction the pipelined cohorts shrink, pre-sampled resets
+        consumed, and banked/credited stolen episodes.
+        """
+        stats_fn = getattr(self.vec_env, "stats", None)
+        if stats_fn is None:  # pragma: no cover - every bundled engine has stats()
+            return
+        stats = stats_fn()
+        previous, self._engine_stats_snapshot = self._engine_stats_snapshot, dict(stats)
+        parts = []
+        for key, value in stats.items():
+            if isinstance(value, str):
+                continue
+            if key in ("pipeline_depth", "num_workers"):
+                delta = value  # configuration, not a counter
+            elif key == "worker_idle_fraction":
+                # Cumulative-ratio stat: recompute from this epoch's deltas
+                # so the log shows the epoch's own idle fraction, not the
+                # lifetime running mean.
+                wait = stats["worker_wait_s"] - previous.get("worker_wait_s", 0.0)
+                wall = stats["rollout_s"] - previous.get("rollout_s", 0.0)
+                workers = stats.get("num_workers", 0)
+                delta = wait / (workers * wall) if workers and wall > 0 else 0.0
+            else:
+                delta = value - previous.get(key, 0)
+            if isinstance(delta, float):
+                parts.append(f"{key}={delta:.3f}")
+            else:
+                parts.append(f"{key}={delta}")
+        logger.info("epoch %d engine[%s]: %s", epoch, stats.get("engine", "?"), ", ".join(parts))
 
     # -- training -----------------------------------------------------------
     def train_epoch(self, epoch: int) -> EpochStats:
@@ -281,6 +331,7 @@ class Trainer:
             stats.mean_episode_reward,
             steps,
         )
+        self._log_engine_stats(epoch)
         return stats
 
     def train(

@@ -13,6 +13,16 @@ writing), ``_full`` counts ready frames (consumer acquires before reading).
 Both sides track their own slot index locally -- with exactly one producer
 and one consumer the indices advance monotonically and never race.
 
+A ring with ``capacity >= 2`` supports **multiple frames in flight**, which
+is what the pipelined lane pool's double-buffered cohorts build on: the
+parent pushes round *t+1*'s command frame for one cohort while the worker is
+still stepping the other cohort's round *t*, and frames carry a cohort tag
+in their header so each side can pair commands with results (see
+``docs/simulator.md`` §5).  ``timeout=0`` on :meth:`push`/:meth:`pop` is a
+non-blocking poll -- the consumer can check for a pending frame and spend
+idle gaps on background work (worker-side episode pre-sampling) instead of
+blocking.
+
 The ring object is construct-in-parent, attach-in-child: it pickles its
 geometry and the segment *name* (never the mapping), and the child re-maps
 the segment lazily on first use.  Child attachments deregister themselves
@@ -146,8 +156,12 @@ class ShmRing:
         """Acquire ``semaphore``, polling ``liveness`` while blocked.
 
         Uses short bounded waits so a dead peer is noticed within ~100ms
-        instead of hanging forever; returns False on timeout.
+        instead of hanging forever; returns False on timeout.  The immediate
+        non-blocking attempt makes ``timeout=0`` a true poll: a ready frame
+        is taken even when no wait budget remains.
         """
+        if semaphore.acquire(block=False):
+            return True
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             slice_timeout = 0.1

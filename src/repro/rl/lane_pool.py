@@ -3,7 +3,7 @@
 :class:`ProcessLanePool` scales rollout collection across CPU cores: a
 persistent pool of worker processes each hosts a contiguous **shard** of
 simulator lanes, and the parent keeps running one batched policy forward pass
-per lockstep iteration across every worker's ready lanes.  Per iteration:
+per round across every worker's ready lanes.  Per round:
 
 1. the parent stacks the current observations of all running lanes
    (ascending lane order, exactly like :class:`~repro.rl.vec_env.VecBackfillEnv`),
@@ -20,6 +20,31 @@ per lockstep iteration across every worker's ready lanes.  Per iteration:
 4. the parent stores the transition in per-lane trajectory buffers and
    merges finished episodes into the epoch buffer, in lane order.
 
+**Pipelined cohorts** (``pipeline_depth=2``).  The lockstep round above has a
+bubble on both sides: workers idle during the parent's forward pass, and the
+parent idles while workers step.  With ``pipeline_depth=2`` the lanes are
+split into two alternating **cohorts** (lane ``i`` belongs to cohort
+``i % 2``) and the round loop becomes a two-stage software pipeline: the
+parent issues cohort *A*'s round *t+1* commands immediately after reading
+cohort *A*'s round *t* results, while the workers are still stepping cohort
+*B* -- parent matmuls overlap worker simulator stepping.  Command and result
+frames carry a cohort tag so either side detects a desynchronised pairing.
+``pipeline_depth=1`` is today's lockstep loop, bit-identical to PR 2's
+behaviour (and, with one worker and stealing off, to the in-process engine).
+
+**Background episode pre-sampling.**  In pipelined mode, a worker that would
+otherwise block on its command ring spends the gap **arming** idle lanes: it
+pre-samples and pre-validates the lane's next episode start (the full
+sampling loop, including up to ``max_reset_attempts`` baseline simulations)
+so a subsequent sampled ``RESET`` pops the prepared start instead of burning
+the baseline simulations inside the round while its shard-mates wait.
+Arming consumes exactly the draws the in-round reset would have consumed, in
+the same per-lane order, so trajectories are unchanged -- only *when* the
+sampling work happens moves.  In pipelined mode workers do not auto-restart
+finished lanes (no same-round credits): a finished lane goes idle for one
+cohort round, gets armed in the gap, and restarts via an explicit reset that
+hits the pre-sample queue.
+
 **Drain-phase work stealing.**  At the tail of an epoch lanes finish at
 different times and the forward-pass batch would shrink.  With
 ``work_stealing=True`` (the default for sampled-episode rollouts) a lane that
@@ -31,14 +56,17 @@ through the drain phase at the cost of collecting a small, bounded amount of
 next-epoch experience under the current policy (PPO's importance ratios
 already account for slightly stale behaviour policies).
 
-**Determinism contract** (see ``docs/simulator.md`` §4): worker shards
+**Determinism contract** (see ``docs/simulator.md`` §4-§5): worker shards
 preserve global lane indexing, workers process commands in ascending lane
 order, and per-lane episode-sampling rngs live inside the worker's
 environment while per-lane action rngs stay in the parent.  With **one
-worker and work stealing off**, the pool performs exactly the same
-environment interactions, rng draws, encode batches, and forward-pass batch
-compositions as the in-process engine -- trajectories and buffer contents
-are bit-identical (asserted in ``tests/test_lane_pool.py``).
+worker, work stealing off, and pipeline_depth=1**, the pool performs exactly
+the same environment interactions, rng draws, encode batches, and
+forward-pass batch compositions as the in-process engine -- trajectories and
+buffer contents are bit-identical (asserted in ``tests/test_lane_pool.py``).
+With ``pipeline_depth=2`` each cohort is forwarded as its own batch, so
+per-lane trajectories remain exact (lane independence) while float batching
+may differ in the last ulp, as across any batch recomposition.
 """
 
 from __future__ import annotations
@@ -47,13 +75,13 @@ import multiprocessing
 import os
 import time
 import weakref
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.env import Environment, StepResult
-from repro.rl.ipc import Field, FrameLayout, ShmRing
+from repro.rl.ipc import Field, FrameLayout, RingTimeout, ShmRing
 from repro.rl.ppo import ActorCritic
 from repro.rl.vec_env import VecBackfillEnv, clone_lane_envs, validate_rollout_args
 from repro.utils.rng import SeedLike, as_rng
@@ -109,6 +137,8 @@ def _command_layout(shard: int) -> FrameLayout:
     return FrameLayout(
         [
             Field("kind", (), "int64"),
+            Field("cohort", (), "int64"),
+            Field("presample", (), "int64"),
             Field("credit_base", (), "int64"),
             Field("credits", (), "int64"),
             Field("cmd", (shard,), "int64"),
@@ -121,7 +151,12 @@ def _result_layout(shard: int, observation_size: int, num_actions: int) -> Frame
     return FrameLayout(
         [
             Field("kind", (), "int64"),
+            Field("cohort", (), "int64"),
             Field("claimed", (), "int64"),
+            Field("presampled", (), "int64"),
+            Field("wait_ns", (), "int64"),
+            Field("step_ns", (), "int64"),
+            Field("encode_ns", (), "int64"),
             Field("status", (shard,), "int64"),
             Field("reward", (shard,), "float64"),
             Field("info", (shard, len(_INFO_FIELDS)), "float64"),
@@ -138,15 +173,63 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
     Lanes are processed in ascending (local == global) order, mirroring the
     in-process engine's active-list iteration; all advanced or restarted
     lanes of one round share a single batched feature-encoding pass.
+
+    Between rounds the worker polls its command ring non-blockingly and, when
+    the parent allowed it (the ``presample`` flag of the last round frame),
+    spends the idle gap **arming** idle lanes: one full pre-sampled,
+    pre-validated episode start per poll, stored as the lane's prepared
+    next episode.  A sampled ``RESET`` pops the armed start (or its stashed
+    sampling error) instead of running the sampling loop inside the round;
+    an explicit-jobs ``RESET`` discards the armed state, mirroring the
+    parent-side abandonment of any other in-flight episode.
     """
     import traceback
 
     shard = len(envs)
     builder = envs[0].builder
     episode_jobs = None
+    running = [False] * shard
+    armed_masks: Dict[int, np.ndarray] = {}
+    armed_errors: Dict[int, tuple] = {}
+    presample_enabled = False
+    wait_ns = 0
     try:
         while True:
-            frame = cmd_ring.pop()
+            # -- gap phase: poll for the next command; arm idle lanes while
+            # none is pending.  One arming per poll bounds the latency a
+            # command arriving mid-gap can see to a single episode reset.
+            while True:
+                t0 = time.monotonic_ns()
+                if presample_enabled:
+                    candidates = [
+                        lane
+                        for lane in range(shard)
+                        if not running[lane]
+                        and lane not in armed_masks
+                        and lane not in armed_errors
+                    ]
+                else:
+                    candidates = []
+                if not candidates:
+                    frame = cmd_ring.pop()
+                    wait_ns += time.monotonic_ns() - t0
+                    break
+                try:
+                    frame = cmd_ring.pop(timeout=0.0)
+                    wait_ns += time.monotonic_ns() - t0
+                    break
+                except RingTimeout:
+                    wait_ns += time.monotonic_ns() - t0
+                    lane = candidates[0]
+                    try:
+                        _, armed_masks[lane] = envs[lane].reset(encode=False)
+                    except Exception as exc:
+                        # Delivered on the lane's next sampled reset, where
+                        # the in-round sampling loop would have raised it.
+                        armed_errors[lane] = (
+                            type(exc).__name__,
+                            traceback.format_exc(),
+                        )
             kind = int(frame["kind"])
             if kind == _KIND_SHUTDOWN:
                 break
@@ -157,9 +240,12 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                 # bounded pipe buffer without deadlocking either side.
                 _, episode_jobs = pipe.recv()
                 continue
+            cohort = int(frame["cohort"])
+            presample_enabled = bool(int(frame["presample"]))
             credits = int(frame["credits"])
             next_index = int(frame["credit_base"])
             claimed = 0
+            presampled = 0
             status = np.full(shard, _LANE_IDLE, dtype=np.int64)
             reward = np.zeros(shard, dtype=np.float64)
             info = np.zeros((shard, len(_INFO_FIELDS)), dtype=np.float64)
@@ -169,6 +255,7 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
 
             cmd, arg = frame["cmd"], frame["arg"]
             lane_errors: Dict[int, tuple] = {}
+            t_step = time.monotonic_ns()
             for lane, env in enumerate(envs):
                 op = int(cmd[lane])
                 if op == _CMD_NOOP:
@@ -179,10 +266,23 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                         if index == _RESET_PIPE_JOBS:
                             # One-off sequence for this reset, sent after the
                             # command frame (same no-deadlock ordering as above).
+                            armed_masks.pop(lane, None)
+                            armed_errors.pop(lane, None)
                             _, reset_jobs = pipe.recv()
                             _, mask[lane] = env.reset(jobs=reset_jobs, encode=False)
                         elif index >= 0:
+                            armed_masks.pop(lane, None)
+                            armed_errors.pop(lane, None)
                             _, mask[lane] = env.reset(jobs=episode_jobs[index], encode=False)
+                        elif lane in armed_masks:
+                            # Pre-sampled start: the episode is already
+                            # resident at its first decision point.
+                            mask[lane] = armed_masks.pop(lane)
+                            presampled += 1
+                        elif lane in armed_errors:
+                            status[lane] = _LANE_FAILED
+                            lane_errors[lane] = armed_errors.pop(lane)
+                            continue
                         else:
                             _, mask[lane] = env.reset(encode=False)
                     except Exception as exc:
@@ -191,8 +291,10 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                         # its other lanes stay usable, the parent re-raises.
                         status[lane] = _LANE_FAILED
                         lane_errors[lane] = (type(exc).__name__, traceback.format_exc())
+                        running[lane] = False
                         continue
                     status[lane] = _LANE_RUNNING
+                    running[lane] = True
                     encode_lanes.append(lane)
                     continue
                 try:
@@ -223,17 +325,22 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                         encode_lanes.append(lane)
                     else:
                         status[lane] = _LANE_DONE_IDLE
+                        running[lane] = False
                 else:
                     mask[lane] = result.mask
                     status[lane] = _LANE_RUNNING
                     encode_lanes.append(lane)
+            step_ns = time.monotonic_ns() - t_step
 
+            encode_ns = 0
             if encode_lanes:
+                t_encode = time.monotonic_ns()
                 encoded = builder.encode_batch(
                     [envs[lane].pending_encode() for lane in encode_lanes]
                 )
                 for row, lane in enumerate(encode_lanes):
                     obs[lane] = encoded[row]
+                encode_ns = time.monotonic_ns() - t_encode
 
             if lane_errors:
                 # Sent before the result frame so the parent's follow-up
@@ -242,7 +349,12 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
             res_ring.push(
                 {
                     "kind": _RES_OK,
+                    "cohort": cohort,
                     "claimed": claimed,
+                    "presampled": presampled,
+                    "wait_ns": wait_ns,
+                    "step_ns": step_ns,
+                    "encode_ns": encode_ns,
                     "status": status,
                     "reward": reward,
                     "info": info,
@@ -250,6 +362,7 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                     "mask": mask,
                 }
             )
+            wait_ns = 0
     except Exception:  # pragma: no cover - exercised via the error-path test
         detail = traceback.format_exc()
         try:
@@ -320,6 +433,13 @@ class ProcessLanePool:
     Implements the same ``reset_lane`` / ``step_lane`` / ``rollout`` surface
     as :class:`~repro.rl.vec_env.VecBackfillEnv`; construct one through
     :func:`make_rollout_engine` with ``backend="process"``.
+
+    ``pipeline_depth=1`` (default) runs the lockstep round loop;
+    ``pipeline_depth=2`` overlaps the parent's batched forward pass with
+    worker simulator stepping via double-buffered lane cohorts and enables
+    worker-side background episode pre-sampling (see the module docstring
+    and ``docs/simulator.md`` §5).  ``presample`` overrides the pre-sampling
+    default (on iff pipelined).
     """
 
     def __init__(
@@ -330,6 +450,8 @@ class ProcessLanePool:
         start_method: str | None = None,
         ring_capacity: int = 2,
         round_timeout: float = 120.0,
+        pipeline_depth: int = 1,
+        presample: bool | None = None,
     ):
         if not envs:
             raise ValueError("ProcessLanePool needs at least one environment lane")
@@ -346,12 +468,19 @@ class ProcessLanePool:
                     "the process backend requires deferred-encoding environments "
                     f"(reset/step with encode=False); {type(env).__name__} has no pending_encode()"
                 )
+        if pipeline_depth not in (1, 2):
+            raise ValueError(
+                f"pipeline_depth must be 1 (lockstep) or 2 (double-buffered cohorts), "
+                f"got {pipeline_depth}"
+            )
 
         self._num_envs = len(envs)
         self._observation_size = int(envs[0].observation_size)
         self._num_actions = int(envs[0].num_actions)
         self.work_stealing = bool(work_stealing)
         self.round_timeout = float(round_timeout)
+        self.pipeline_depth = int(pipeline_depth)
+        self.presample = (self.pipeline_depth >= 2) if presample is None else bool(presample)
 
         num_workers = num_workers if num_workers is not None else available_worker_count()
         self.num_workers = max(1, min(int(num_workers), self._num_envs))
@@ -367,6 +496,10 @@ class ProcessLanePool:
             start_method = "fork" if "fork" in methods else "spawn"
         ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
+
+        # Double-buffering needs one in-flight frame per cohort plus headroom
+        # for the cold-path RECV_JOBS frame.
+        ring_capacity = max(int(ring_capacity), self.pipeline_depth + 1)
 
         self._cmd_rings: List[ShmRing] = []
         self._res_rings: List[ShmRing] = []
@@ -422,6 +555,27 @@ class ProcessLanePool:
         self._lane_buffers: Optional[List[TrajectoryBuffer]] = None
         self._bank: List[tuple] = []  # [(info, TrajectoryBuffer)] completed, uncredited
         self._shipped_jobs: List[Optional[object]] = [None] * self.num_workers
+        #: Workers whose first result frame of the current rollout() has been
+        #: seen.  ``None`` outside rollouts.  A worker accrues command-ring
+        #: wait continuously, so the wait reported by its *first* frame of a
+        #: rollout covers the inter-rollout gap (PPO updates, pool idle time)
+        #: and must not count toward the in-rollout idle fraction.
+        self._rollout_wait_credit: Optional[set] = None
+        self._counters: Dict[str, int] = {
+            "rollouts": 0,
+            "rounds": 0,
+            "decisions": 0,
+            "episodes": 0,
+            "steal_banked": 0,
+            "steal_credited": 0,
+            "presampled_resets": 0,
+            "forward_ns": 0,
+            "result_wait_ns": 0,
+            "worker_wait_ns": 0,
+            "worker_step_ns": 0,
+            "worker_encode_ns": 0,
+            "rollout_ns": 0,
+        }
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -464,6 +618,37 @@ class ProcessLanePool:
         """Lanes currently mid-episode (stolen work resumes next call)."""
         return sum(1 for lane in self._lanes if lane.running)
 
+    # -- statistics ------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Cumulative engine statistics (see ``docs/simulator.md`` §5).
+
+        ``worker_idle_fraction`` is the mean fraction of worker wall time
+        spent blocked on command frames during rollouts -- the pipeline's
+        target: it shrinks when parent forwards overlap worker stepping.
+        """
+        c = self._counters
+        wall_ns = c["rollout_ns"]
+        idle = c["worker_wait_ns"] / (self.num_workers * wall_ns) if wall_ns else 0.0
+        return {
+            "engine": "process",
+            "pipeline_depth": self.pipeline_depth,
+            "num_workers": self.num_workers,
+            "rollouts": c["rollouts"],
+            "rounds": c["rounds"],
+            "decisions": c["decisions"],
+            "episodes": c["episodes"],
+            "steal_banked": c["steal_banked"],
+            "steal_credited": c["steal_credited"],
+            "presampled_resets": c["presampled_resets"],
+            "worker_idle_fraction": round(idle, 4),
+            "forward_s": c["forward_ns"] / 1e9,
+            "encode_s": c["worker_encode_ns"] / 1e9,
+            "step_s": c["worker_step_ns"] / 1e9,
+            "result_wait_s": c["result_wait_ns"] / 1e9,
+            "worker_wait_s": c["worker_wait_ns"] / 1e9,
+            "rollout_s": c["rollout_ns"] / 1e9,
+        }
+
     # -- plumbing --------------------------------------------------------------
     def _worker_of(self, lane: int) -> int:
         for worker, (lo, hi) in enumerate(self.shards):
@@ -503,13 +688,25 @@ class ProcessLanePool:
         )
 
     def _pop_result(self, worker: int) -> Dict[str, np.ndarray]:
+        t0 = time.perf_counter_ns()
         frame = self._res_rings[worker].pop(
             timeout=self.round_timeout, liveness=self._check_alive
         )
+        self._counters["result_wait_ns"] += time.perf_counter_ns() - t0
         if int(frame["kind"]) == _RES_ERROR:
             raise RuntimeError(
                 f"lane-pool worker {worker} failed" + self._drain_error(worker)
             )
+        if self._rollout_wait_credit is not None:
+            if worker in self._rollout_wait_credit:
+                self._counters["worker_wait_ns"] += int(frame["wait_ns"])
+            else:
+                # First frame of this rollout: its wait spans the
+                # inter-rollout gap, not in-rollout idling.
+                self._rollout_wait_credit.add(worker)
+        self._counters["worker_step_ns"] += int(frame["step_ns"])
+        self._counters["worker_encode_ns"] += int(frame["encode_ns"])
+        self._counters["presampled_resets"] += int(frame["presampled"])
         return frame
 
     def _raise_lane_failures(self, worker: int, frame: Dict[str, np.ndarray]) -> None:
@@ -565,7 +762,15 @@ class ProcessLanePool:
         try:
             self._push_round(
                 worker,
-                {"kind": _KIND_ROUND, "credit_base": 0, "credits": 0, "cmd": cmd, "arg": args},
+                {
+                    "kind": _KIND_ROUND,
+                    "cohort": 0,
+                    "presample": 0,
+                    "credit_base": 0,
+                    "credits": 0,
+                    "cmd": cmd,
+                    "arg": args,
+                },
             )
             if jobs is not None:
                 self._pipes[worker].send(("reset_jobs", jobs))
@@ -729,6 +934,7 @@ class ProcessLanePool:
                 info, episode_buffer = self._bank.pop(0)
                 buffer.absorb(episode_buffer)
                 infos.append(info)
+                self._counters["steal_credited"] += 1
             if len(infos) >= num_trajectories:
                 return infos
 
@@ -737,143 +943,21 @@ class ProcessLanePool:
         # Episodes already in flight count toward the quota of episode starts.
         in_flight = sum(1 for state in self._lanes if state.running)
         quota = max(0, num_trajectories - len(infos) - in_flight)
-        next_index = 0  # next episode_jobs index to hand out
-        # Credits let workers restart finished lanes inside the same round
-        # (the in-process engine's inline restart).  With several workers and
-        # fixed sequences, index disjointness cannot be guaranteed without a
-        # shared counter, so restarts fall back to explicit resets issued by
-        # the parent one round later.
-        allow_credits = episode_jobs is None or self.num_workers == 1
 
+        self._counters["rollouts"] += 1
+        self._rollout_wait_credit = set()
+        t_rollout = time.perf_counter_ns()
         try:
-            while len(infos) < num_trajectories:
-                running = [lane for lane in range(self._num_envs) if self._lanes[lane].running]
-                starts: List[int] = []
-                budget = self._num_envs if stealing else quota
-                for lane in range(self._num_envs):
-                    if len(starts) >= budget:
-                        break
-                    if not self._lanes[lane].running:
-                        starts.append(lane)
-                if not running and not starts:  # pragma: no cover - defensive
-                    raise RuntimeError(
-                        f"lane pool stalled with {len(infos)}/{num_trajectories} episodes collected"
-                    )
-                quota -= 0 if stealing else len(starts)
-
-                actions: Dict[int, int] = {}
-                values: Dict[int, float] = {}
-                log_probs: Dict[int, float] = {}
-                if running:
-                    obs_batch = np.stack([self._lanes[lane].observation for lane in running])
-                    mask_batch = np.stack([self._lanes[lane].mask for lane in running])
-                    acts, vals, lps = actor_critic.step_batch(
-                        obs_batch,
-                        mask_batch,
-                        rngs=None if deterministic else [rngs[lane] for lane in running],
-                        deterministic=deterministic,
-                    )
-                    act_list, val_list, lp_list = acts.tolist(), vals.tolist(), lps.tolist()
-                    for row, lane in enumerate(running):
-                        actions[lane] = act_list[row]
-                        values[lane] = val_list[row]
-                        log_probs[lane] = lp_list[row]
-
-                # One command frame per worker: STEP running lanes, RESET the
-                # idle lanes chosen to start, plus same-round restart credits.
-                # Workers with nothing to do this round (fully drained shard) are
-                # skipped entirely -- no frame, no round-trip.
-                frames: List[Dict[str, np.ndarray]] = []
-                step_counts: List[int] = []
-                engaged: List[bool] = []
-                for worker, (lo, hi) in enumerate(self.shards):
-                    shard = hi - lo
-                    cmd = np.zeros(shard, dtype=np.int64)
-                    arg = np.zeros(shard, dtype=np.int64)
-                    steps_here = 0
-                    resets_here = 0
-                    for lane in range(lo, hi):
-                        if lane in actions:
-                            cmd[lane - lo] = _CMD_STEP
-                            arg[lane - lo] = actions[lane]
-                            steps_here += 1
-                        elif lane in starts:
-                            cmd[lane - lo] = _CMD_RESET
-                            resets_here += 1
-                            if episode_jobs is not None:
-                                arg[lane - lo] = next_index
-                                next_index += 1
-                            else:
-                                arg[lane - lo] = _RESET_SAMPLE
-                    frames.append({"cmd": cmd, "arg": arg})
-                    step_counts.append(steps_here)
-                    engaged.append(steps_here > 0 or resets_here > 0)
-                # Explicit reset indices are assigned above, so worker auto-claims
-                # (one-worker case) start at the first unassigned index.
-                grant_pool = self._num_envs if stealing else quota
-                for worker, frame_values in enumerate(frames):
-                    if not engaged[worker]:
-                        continue
-                    if allow_credits and step_counts[worker]:
-                        credits = -1 if stealing else min(grant_pool, step_counts[worker])
-                        grant_pool -= 0 if stealing else max(credits, 0)
-                    else:
-                        credits = 0
-                    frame_values.update(
-                        {"kind": _KIND_ROUND, "credit_base": next_index, "credits": credits}
-                    )
-                    self._push_round(worker, frame_values)
-
-                # Collect results in worker order == ascending global lane order.
-                for worker, (lo, hi) in enumerate(self.shards):
-                    if not engaged[worker]:
-                        continue
-                    frame = self._pop_result(worker)
-                    self._raise_lane_failures(worker, frame)
-                    claimed = int(frame["claimed"])
-                    if not stealing:
-                        quota -= claimed
-                    if episode_jobs is not None and claimed:
-                        next_index += claimed
-                    for lane in range(lo, hi):
-                        local = lane - lo
-                        status = int(frame["status"][local])
-                        state = self._lanes[lane]
-                        if lane in actions:
-                            reward = float(frame["reward"][local])
-                            lane_buffers[lane].store(
-                                state.observation,
-                                state.mask,
-                                actions[lane],
-                                reward,
-                                values[lane],
-                                log_probs[lane],
-                            )
-                            state.episode_reward += reward
-                            state.episode_steps += 1
-                            if status in (_LANE_DONE_RESTARTED, _LANE_DONE_IDLE):
-                                lane_buffers[lane].finish_path(last_value=0.0)
-                                info = self._terminal_info(frame["info"][local], state, lane)
-                                if len(infos) < num_trajectories:
-                                    infos.append(info)
-                                    buffer.absorb(lane_buffers[lane])
-                                else:
-                                    episode_buffer = TrajectoryBuffer(
-                                        gamma=buffer.gamma, lam=buffer.lam
-                                    )
-                                    episode_buffer.absorb(lane_buffers[lane])
-                                    self._bank.append((info, episode_buffer))
-                                if status == _LANE_DONE_RESTARTED:
-                                    state.start(
-                                        frame["obs"][local].copy(), frame["mask"][local].copy()
-                                    )
-                                else:
-                                    state.retire()
-                            else:
-                                state.observation = frame["obs"][local].copy()
-                                state.mask = frame["mask"][local].copy()
-                        elif lane in starts and status == _LANE_RUNNING:
-                            state.start(frame["obs"][local].copy(), frame["mask"][local].copy())
+            if self.pipeline_depth == 1:
+                self._rollout_lockstep(
+                    actor_critic, num_trajectories, buffer, rngs, deterministic,
+                    episode_jobs, lane_buffers, stealing, infos, quota,
+                )
+            else:
+                self._rollout_pipelined(
+                    actor_critic, num_trajectories, buffer, rngs, deterministic,
+                    episode_jobs, lane_buffers, stealing, infos, quota,
+                )
         except BaseException:
             # An abort mid-round (KeyboardInterrupt, one worker timing out
             # after another's frame was pushed) can leave unconsumed frames
@@ -881,7 +965,375 @@ class ProcessLanePool:
             # new commands.  Poison the pool so later calls fail loudly.
             self._desynced = True
             raise
+        finally:
+            self._counters["rollout_ns"] += time.perf_counter_ns() - t_rollout
+            self._rollout_wait_credit = None
         return infos
+
+    def _rollout_lockstep(
+        self,
+        actor_critic: ActorCritic,
+        num_trajectories: int,
+        buffer: TrajectoryBuffer,
+        rngs: Sequence[np.random.Generator],
+        deterministic: bool,
+        episode_jobs: Optional[Sequence],
+        lane_buffers: List[TrajectoryBuffer],
+        stealing: bool,
+        infos: List[Dict],
+        quota: int,
+    ) -> None:
+        """The ``pipeline_depth=1`` round loop (PR 2's lockstep behaviour)."""
+        next_index = 0  # next episode_jobs index to hand out
+        # Credits let workers restart finished lanes inside the same round
+        # (the in-process engine's inline restart).  With several workers and
+        # fixed sequences, index disjointness cannot be guaranteed without a
+        # shared counter, so restarts fall back to explicit resets issued by
+        # the parent one round later.
+        allow_credits = episode_jobs is None or self.num_workers == 1
+        presample_flag = 1 if (self.presample and episode_jobs is None) else 0
+
+        while len(infos) < num_trajectories:
+            running = [lane for lane in range(self._num_envs) if self._lanes[lane].running]
+            starts: List[int] = []
+            budget = self._num_envs if stealing else quota
+            for lane in range(self._num_envs):
+                if len(starts) >= budget:
+                    break
+                if not self._lanes[lane].running:
+                    starts.append(lane)
+            if not running and not starts:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"lane pool stalled with {len(infos)}/{num_trajectories} episodes collected"
+                )
+            quota -= 0 if stealing else len(starts)
+
+            actions, values, log_probs = self._forward(
+                actor_critic, running, rngs, deterministic
+            )
+
+            # One command frame per worker: STEP running lanes, RESET the
+            # idle lanes chosen to start, plus same-round restart credits.
+            # Workers with nothing to do this round (fully drained shard) are
+            # skipped entirely -- no frame, no round-trip.
+            frames: List[Dict[str, np.ndarray]] = []
+            step_counts: List[int] = []
+            engaged: List[bool] = []
+            for worker, (lo, hi) in enumerate(self.shards):
+                shard = hi - lo
+                cmd = np.zeros(shard, dtype=np.int64)
+                arg = np.zeros(shard, dtype=np.int64)
+                steps_here = 0
+                resets_here = 0
+                for lane in range(lo, hi):
+                    if lane in actions:
+                        cmd[lane - lo] = _CMD_STEP
+                        arg[lane - lo] = actions[lane]
+                        steps_here += 1
+                    elif lane in starts:
+                        cmd[lane - lo] = _CMD_RESET
+                        resets_here += 1
+                        if episode_jobs is not None:
+                            arg[lane - lo] = next_index
+                            next_index += 1
+                        else:
+                            arg[lane - lo] = _RESET_SAMPLE
+                frames.append({"cmd": cmd, "arg": arg})
+                step_counts.append(steps_here)
+                engaged.append(steps_here > 0 or resets_here > 0)
+            # Explicit reset indices are assigned above, so worker auto-claims
+            # (one-worker case) start at the first unassigned index.
+            grant_pool = self._num_envs if stealing else quota
+            for worker, frame_values in enumerate(frames):
+                if not engaged[worker]:
+                    continue
+                if allow_credits and step_counts[worker]:
+                    credits = -1 if stealing else min(grant_pool, step_counts[worker])
+                    grant_pool -= 0 if stealing else max(credits, 0)
+                else:
+                    credits = 0
+                frame_values.update(
+                    {
+                        "kind": _KIND_ROUND,
+                        "cohort": 0,
+                        "presample": presample_flag,
+                        "credit_base": next_index,
+                        "credits": credits,
+                    }
+                )
+                self._push_round(worker, frame_values)
+            self._counters["rounds"] += 1
+
+            # Collect results in worker order == ascending global lane order.
+            for worker, (lo, hi) in enumerate(self.shards):
+                if not engaged[worker]:
+                    continue
+                frame = self._pop_result(worker)
+                self._raise_lane_failures(worker, frame)
+                claimed = int(frame["claimed"])
+                if not stealing:
+                    quota -= claimed
+                if episode_jobs is not None and claimed:
+                    next_index += claimed
+                self._apply_result(
+                    worker, frame, actions, values, log_probs, set(starts),
+                    lane_buffers, buffer, infos, num_trajectories,
+                    allow_restarts=True,
+                )
+
+    def _rollout_pipelined(
+        self,
+        actor_critic: ActorCritic,
+        num_trajectories: int,
+        buffer: TrajectoryBuffer,
+        rngs: Sequence[np.random.Generator],
+        deterministic: bool,
+        episode_jobs: Optional[Sequence],
+        lane_buffers: List[TrajectoryBuffer],
+        stealing: bool,
+        infos: List[Dict],
+        quota: int,
+    ) -> None:
+        """The ``pipeline_depth=2`` two-stage software pipeline.
+
+        Lanes split into alternating cohorts (lane ``i`` -> cohort
+        ``i % 2``); the parent issues cohort *c*'s next commands right after
+        collecting cohort *c*'s previous results, so its batched forward for
+        one cohort runs while the workers step the other.  Workers never
+        auto-restart in this mode (credits are 0): a finished lane sits out
+        one cohort round, is armed by gap-time pre-sampling, and restarts
+        through an explicit reset that pops the prepared start.
+        """
+        depth = self.pipeline_depth
+        cohort_lanes = [
+            [lane for lane in range(self._num_envs) if lane % depth == c]
+            for c in range(depth)
+        ]
+        presample_flag = 1 if (self.presample and episode_jobs is None) else 0
+        #: Per cohort: ``None`` or the issue context whose results are in flight.
+        outstanding: List[Optional[Dict]] = [None] * depth
+        next_index = 0
+        cohort = 0
+        idle_sweeps = 0
+
+        while True:
+            pending = outstanding[cohort]
+            if pending is not None:
+                outstanding[cohort] = None
+                for worker in pending["workers"]:
+                    frame = self._pop_result(worker)
+                    if int(frame["cohort"]) != cohort:
+                        raise RuntimeError(
+                            f"pipelined lane pool desynchronized: worker {worker} "
+                            f"returned cohort {int(frame['cohort'])} results for a "
+                            f"cohort {cohort} round"
+                        )
+                    self._raise_lane_failures(worker, frame)
+                    self._apply_result(
+                        worker, frame, pending["actions"], pending["values"],
+                        pending["log_probs"], pending["starts"],
+                        lane_buffers, buffer, infos, num_trajectories,
+                        allow_restarts=False,
+                    )
+                idle_sweeps = 0
+            if len(infos) >= num_trajectories:
+                if all(entry is None for entry in outstanding):
+                    return
+                cohort = (cohort + 1) % depth
+                continue
+
+            issued, quota, next_index = self._issue_cohort(
+                cohort, cohort_lanes[cohort], actor_critic, rngs, deterministic,
+                episode_jobs, stealing, quota, next_index, presample_flag,
+            )
+            if issued is not None:
+                outstanding[cohort] = issued
+                idle_sweeps = 0
+            else:
+                idle_sweeps += 1
+                if idle_sweeps >= depth and all(
+                    entry is None for entry in outstanding
+                ):  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"lane pool stalled with {len(infos)}/{num_trajectories} "
+                        "episodes collected"
+                    )
+            cohort = (cohort + 1) % depth
+
+    def _forward(
+        self,
+        actor_critic: ActorCritic,
+        running: List[int],
+        rngs: Sequence[np.random.Generator],
+        deterministic: bool,
+    ) -> Tuple[Dict[int, int], Dict[int, float], Dict[int, float]]:
+        """One batched forward pass over ``running`` lanes (may be empty)."""
+        actions: Dict[int, int] = {}
+        values: Dict[int, float] = {}
+        log_probs: Dict[int, float] = {}
+        if running:
+            t0 = time.perf_counter_ns()
+            obs_batch = np.stack([self._lanes[lane].observation for lane in running])
+            mask_batch = np.stack([self._lanes[lane].mask for lane in running])
+            acts, vals, lps = actor_critic.step_batch(
+                obs_batch,
+                mask_batch,
+                rngs=None if deterministic else [rngs[lane] for lane in running],
+                deterministic=deterministic,
+            )
+            self._counters["forward_ns"] += time.perf_counter_ns() - t0
+            act_list, val_list, lp_list = acts.tolist(), vals.tolist(), lps.tolist()
+            for row, lane in enumerate(running):
+                actions[lane] = act_list[row]
+                values[lane] = val_list[row]
+                log_probs[lane] = lp_list[row]
+        return actions, values, log_probs
+
+    def _issue_cohort(
+        self,
+        cohort: int,
+        lanes: List[int],
+        actor_critic: ActorCritic,
+        rngs: Sequence[np.random.Generator],
+        deterministic: bool,
+        episode_jobs: Optional[Sequence],
+        stealing: bool,
+        quota: int,
+        next_index: int,
+        presample_flag: int,
+    ) -> Tuple[Optional[Dict], int, int]:
+        """Forward + push one cohort round; returns (context, quota, next_index).
+
+        ``context`` is ``None`` when the cohort has nothing to do (no running
+        lanes and no starts within budget) -- no frames are pushed then.
+        """
+        running = [lane for lane in lanes if self._lanes[lane].running]
+        starts: List[int] = []
+        budget = len(lanes) if stealing else quota
+        for lane in lanes:
+            if len(starts) >= budget:
+                break
+            if not self._lanes[lane].running:
+                starts.append(lane)
+        if not running and not starts:
+            return None, quota, next_index
+        if not stealing:
+            quota -= len(starts)
+
+        actions, values, log_probs = self._forward(
+            actor_critic, running, rngs, deterministic
+        )
+
+        workers: List[int] = []
+        for worker, (lo, hi) in enumerate(self.shards):
+            shard = hi - lo
+            cmd = np.zeros(shard, dtype=np.int64)
+            arg = np.zeros(shard, dtype=np.int64)
+            engaged = False
+            for lane in lanes:
+                if lane < lo or lane >= hi:
+                    continue
+                if lane in actions:
+                    cmd[lane - lo] = _CMD_STEP
+                    arg[lane - lo] = actions[lane]
+                    engaged = True
+                elif lane in starts:
+                    cmd[lane - lo] = _CMD_RESET
+                    engaged = True
+                    if episode_jobs is not None:
+                        arg[lane - lo] = next_index
+                        next_index += 1
+                    else:
+                        arg[lane - lo] = _RESET_SAMPLE
+            if not engaged:
+                continue
+            self._push_round(
+                worker,
+                {
+                    "kind": _KIND_ROUND,
+                    "cohort": cohort,
+                    "presample": presample_flag,
+                    "credit_base": 0,
+                    "credits": 0,  # pipelined rounds never auto-restart
+                    "cmd": cmd,
+                    "arg": arg,
+                },
+            )
+            workers.append(worker)
+        self._counters["rounds"] += 1
+        context = {
+            "workers": workers,
+            "actions": actions,
+            "values": values,
+            "log_probs": log_probs,
+            "starts": set(starts),
+        }
+        return context, quota, next_index
+
+    def _apply_result(
+        self,
+        worker: int,
+        frame: Dict[str, np.ndarray],
+        actions: Dict[int, int],
+        values: Dict[int, float],
+        log_probs: Dict[int, float],
+        starts: Set[int],
+        lane_buffers: List[TrajectoryBuffer],
+        buffer: TrajectoryBuffer,
+        infos: List[Dict],
+        num_trajectories: int,
+        allow_restarts: bool,
+    ) -> None:
+        """Fold one worker's result frame into parent-side rollout state.
+
+        Stores transitions, finishes/banks episodes, and adopts restarted or
+        newly started lanes -- ascending lane order, identical for the
+        lockstep and pipelined paths (pipelined rounds set ``credits=0`` so
+        ``allow_restarts`` only ever fires on the lockstep path).
+        """
+        lo, hi = self.shards[worker]
+        for lane in range(lo, hi):
+            local = lane - lo
+            status = int(frame["status"][local])
+            state = self._lanes[lane]
+            if lane in actions:
+                reward = float(frame["reward"][local])
+                lane_buffers[lane].store(
+                    state.observation,
+                    state.mask,
+                    actions[lane],
+                    reward,
+                    values[lane],
+                    log_probs[lane],
+                )
+                self._counters["decisions"] += 1
+                state.episode_reward += reward
+                state.episode_steps += 1
+                if status in (_LANE_DONE_RESTARTED, _LANE_DONE_IDLE):
+                    lane_buffers[lane].finish_path(last_value=0.0)
+                    info = self._terminal_info(frame["info"][local], state, lane)
+                    self._counters["episodes"] += 1
+                    if len(infos) < num_trajectories:
+                        infos.append(info)
+                        buffer.absorb(lane_buffers[lane])
+                    else:
+                        episode_buffer = TrajectoryBuffer(
+                            gamma=buffer.gamma, lam=buffer.lam
+                        )
+                        episode_buffer.absorb(lane_buffers[lane])
+                        self._bank.append((info, episode_buffer))
+                        self._counters["steal_banked"] += 1
+                    if status == _LANE_DONE_RESTARTED and allow_restarts:
+                        state.start(
+                            frame["obs"][local].copy(), frame["mask"][local].copy()
+                        )
+                    else:
+                        state.retire()
+                else:
+                    state.observation = frame["obs"][local].copy()
+                    state.mask = frame["mask"][local].copy()
+            elif lane in starts and status == _LANE_RUNNING:
+                state.start(frame["obs"][local].copy(), frame["mask"][local].copy())
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -900,7 +1352,8 @@ class ProcessLanePool:
     def __repr__(self) -> str:
         return (
             f"ProcessLanePool(num_envs={self._num_envs}, num_workers={self.num_workers}, "
-            f"work_stealing={self.work_stealing}, start_method={self.start_method!r})"
+            f"work_stealing={self.work_stealing}, pipeline_depth={self.pipeline_depth}, "
+            f"start_method={self.start_method!r})"
         )
 
 
@@ -912,6 +1365,8 @@ def make_rollout_engine(
     num_workers: int | None = None,
     work_stealing: bool = True,
     start_method: str | None = None,
+    pipeline_depth: int = 1,
+    presample: bool | None = None,
 ):
     """Build a rollout engine over ``num_envs`` lanes cloned from a template.
 
@@ -920,6 +1375,13 @@ def make_rollout_engine(
     a :class:`ProcessLanePool` whose lanes live in worker processes.  Both
     backends derive lane seeds identically from ``seed``, so for one worker
     (stealing off) they produce bit-identical trajectories.
+
+    ``pipeline_depth`` selects the process backend's round scheduling:
+    1 = lockstep (the bit-identical path), 2 = double-buffered cohorts that
+    overlap the parent's batched forward pass with worker simulator stepping
+    (plus background episode pre-sampling; ``presample`` overrides its
+    default of "on iff pipelined").  The local backend steps lanes in this
+    process, so the knob does not apply and is ignored.
     """
     if backend == "local":
         return VecBackfillEnv.from_template(environment, num_envs, seed=seed)
@@ -931,5 +1393,7 @@ def make_rollout_engine(
             num_workers=num_workers,
             work_stealing=work_stealing,
             start_method=start_method,
+            pipeline_depth=pipeline_depth,
+            presample=presample,
         )
     raise ValueError(f"unknown rollout backend {backend!r}; use 'local' or 'process'")

@@ -31,6 +31,7 @@ dominates rollout collection for the paper's tiny kernel networks.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -108,6 +109,16 @@ class VecBackfillEnv:
         if len({id(env) for env in envs}) != len(envs):
             raise ValueError("environment lanes must be distinct instances")
         self.envs: List[Environment] = list(envs)
+        self._counters: Dict[str, int] = {
+            "rollouts": 0,
+            "rounds": 0,
+            "decisions": 0,
+            "episodes": 0,
+            "forward_ns": 0,
+            "encode_ns": 0,
+            "step_ns": 0,
+            "rollout_ns": 0,
+        }
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -135,6 +146,35 @@ class VecBackfillEnv:
     @property
     def num_actions(self) -> int:
         return self.envs[0].num_actions
+
+    # -- statistics ------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Cumulative engine statistics, same keys as the process backend.
+
+        The pool-only counters (stealing, pre-sampling, worker idle) are
+        structurally zero here: the in-process engine has no workers to idle
+        and restarts lanes inline, so nothing is ever stolen or pre-sampled.
+        """
+        c = self._counters
+        return {
+            "engine": "local",
+            "pipeline_depth": 1,
+            "num_workers": 0,
+            "rollouts": c["rollouts"],
+            "rounds": c["rounds"],
+            "decisions": c["decisions"],
+            "episodes": c["episodes"],
+            "steal_banked": 0,
+            "steal_credited": 0,
+            "presampled_resets": 0,
+            "worker_idle_fraction": 0.0,
+            "forward_s": c["forward_ns"] / 1e9,
+            "encode_s": c["encode_ns"] / 1e9,
+            "step_s": c["step_ns"] / 1e9,
+            "result_wait_s": 0.0,
+            "worker_wait_s": 0.0,
+            "rollout_s": c["rollout_ns"] / 1e9,
+        }
 
     # -- lane access ----------------------------------------------------------
     def reset_lane(self, lane: int, **kwargs) -> Tuple[np.ndarray, np.ndarray]:
@@ -225,38 +265,84 @@ class VecBackfillEnv:
         started = min(self.num_envs, num_trajectories)
         active = list(range(started))
         encode_lanes: List[int] = []
+        counters = self._counters
+        counters["rollouts"] += 1
+        t_rollout = time.perf_counter_ns()
+        try:
+            return self._rollout_loop(
+                actor_critic, num_trajectories, buffer, rngs, deterministic,
+                episode_jobs, lane_buffers, observations, masks,
+                episode_rewards, episode_steps, infos, deferred, builder,
+                start_episode, started, active, encode_lanes,
+            )
+        finally:
+            # Wall time must stay consistent with the per-phase counters
+            # even when a recoverable error aborts the rollout mid-loop.
+            counters["rollout_ns"] += time.perf_counter_ns() - t_rollout
+
+    def _rollout_loop(
+        self,
+        actor_critic,
+        num_trajectories,
+        buffer,
+        rngs,
+        deterministic,
+        episode_jobs,
+        lane_buffers,
+        observations,
+        masks,
+        episode_rewards,
+        episode_steps,
+        infos,
+        deferred,
+        builder,
+        start_episode,
+        started,
+        active,
+        encode_lanes,
+    ) -> List[Dict]:
+        """The round loop of :meth:`rollout`, extracted so the caller can
+        account wall time in a ``finally`` (consistent counters even when a
+        recoverable error aborts the rollout mid-loop)."""
+        counters = self._counters
         for lane in active:
             start_episode(lane, lane)
             if deferred:
                 encode_lanes.append(lane)
 
         while active:
+            counters["rounds"] += 1
             if encode_lanes:
                 # One feature-encoding pass for every lane that advanced or
                 # (re)started an episode since the previous forward pass.  In
                 # the deferred regime this covers every active lane, so the
                 # encoded matrix *is* the forward-pass input, row for row.
+                t0 = time.perf_counter_ns()
                 encoded = builder.encode_batch(
                     [self.envs[lane].pending_encode() for lane in encode_lanes]
                 )
                 for row, lane in enumerate(encode_lanes):
                     observations[lane] = encoded[row]
+                counters["encode_ns"] += time.perf_counter_ns() - t0
             if encode_lanes == active and encode_lanes:
                 obs_batch = encoded
             else:
                 obs_batch = np.stack([observations[lane] for lane in active])
             mask_batch = np.stack([masks[lane] for lane in active])
+            t0 = time.perf_counter_ns()
             actions, values, log_probs = actor_critic.step_batch(
                 obs_batch,
                 mask_batch,
                 rngs=None if deterministic else [rngs[lane] for lane in active],
                 deterministic=deterministic,
             )
+            counters["forward_ns"] += time.perf_counter_ns() - t0
             action_list = actions.tolist()
             value_list = values.tolist()
             log_prob_list = log_probs.tolist()
             still_active: List[int] = []
             encode_lanes = []
+            t_step = time.perf_counter_ns()
             for row, lane in enumerate(active):
                 action = action_list[row]
                 env = self.envs[lane]
@@ -271,8 +357,10 @@ class VecBackfillEnv:
                 )
                 episode_rewards[lane] += result.reward
                 episode_steps[lane] += 1
+                counters["decisions"] += 1
                 if result.done:
                     lane_buffers[lane].finish_path(last_value=0.0)
+                    counters["episodes"] += 1
                     info = dict(result.info)
                     info.update(
                         {
@@ -302,6 +390,7 @@ class VecBackfillEnv:
                     else:
                         observations[lane] = result.observation
                     still_active.append(lane)
+            counters["step_ns"] += time.perf_counter_ns() - t_step
             active = still_active
         return infos
 

@@ -23,7 +23,13 @@ from repro.workloads.lublin import LUBLIN_1, LUBLIN_2, lublin_trace
 from repro.workloads.swf import read_swf
 from repro.workloads.synthetic import HPC2N_SPEC, SDSC_SP2_SPEC, synthetic_trace
 
-__all__ = ["load_trace", "available_traces", "register_trace", "clear_trace_cache"]
+__all__ = [
+    "load_trace",
+    "available_traces",
+    "register_trace",
+    "clear_trace_cache",
+    "real_swf_path",
+]
 
 #: Environment variable naming a directory that holds the original SWF files.
 SWF_DIR_ENV = "REPRO_SWF_DIR"
@@ -83,6 +89,17 @@ def _find_swf_file(name: str) -> str | None:
         if os.path.isfile(path):
             return path
     return None
+
+
+def real_swf_path(name: str) -> str | None:
+    """Path of the *real* archive SWF file ``load_trace(name)`` would parse.
+
+    ``None`` when ``$REPRO_SWF_DIR`` is unset or holds no file for ``name``
+    -- in that case ``load_trace`` falls back to the calibrated synthetic
+    equivalent.  CI scripts use this to distinguish "training on genuine
+    archive data" from the synthetic fallback.
+    """
+    return _find_swf_file(name)
 
 
 @lru_cache(maxsize=32)
