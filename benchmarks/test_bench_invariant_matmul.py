@@ -1,0 +1,96 @@
+"""Micro-benchmark: batch-invariant matmul kernel vs raw ``np.matmul``.
+
+The batch-invariant kernel (``repro.rl.autograd.invariant_matmul``) buys
+bit-identical policy outputs across rollout batch compositions by pinning
+every BLAS call to one fixed ``(INVARIANT_ROW_BLOCK, k) @ (k, n)`` shape.
+The price is padding waste and the stacked-matmul dispatch; this benchmark
+measures that overhead at exactly the shapes the rollout hot path produces
+(see the acceptance bound of ISSUE 4: <= 2.0x raw ``np.matmul`` wall time).
+
+Shapes: one 16-lane rollout decision step of the benchmark configuration
+(64 observation slots, 10 features per job) runs the kernel network over
+``16 * 64`` folded job rows (three layers) and the value network over the 16
+lane observations (three layers).  The recorded ``overhead_invariant_vs_
+matmul`` is total invariant-kernel time over total raw-matmul time across
+that whole shape set, and is guarded (lower-is-better) by the CI trend check
+against ``benchmarks/throughput_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.rl.autograd import invariant_matmul
+
+#: One 16-lane rollout decision step of the benchmark configuration
+#: (``test_bench_vec_rollout``: MAX_QUEUE=64, JOB_FEATURES=10): the kernel
+#: network folds (lanes * slots) job rows, the value network sees one row
+#: per lane.
+ROLLOUT_SHAPES = (
+    # kernel network, per-job rows: (16 lanes * 64 slots, features)
+    (1024, 10, 32),
+    (1024, 32, 16),
+    (1024, 16, 1),
+    # value network, per-lane rows: (16 lanes, slots * features)
+    (16, 640, 64),
+    (16, 64, 32),
+    (16, 32, 1),
+)
+MAX_OVERHEAD = 2.0
+REPEATS = 300
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_overhead() -> dict:
+    rng = np.random.default_rng(0)
+    operands = [
+        (rng.normal(size=(rows, k)), rng.normal(size=(k, cols)))
+        for rows, k, cols in ROLLOUT_SHAPES
+    ]
+    per_shape = {}
+    total_invariant = 0.0
+    total_matmul = 0.0
+    for (rows, k, cols), (a, b) in zip(ROLLOUT_SHAPES, operands):
+        invariant_matmul(a, b)  # warm both paths before timing
+        a @ b
+        t_invariant = _best_of(lambda a=a, b=b: invariant_matmul(a, b), REPEATS)
+        t_matmul = _best_of(lambda a=a, b=b: a @ b, REPEATS)
+        per_shape[f"overhead_{rows}x{k}x{cols}"] = round(t_invariant / t_matmul, 3)
+        total_invariant += t_invariant
+        total_matmul += t_matmul
+    return {
+        "per_shape": per_shape,
+        "total_invariant_us": total_invariant * 1e6,
+        "total_matmul_us": total_matmul * 1e6,
+        "overhead": total_invariant / total_matmul,
+    }
+
+
+@pytest.mark.benchmark(group="invariant-matmul")
+def test_bench_invariant_matmul(benchmark):
+    result = benchmark.pedantic(
+        measure_overhead, rounds=1, iterations=1, warmup_rounds=0
+    )
+    overhead = result["overhead"]
+    benchmark.extra_info["overhead_invariant_vs_matmul"] = round(overhead, 3)
+    benchmark.extra_info.update(result["per_shape"])
+    print(
+        "\ninvariant matmul vs np.matmul at rollout shapes: "
+        f"{result['total_invariant_us']:.1f}us vs {result['total_matmul_us']:.1f}us "
+        f"({overhead:.2f}x); per shape: {result['per_shape']}"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"batch-invariant kernel costs {overhead:.2f}x raw np.matmul at rollout "
+        f"batch sizes (bound {MAX_OVERHEAD}x): {result['per_shape']}"
+    )

@@ -25,10 +25,19 @@ honest on small runners.  Each metric declares ``higher_is_better``;
 lower-is-better metrics regress when the measurement exceeds
 ``baseline * (1 + tolerance)``.
 
-A benchmark or metric absent from the results JSON is reported as MISSING
-with a warning but does not fail the check by default -- the (deliberately
-non-blocking) benchmark job's own failure covers that case; pass
-``--strict`` to treat missing data as a failure instead.
+Two non-verdict outcomes are reported **distinctly** and must not be
+conflated:
+
+* ``GATED`` -- the benchmark ran and recorded its usable-core count, but the
+  run had fewer cores than the metric's ``min_cores``.  This is the expected
+  state on small runners and never fails the check.
+* ``MISSING`` -- the benchmark, the metric's field, or the core count the
+  gate needs is absent from the results JSON.  A core-gated metric whose
+  benchmark did not record ``usable_cores`` is MISSING, not gated: otherwise
+  a still-unmeasured baseline (e.g. ``speedup_pipelined_vs_lockstep``) could
+  pass silently forever by looking like a small-runner skip.  MISSING warns
+  by default -- the (deliberately non-blocking) benchmark job's own failure
+  covers that case -- and fails the check under ``--strict``.
 
 Usage:
     python scripts/check_benchmark_trend.py [--strict] RESULTS.json [BASELINE.json]
@@ -95,11 +104,19 @@ def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
             continue
         min_cores = metric.get("min_cores")
         if min_cores is not None:
+            cores_key = metric.get("cores_key", "usable_cores")
             bench = benches.get(metric["benchmark"], {})
-            cores = bench.get("extra_info", {}).get(
-                metric.get("cores_key", "usable_cores")
-            )
-            if cores is None or int(cores) < int(min_cores):
+            cores = bench.get("extra_info", {}).get(cores_key)
+            if cores is None:
+                # No recorded core count is missing data, not a small-runner
+                # gate -- report it as such so an unmeasured metric cannot
+                # pass silently by masquerading as core-gated.
+                missing.append(
+                    f"{label}: extra_info[{cores_key!r}] missing from benchmark "
+                    f"(needed by its min_cores={min_cores} gate)"
+                )
+                continue
+            if int(cores) < int(min_cores):
                 skipped.append(f"{label}: needs >= {min_cores} cores (run had {cores})")
                 continue
         relative_to = metric.get("relative_to")
@@ -130,13 +147,13 @@ def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
     for line in passed:
         print(line)
     for line in skipped:
-        print(f"skipped {line}")
+        print(f"GATED (min_cores) {line}")
     for line in missing:
         # ::warning:: renders as an annotation on GitHub runners and is
         # harmless plain text elsewhere.
         print(f"::warning::trend check MISSING {line}")
     if strict and missing:
-        failures.extend(missing)
+        failures.extend(f"MISSING {line}" for line in missing)
     if failures:
         print()
         for line in failures:
@@ -147,8 +164,12 @@ def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
             file=sys.stderr,
         )
         return 1
-    note = f", {len(missing)} missing (non-strict)" if missing else ""
-    print(f"\nrollout-throughput trend check passed ({len(passed)} metric(s){note})")
+    summary = f"{len(passed)} metric(s) ok"
+    if skipped:
+        summary += f", {len(skipped)} gated off by min_cores"
+    if missing:
+        summary += f", {len(missing)} MISSING (non-strict)"
+    print(f"\nrollout-throughput trend check passed ({summary})")
     return 0
 
 

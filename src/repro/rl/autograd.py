@@ -10,6 +10,16 @@ computation graph.
 The engine intentionally stays small (single dtype, no views/in-place ops, 2-D
 matmul only): it is an execution substrate for the paper's models, not a
 general deep-learning framework.
+
+Two matrix products are provided: :meth:`Tensor.matmul` (plain BLAS, fastest,
+but output rows can vary in the last ulp with batch size because the library
+picks its algorithm from the product shape) and :meth:`Tensor.matmul_invariant`
+(the **batch-invariant kernel** built on :func:`invariant_matmul`, whose
+output rows are bit-identical regardless of how many rows share the batch).
+The model layers (:class:`~repro.rl.nn.Linear`) use the invariant kernel, so
+policy and value outputs -- and therefore rollout trajectories and PPO
+updates -- do not depend on rollout lane count, worker shard layout, pipeline
+depth, or minibatch composition.
 """
 
 from __future__ import annotations
@@ -19,11 +29,71 @@ from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "invariant_matmul",
+    "INVARIANT_ROW_BLOCK",
+]
 
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 
 _GRAD_ENABLED = True
+
+#: Fixed row-block size of :func:`invariant_matmul`.  Every BLAS call made by
+#: the kernel multiplies exactly this many rows, so the library's
+#: shape-dependent algorithm choice (gemv vs gemm, K-blocking, threading) is
+#: pinned once and for all instead of varying with the caller's batch size.
+#: 16 keeps the padding waste of small rollout batches low while the stacked
+#: 3-D matmul stays within ~1.1-1.5x of a raw ``np.matmul`` at rollout batch
+#: sizes (measured by ``benchmarks/test_bench_invariant_matmul.py``).
+INVARIANT_ROW_BLOCK = 16
+
+
+def invariant_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with batch-invariant output rows.
+
+    Row-blocked BLAS kernels choose their algorithm (gemv vs gemm, K-panel
+    blocking, threading) from the *shape* of the product, so the floats of
+    output row ``i`` of a plain ``a @ b`` can differ in the last ulp depending
+    on how many other rows share the batch.  This kernel removes that degree
+    of freedom: rows are processed in fixed blocks of
+    :data:`INVARIANT_ROW_BLOCK` (the tail block zero-padded) and multiplied
+    through one stacked 3-D ``np.matmul``, so **every** underlying BLAS call
+    has the identical ``(INVARIANT_ROW_BLOCK, k) @ (k, n)`` shape no matter
+    how many rows the caller batched.  GEMM arithmetic never mixes rows, and
+    with the call shape fixed the per-row accumulation order is fixed too;
+    hence
+
+    ``invariant_matmul(a[i : i + 1], b)[0] == invariant_matmul(a, b)[i]``
+
+    bit for bit, for any batch composition (asserted over randomized shapes
+    in ``tests/test_rl_autograd.py``).  This is what makes policy outputs
+    identical across rollout lane count, worker shard layout, and pipeline
+    depth -- see the determinism contract in ``docs/simulator.md``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"invariant_matmul supports 2-D arrays only, got {a.shape} @ {b.shape}"
+        )
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
+    rows = a.shape[0]
+    cols = b.shape[1]
+    if rows == 0:
+        return np.zeros((0, cols), dtype=np.float64)
+    block = INVARIANT_ROW_BLOCK
+    num_blocks = -(-rows // block)
+    padded = num_blocks * block
+    if rows == padded:
+        stacked = a.reshape(num_blocks, block, a.shape[1])
+    else:
+        stacked = np.zeros((num_blocks, block, a.shape[1]), dtype=np.float64)
+        stacked.reshape(padded, a.shape[1])[:rows] = a
+    return np.matmul(stacked, b).reshape(padded, cols)[:rows]
 
 
 @contextlib.contextmanager
@@ -264,6 +334,29 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     __matmul__ = matmul
+
+    def matmul_invariant(self, other: "Tensor") -> "Tensor":
+        """Matrix product with batch-invariant rows (see :func:`invariant_matmul`).
+
+        Forward and both backward products go through the fixed-block kernel:
+        the gradient w.r.t. this tensor (``grad @ other.T``) keeps per-row
+        batch invariance, and the gradient w.r.t. ``other`` (``self.T @
+        grad``) reduces over the batch with the same fixed blocking, so the
+        whole op is bitwise reproducible for a given batch.  ``Linear``
+        layers route through this op, which is what makes policy/value
+        outputs independent of rollout batch composition.
+        """
+        if not isinstance(other, Tensor):
+            other = Tensor(_as_array(other))
+        data = invariant_matmul(self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(invariant_matmul(grad, other.data.T))
+            if other.requires_grad:
+                other._accumulate(invariant_matmul(self.data.T, grad))
+
+        return Tensor._make(data, (self, other), backward)
 
     def reshape(self, *shape: int) -> "Tensor":
         original = self.data.shape

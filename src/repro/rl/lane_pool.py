@@ -56,21 +56,33 @@ through the drain phase at the cost of collecting a small, bounded amount of
 next-epoch experience under the current policy (PPO's importance ratios
 already account for slightly stale behaviour policies).
 
-**Determinism contract** (see ``docs/simulator.md`` §4-§5): worker shards
+**Determinism contract** (see ``docs/simulator.md`` §4-§6): worker shards
 preserve global lane indexing, workers process commands in ascending lane
 order, and per-lane episode-sampling rngs live inside the worker's
-environment while per-lane action rngs stay in the parent.  With **one
-worker, work stealing off, and pipeline_depth=1**, the pool performs exactly
-the same environment interactions, rng draws, encode batches, and
-forward-pass batch compositions as the in-process engine -- trajectories and
-buffer contents are bit-identical (asserted in ``tests/test_lane_pool.py``).
-With ``pipeline_depth=2`` each cohort is forwarded as its own batch, so
-per-lane trajectories remain exact (lane independence) while float batching
-may differ in the last ulp, as across any batch recomposition.
+environment while per-lane action rngs stay in the parent.  The policy
+forward pass runs through the batch-invariant matmul kernel
+(:func:`repro.rl.autograd.invariant_matmul`), so each lane's floats do not
+depend on which other lanes share a forward batch, and completed episodes
+are released into the epoch buffer in **canonical order** -- sorted by
+``(lane decision count at completion, lane)``, the logical completion clock
+-- rather than raw arrival order.  Together those make the pool
+bit-identical to the in-process engine for the same lanes and seeds at *any*
+worker count and *any* pipeline depth: trajectories, buffer contents, and
+episode infos are equal bit for bit (asserted in ``tests/test_lane_pool.py``,
+``tests/test_pipelined_pool.py``, and the cross-config matrix in
+``tests/test_parity_matrix.py``).  Arrival order already equals canonical
+order whenever every lane stores one decision per round (the common lockstep
+case), so the queue usually drains immediately; it genuinely reorders
+whenever a lane loses a round relative to its decision clock -- pipelined
+cohorts completing rounds at interleaved times, and lockstep lanes whose
+restart had to wait for an explicit parent RESET (multi-worker
+``episode_jobs`` rounds, unclaimed credit grants) -- which is exactly what
+keeps those schedules aligned with the in-process engine's inline restarts.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import time
@@ -555,6 +567,14 @@ class ProcessLanePool:
         self._lane_buffers: Optional[List[TrajectoryBuffer]] = None
         self._bank: List[tuple] = []  # [(info, TrajectoryBuffer)] completed, uncredited
         self._shipped_jobs: List[Optional[object]] = [None] * self.num_workers
+        # Canonical episode-release state, reset per rollout() call: per-lane
+        # decision clocks, the min-heap of completed-but-unreleased episodes
+        # keyed by (clock at completion, lane), and the lanes whose RESET
+        # command is in flight (they will start an episode, so they gate
+        # releases exactly like running lanes).
+        self._release_clocks: List[int] = [0] * self._num_envs
+        self._release_pending: List[tuple] = []
+        self._pending_starts: Set[int] = set()
         #: Workers whose first result frame of the current rollout() has been
         #: seen.  ``None`` outside rollouts.  A worker accrues command-ring
         #: wait continuously, so the wait reported by its *first* frame of a
@@ -946,6 +966,13 @@ class ProcessLanePool:
 
         self._counters["rollouts"] += 1
         self._rollout_wait_credit = set()
+        # Fresh canonical-release state: clocks count decisions stored during
+        # *this* call (resumed in-flight episodes keep their earlier steps in
+        # the lane buffers but re-enter the ordering at clock 0, which is
+        # exactly the lockstep arrival order for resumed lanes).
+        self._release_clocks = [0] * self._num_envs
+        self._release_pending = []
+        self._pending_starts = set()
         t_rollout = time.perf_counter_ns()
         try:
             if self.pipeline_depth == 1:
@@ -958,6 +985,12 @@ class ProcessLanePool:
                     actor_critic, num_trajectories, buffer, rngs, deterministic,
                     episode_jobs, lane_buffers, stealing, infos, quota,
                 )
+            # Episodes completed beyond the requested count (drain-phase
+            # stealing) that were still gated by the canonical order when the
+            # loop exited: release them unconditionally, smallest key first.
+            self._drain_release_queue(
+                False, 0, buffer, infos, num_trajectories, final=True
+            )
         except BaseException:
             # An abort mid-round (KeyboardInterrupt, one worker timing out
             # after another's frame was pushed) can leave unconsumed frames
@@ -1007,6 +1040,7 @@ class ProcessLanePool:
                     f"lane pool stalled with {len(infos)}/{num_trajectories} episodes collected"
                 )
             quota -= 0 if stealing else len(starts)
+            self._pending_starts.update(starts)
 
             actions, values, log_probs = self._forward(
                 actor_critic, running, rngs, deterministic
@@ -1078,7 +1112,7 @@ class ProcessLanePool:
                 self._apply_result(
                     worker, frame, actions, values, log_probs, set(starts),
                     lane_buffers, buffer, infos, num_trajectories,
-                    allow_restarts=True,
+                    allow_restarts=True, stealing=stealing, quota=quota,
                 )
 
     def _rollout_pipelined(
@@ -1133,7 +1167,7 @@ class ProcessLanePool:
                         worker, frame, pending["actions"], pending["values"],
                         pending["log_probs"], pending["starts"],
                         lane_buffers, buffer, infos, num_trajectories,
-                        allow_restarts=False,
+                        allow_restarts=False, stealing=stealing, quota=quota,
                     )
                 idle_sweeps = 0
             if len(infos) >= num_trajectories:
@@ -1219,6 +1253,7 @@ class ProcessLanePool:
             return None, quota, next_index
         if not stealing:
             quota -= len(starts)
+        self._pending_starts.update(starts)
 
         actions, values, log_probs = self._forward(
             actor_critic, running, rngs, deterministic
@@ -1283,13 +1318,17 @@ class ProcessLanePool:
         infos: List[Dict],
         num_trajectories: int,
         allow_restarts: bool,
+        stealing: bool,
+        quota: int,
     ) -> None:
         """Fold one worker's result frame into parent-side rollout state.
 
-        Stores transitions, finishes/banks episodes, and adopts restarted or
-        newly started lanes -- ascending lane order, identical for the
-        lockstep and pipelined paths (pipelined rounds set ``credits=0`` so
-        ``allow_restarts`` only ever fires on the lockstep path).
+        Stores transitions, adopts restarted or newly started lanes, and
+        pushes finished episodes onto the canonical release queue -- ascending
+        lane order, identical for the lockstep and pipelined paths (pipelined
+        rounds set ``credits=0`` so ``allow_restarts`` only ever fires on the
+        lockstep path).  Episodes enter the epoch buffer through
+        :meth:`_drain_release_queue`, never directly.
         """
         lo, hi = self.shards[worker]
         for lane in range(lo, hi):
@@ -1307,22 +1346,21 @@ class ProcessLanePool:
                     log_probs[lane],
                 )
                 self._counters["decisions"] += 1
+                self._release_clocks[lane] += 1
                 state.episode_reward += reward
                 state.episode_steps += 1
                 if status in (_LANE_DONE_RESTARTED, _LANE_DONE_IDLE):
                     lane_buffers[lane].finish_path(last_value=0.0)
                     info = self._terminal_info(frame["info"][local], state, lane)
                     self._counters["episodes"] += 1
-                    if len(infos) < num_trajectories:
-                        infos.append(info)
-                        buffer.absorb(lane_buffers[lane])
-                    else:
-                        episode_buffer = TrajectoryBuffer(
-                            gamma=buffer.gamma, lam=buffer.lam
-                        )
-                        episode_buffer.absorb(lane_buffers[lane])
-                        self._bank.append((info, episode_buffer))
-                        self._counters["steal_banked"] += 1
+                    episode_buffer = TrajectoryBuffer(
+                        gamma=buffer.gamma, lam=buffer.lam
+                    )
+                    episode_buffer.absorb(lane_buffers[lane])
+                    heapq.heappush(
+                        self._release_pending,
+                        (self._release_clocks[lane], lane, info, episode_buffer),
+                    )
                     if status == _LANE_DONE_RESTARTED and allow_restarts:
                         state.start(
                             frame["obs"][local].copy(), frame["mask"][local].copy()
@@ -1333,7 +1371,61 @@ class ProcessLanePool:
                     state.observation = frame["obs"][local].copy()
                     state.mask = frame["mask"][local].copy()
             elif lane in starts and status == _LANE_RUNNING:
+                self._pending_starts.discard(lane)
                 state.start(frame["obs"][local].copy(), frame["mask"][local].copy())
+        self._drain_release_queue(stealing, quota, buffer, infos, num_trajectories)
+
+    def _drain_release_queue(
+        self,
+        stealing: bool,
+        quota: int,
+        buffer: TrajectoryBuffer,
+        infos: List[Dict],
+        num_trajectories: int,
+        final: bool = False,
+    ) -> None:
+        """Release completed episodes in canonical ``(clock, lane)`` order.
+
+        An episode keyed ``(c, l)`` -- lane ``l`` finished it after storing
+        its ``c``-th decision of this rollout -- is released only once no
+        other lane can still complete an episode with a smaller key.  A lane
+        ``m`` that may yet finish an episode (it is running, its RESET is in
+        flight, or it is idle but restartable because stealing is on or quota
+        remains) finishes no earlier than ``(clock_m + 1, m)``.  Arrival
+        order already satisfies this whenever every lane stores one decision
+        per round, so the queue usually drains immediately; it holds entries
+        back exactly when a lane lost a round relative to its decision clock
+        (pipelined cohorts, lockstep explicit-RESET restarts), which is what
+        makes the epoch buffer identical across schedulers.  Released
+        episodes are credited while the call's quota of ``num_trajectories``
+        lasts and banked (work stealing) afterwards.  ``final=True`` (the
+        post-loop flush) releases unconditionally -- no lane can produce
+        further completions once the round loop has exited.
+        """
+        pending = self._release_pending
+        while pending:
+            if not final:
+                key = (pending[0][0], pending[0][1])
+                blocked = False
+                for m, state in enumerate(self._lanes):
+                    may_finish = (
+                        state.running
+                        or m in self._pending_starts
+                        or stealing
+                        or quota > 0
+                    )
+                    if may_finish and (self._release_clocks[m] + 1, m) <= key:
+                        blocked = True
+                        break
+                if blocked:
+                    return
+            _, _, info, episode_buffer = heapq.heappop(pending)
+            if len(infos) < num_trajectories:
+                infos.append(info)
+                buffer.absorb(episode_buffer)
+            else:
+                self._bank.append((info, episode_buffer))
+                self._counters["steal_banked"] += 1
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:

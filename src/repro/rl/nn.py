@@ -4,11 +4,25 @@ Provides the pieces the paper's networks need: dense layers with sensible
 initialization, tanh/relu activations, sequential containers, and a
 convenience MLP builder.  Parameters are :class:`~repro.rl.autograd.Tensor`
 objects with ``requires_grad=True``; optimizers consume ``module.parameters()``.
+
+:class:`Linear` computes its affine map through the **batch-invariant matmul
+kernel** (:meth:`Tensor.matmul_invariant`): every output row is bit-identical
+whether it is forwarded alone or inside any larger batch.  Since all model
+matmuls go through ``Linear``, the networks' outputs are invariant to rollout
+batch composition -- the property the vectorized/multiprocess/pipelined
+rollout engines' bit-parity contract rests on.
+
+State is (de)serialized by **qualified attribute path** (e.g.
+``network.0.weight`` for the first layer of an :class:`MLP`), so a checkpoint
+can never load into the wrong layer of an architecture that merely happens to
+match in parameter count and shapes.  Flat-index keys (``"0"``, ``"1"``, ...)
+from older checkpoints are still accepted as a deprecated fallback.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+import warnings
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -21,25 +35,49 @@ __all__ = ["Module", "Linear", "Tanh", "ReLU", "Identity", "Sequential", "MLP"]
 class Module:
     """Base class for parameterized computations."""
 
+    def _named_members(self) -> Iterable[Tuple[str, "Tensor | Module"]]:
+        """Direct children as ``(name, tensor-or-module)`` in attribute order.
+
+        List/tuple attributes contribute their module items as
+        ``attr.<index>``; containers with a natural indexing (e.g.
+        :class:`Sequential`) override this to expose bare indices instead.
+        """
+        for name, value in self.__dict__.items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield name, value
+            elif isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{index}", item
+
+    def named_parameters(self) -> List[Tuple[str, Tensor]]:
+        """``(qualified_path, tensor)`` pairs, in ``parameters()`` order.
+
+        The qualified path is the dotted attribute route to the tensor (e.g.
+        ``network.0.weight``); a tensor shared between two attributes appears
+        once, under the first path that reaches it.
+        """
+        named: List[Tuple[str, Tensor]] = []
+        seen: set[int] = set()
+        self._collect_named(named, seen, "")
+        return named
+
+    def _collect_named(
+        self, named: List[Tuple[str, Tensor]], seen: set, prefix: str
+    ) -> None:
+        for name, value in self._named_members():
+            if isinstance(value, Tensor):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    named.append((f"{prefix}{name}", value))
+            else:
+                value._collect_named(named, seen, f"{prefix}{name}.")
+
     def parameters(self) -> List[Tensor]:
         """All trainable tensors owned by this module (recursively)."""
-        params: List[Tensor] = []
-        seen: set[int] = set()
-        for value in self.__dict__.values():
-            found: Iterable[Tensor]
-            if isinstance(value, Tensor) and value.requires_grad:
-                found = [value]
-            elif isinstance(value, Module):
-                found = value.parameters()
-            elif isinstance(value, (list, tuple)):
-                found = [p for item in value if isinstance(item, Module) for p in item.parameters()]
-            else:
-                continue
-            for param in found:
-                if id(param) not in seen:
-                    seen.add(id(param))
-                    params.append(param)
-        return params
+        return [param for _, param in self.named_parameters()]
 
     def zero_grad(self) -> None:
         for param in self.parameters():
@@ -50,21 +88,51 @@ class Module:
 
     # -- state (de)serialization -------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Flat mapping of parameter index -> array (order of ``parameters()``)."""
-        return {str(i): p.data.copy() for i, p in enumerate(self.parameters())}
+        """Mapping of qualified attribute path -> array (``named_parameters()`` order)."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        params = self.parameters()
-        if len(state) != len(params):
-            raise ValueError(
-                f"state dict has {len(state)} arrays but the module has {len(params)} parameters"
+        """Load parameter arrays, keyed by qualified path.
+
+        Keys must match :meth:`named_parameters` exactly (missing or
+        unexpected entries raise ``ValueError`` naming them) and every array
+        must match its parameter's shape.  A state dict whose keys are all
+        flat indices (``"0"``, ``"1"``, ... -- the pre-path checkpoint
+        format) is accepted as a deprecated fallback and mapped by
+        ``parameters()`` order; such a mapping cannot detect a reordered
+        architecture whose shapes happen to line up, which is why it warns.
+        """
+        named = self.named_parameters()
+        if state and all(key.isdigit() for key in state):
+            warnings.warn(
+                "loading an index-keyed state dict; index keys cannot detect "
+                "architecture mismatches and will be removed -- re-save the "
+                "checkpoint to upgrade it to qualified-path keys",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        for i, param in enumerate(params):
-            array = np.asarray(state[str(i)], dtype=np.float64)
+            if len(state) != len(named):
+                raise ValueError(
+                    f"state dict has {len(state)} arrays but the module has "
+                    f"{len(named)} parameters"
+                )
+            entries = [(str(i), param) for i, (_, param) in enumerate(named)]
+        else:
+            known = {name for name, _ in named}
+            missing = [name for name, _ in named if name not in state]
+            unexpected = [key for key in state if key not in known]
+            if missing or unexpected:
+                raise ValueError(
+                    "state dict keys do not match the module's parameters: "
+                    f"missing {missing or 'none'}, unexpected {unexpected or 'none'}"
+                )
+            entries = named
+        for key, param in entries:
+            array = np.asarray(state[key], dtype=np.float64)
             if array.shape != param.data.shape:
                 raise ValueError(
-                    f"parameter {i} shape mismatch: module has {param.data.shape}, "
-                    f"state has {array.shape}"
+                    f"parameter {key!r} shape mismatch: module has "
+                    f"{param.data.shape}, state has {array.shape}"
                 )
             param.data = array.copy()
 
@@ -76,7 +144,14 @@ class Module:
 
 
 class Linear(Module):
-    """Affine layer ``y = x @ W + b`` with scaled-uniform (Xavier) initialization."""
+    """Affine layer ``y = x @ W + b`` with scaled-uniform (Xavier) initialization.
+
+    The product runs through the batch-invariant matmul kernel
+    (:meth:`Tensor.matmul_invariant`), so each output row is bit-identical no
+    matter how many rows share the forward batch; the bias add and every
+    activation are elementwise, which leaves whole-network outputs
+    batch-invariant per row.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = None):
         if in_features <= 0 or out_features <= 0:
@@ -91,7 +166,7 @@ class Linear(Module):
         self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
+        out = x.matmul_invariant(self.weight)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -120,6 +195,13 @@ class Sequential(Module):
 
     def __init__(self, *modules: Module):
         self.modules = list(modules)
+
+    def _named_members(self) -> Iterable[Tuple[str, "Tensor | Module"]]:
+        # Children are addressed by bare position (``network.0.weight``
+        # rather than ``network.modules.0.weight``), mirroring the usual
+        # sequential-container convention.
+        for index, module in enumerate(self.modules):
+            yield str(index), module
 
     def forward(self, x: Tensor) -> Tensor:
         for module in self.modules:

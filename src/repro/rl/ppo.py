@@ -69,7 +69,12 @@ class ActorCritic(ABC):
         once for the whole batch.  ``rngs`` supplies one generator per row so
         each lane's action stream is independent of how many other lanes are
         in the batch and of their order -- lane ``i`` always consumes exactly
-        one uniform draw from ``rngs[i]`` per decision.
+        one uniform draw from ``rngs[i]`` per decision.  Row ``i``'s floats
+        are **batch-invariant**: the networks' matmuls run through
+        :meth:`Tensor.matmul_invariant` and the masking/softmax/sampling math
+        is elementwise or per-row, so ``step_batch(obs[i:i+1], ...)`` returns
+        bit-identical ``(action, value, log_prob)`` to row ``i`` of any
+        larger batch containing it.
 
         Returns ``(actions, values, log_probs)`` arrays of length
         ``num_lanes``; runs under ``no_grad``.
@@ -116,9 +121,12 @@ class ActorCritic(ABC):
     ) -> Tuple[int, float, float]:
         """Sample (or argmax) an action for a single observation.
 
-        Delegates to :meth:`step_batch` with a batch of one, which is what
-        guarantees the serial rollout path and the vectorized engine at
-        ``num_envs=1`` stay bit-identical.
+        Delegates to :meth:`step_batch` with a batch of one; since
+        ``step_batch`` is batch-invariant per row, this agrees bit for bit
+        with the same observation forwarded inside any batch -- the serial
+        rollout path, the vectorized engine at any ``num_envs``, and the
+        worker pools at any shard layout or pipeline depth all see identical
+        floats.
         """
         rng = as_rng(rng)
         actions, values, log_probs = self.step_batch(

@@ -10,7 +10,8 @@ is advanced with its sampled action.  Trajectories stream into per-lane
 :class:`~repro.rl.buffer.TrajectoryBuffer` instances and are merged into the
 epoch buffer as episodes complete.
 
-Determinism contract (enforced by ``tests/test_vec_env.py``):
+Determinism contract (enforced by ``tests/test_vec_env.py`` and the
+cross-config matrix in ``tests/test_parity_matrix.py``):
 
 * **Serial parity** -- with one lane, the engine performs exactly the same
   environment interactions, rng draws, and buffer writes as the serial
@@ -19,10 +20,12 @@ Determinism contract (enforced by ``tests/test_vec_env.py``):
 * **Lane independence** -- each lane owns its environment and its action rng,
   so the trajectory produced for a given (sequence, rng) pair does not depend
   on which lane index it occupies or on what the other lanes are doing.
-  (Independence is exact at the trajectory level -- actions, rewards,
-  schedules.  The raw value/log-prob floats can differ in the last ulp with
-  batch composition because row-blocked BLAS kernels may vary the summation
-  order per row position.)
+  Independence is exact down to the floats: the policy/value forward pass
+  runs through the batch-invariant matmul kernel
+  (:func:`repro.rl.autograd.invariant_matmul`) and every other op in the
+  observation-encode/forward/sample path is elementwise or per-row, so a
+  lane's stored values and log-probs are bit-identical whether it is
+  forwarded alone or batched with any number of other lanes.
 
 The design follows Decima-style vectorized trainers (``VecDagSchedEnv``):
 batching across environments amortizes the per-forward-pass overhead, which

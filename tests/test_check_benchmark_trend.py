@@ -1,0 +1,168 @@
+"""Tests for the CI rollout-throughput trend check (scripts/check_benchmark_trend.py).
+
+The check's three outcomes must stay distinguishable: a metric can PASS or
+REGRESS (verdicts), be GATED off by the run's usable-core count (expected on
+small runners, never a failure), or be MISSING from the results JSON (warn by
+default, fail under ``--strict``).  A core-gated metric whose benchmark did
+not record its core count is MISSING, not gated -- the regression that let a
+still-unmeasured baseline pass silently.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_benchmark_trend",
+    Path(__file__).resolve().parents[1] / "scripts" / "check_benchmark_trend.py",
+)
+trend = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trend)
+
+
+def write_results(tmp_path, benchmarks):
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps({"benchmarks": benchmarks}))
+    return path
+
+
+def write_baseline(tmp_path, metrics, tolerance=0.2):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"tolerance": tolerance, "metrics": metrics}))
+    return path
+
+
+def bench(name, extra_info=None, stats=None):
+    return {"name": f"benchmarks/x.py::{name}", "extra_info": extra_info or {}, "stats": stats or {}}
+
+
+class TestVerdicts:
+    def test_passing_metric(self, tmp_path, capsys):
+        results = write_results(tmp_path, [bench("b", {"ratio": 4.0})])
+        baseline = write_baseline(tmp_path, [{"benchmark": "b", "key": "ratio", "baseline": 3.8}])
+        assert trend.check(results, baseline) == 0
+        assert "ok b:ratio" in capsys.readouterr().out
+
+    def test_higher_is_better_regression_fails(self, tmp_path, capsys):
+        results = write_results(tmp_path, [bench("b", {"ratio": 2.0})])
+        baseline = write_baseline(tmp_path, [{"benchmark": "b", "key": "ratio", "baseline": 3.8}])
+        assert trend.check(results, baseline) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_lower_is_better_ceiling(self, tmp_path, capsys):
+        metrics = [
+            {
+                "benchmark": "b",
+                "key": "overhead",
+                "baseline": 1.6,
+                "higher_is_better": False,
+                "tolerance": 0.25,
+            }
+        ]
+        ok = write_results(tmp_path, [bench("b", {"overhead": 1.9})])
+        assert trend.check(ok, write_baseline(tmp_path, metrics)) == 0
+        too_slow = write_results(tmp_path, [bench("b", {"overhead": 2.1})])
+        assert trend.check(too_slow, write_baseline(tmp_path, metrics)) == 1
+
+    def test_relative_to_divides_stats(self, tmp_path):
+        results = write_results(
+            tmp_path,
+            [
+                bench("sim", stats={"mean": 6.0}),
+                bench("fwd", stats={"mean": 2.0}),
+            ],
+        )
+        baseline = write_baseline(
+            tmp_path,
+            [
+                {
+                    "benchmark": "sim",
+                    "stat": "mean",
+                    "relative_to": {"benchmark": "fwd", "stat": "mean"},
+                    "baseline": 3.3,
+                    "higher_is_better": False,
+                }
+            ],
+        )
+        assert trend.check(results, baseline) == 0
+
+
+class TestGatedVsMissing:
+    CORE_GATED = [
+        {
+            "benchmark": "pool",
+            "key": "speedup_pipelined_vs_lockstep",
+            "baseline": 1.1,
+            "min_cores": 5,
+        }
+    ]
+
+    def test_small_runner_is_gated_not_missing(self, tmp_path, capsys):
+        results = write_results(
+            tmp_path,
+            [bench("pool", {"speedup_pipelined_vs_lockstep": 0.7, "usable_cores": 1})],
+        )
+        assert trend.check(results, write_baseline(tmp_path, self.CORE_GATED)) == 0
+        out = capsys.readouterr().out
+        assert "GATED (min_cores)" in out
+        assert "MISSING" not in out
+        assert "gated off by min_cores" in out
+
+    def test_gated_is_not_a_failure_even_under_strict(self, tmp_path):
+        results = write_results(
+            tmp_path,
+            [bench("pool", {"speedup_pipelined_vs_lockstep": 0.7, "usable_cores": 1})],
+        )
+        assert trend.check(results, write_baseline(tmp_path, self.CORE_GATED), strict=True) == 0
+
+    def test_unrecorded_core_count_is_missing_not_gated(self, tmp_path, capsys):
+        """The silent-pass regression: no usable_cores recorded => MISSING."""
+        results = write_results(
+            tmp_path, [bench("pool", {"speedup_pipelined_vs_lockstep": 0.7})]
+        )
+        assert trend.check(results, write_baseline(tmp_path, self.CORE_GATED)) == 0
+        out = capsys.readouterr().out
+        assert "MISSING" in out
+        assert "usable_cores" in out
+        assert "GATED" not in out
+
+    def test_unrecorded_core_count_fails_under_strict(self, tmp_path):
+        results = write_results(
+            tmp_path, [bench("pool", {"speedup_pipelined_vs_lockstep": 0.7})]
+        )
+        assert (
+            trend.check(results, write_baseline(tmp_path, self.CORE_GATED), strict=True) == 1
+        )
+
+    def test_enough_cores_enforces_the_metric(self, tmp_path, capsys):
+        results = write_results(
+            tmp_path,
+            [bench("pool", {"speedup_pipelined_vs_lockstep": 0.7, "usable_cores": 8})],
+        )
+        assert trend.check(results, write_baseline(tmp_path, self.CORE_GATED)) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_benchmark_warns_and_strict_fails(self, tmp_path, capsys):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, [{"benchmark": "b", "key": "ratio", "baseline": 1.0}])
+        assert trend.check(results, baseline) == 0
+        assert "MISSING" in capsys.readouterr().out
+        assert trend.check(results, write_baseline(tmp_path, [{"benchmark": "b", "key": "ratio", "baseline": 1.0}]), strict=True) == 1
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_parses_and_gates_the_kernel_overhead(self):
+        baseline = json.loads(trend.DEFAULT_BASELINE.read_text())
+        metrics = {
+            metric.get("key") or metric.get("stat"): metric
+            for metric in baseline["metrics"]
+        }
+        kernel = metrics["overhead_invariant_vs_matmul"]
+        assert kernel["higher_is_better"] is False
+        # The blocking ceiling is exactly the 2.0x acceptance bound.
+        ceiling = kernel["baseline"] * (1.0 + kernel["tolerance"])
+        assert ceiling == pytest.approx(2.0)
+        gated = metrics["speedup_pipelined_vs_lockstep"]
+        assert gated["min_cores"] >= 4

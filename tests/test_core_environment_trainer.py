@@ -264,6 +264,39 @@ class TestCheckpoints:
         with pytest.raises(FileNotFoundError):
             load_agent(tmp_path / "nope.npz")
 
+    def test_checkpoint_keys_are_qualified_paths(self, tmp_path, obs_config):
+        """Format v2: every array is keyed by net and attribute path."""
+        agent = RLBackfillAgent(obs_config, seed=0)
+        path = save_agent(agent, tmp_path / "model")
+        with np.load(path) as data:
+            assert int(data["__format_version__"]) == 2
+            assert "kernel/network.0.weight" in data.files
+            assert "value/network.0.weight" in data.files
+
+    def test_loads_legacy_index_keyed_checkpoint(self, tmp_path, obs_config):
+        """A format-1 checkpoint (flat-index keys) still loads bit-exactly."""
+        agent = RLBackfillAgent(obs_config, kernel_hidden=(8, 8), value_hidden=(16,), seed=3)
+        arrays = {
+            "__format_version__": np.array(1),
+            "__max_queue_size__": np.array(obs_config.max_queue_size),
+            "__job_features__": np.array(obs_config.job_features),
+        }
+        for i, param in enumerate(agent.kernel.parameters()):
+            arrays[f"kernel/{i}"] = param.data.copy()
+        for i, param in enumerate(agent.value_net.parameters()):
+            arrays[f"value/{i}"] = param.data.copy()
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **arrays)
+        with pytest.warns(DeprecationWarning):
+            loaded = load_agent(path)
+        from repro.rl.autograd import Tensor
+
+        obs = np.random.default_rng(0).random((2, obs_config.observation_size))
+        np.testing.assert_array_equal(
+            agent.policy_logits(Tensor(obs)).numpy(),
+            loaded.policy_logits(Tensor(obs)).numpy(),
+        )
+
 
 class TestTrainedAgentSanity:
     def test_trained_agent_usable_in_table_evaluation(self, small_trace, obs_config):

@@ -7,7 +7,11 @@ The acceptance contract (ISSUE 2, enforced here and documented in
   work stealing off performs exactly the same environment interactions, rng
   draws, encode batches, and forward-pass batch compositions as the
   in-process :class:`VecBackfillEnv`, so trajectories, buffer contents, and
-  episode infos are bit-identical for the same seeds.
+  episode infos are bit-identical for the same seeds.  (Since ISSUE 4's
+  batch-invariant forward kernel and canonical episode-release order, bit
+  parity extends to any worker count and pipeline depth -- the cross-config
+  matrix is pinned in ``tests/test_parity_matrix.py``; this file keeps the
+  strictest same-batch-composition case.)
 * **Work stealing** -- draining lanes start next-epoch episodes; surplus
   completions and in-flight partial trajectories are banked and credited to
   the next rollout call, and every call still returns exactly the requested

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.rl.autograd import Tensor, is_grad_enabled, no_grad
+from repro.rl.autograd import (
+    INVARIANT_ROW_BLOCK,
+    Tensor,
+    invariant_matmul,
+    is_grad_enabled,
+    no_grad,
+)
 
 
 def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -138,6 +144,135 @@ class TestGradientChecks:
             return -(ratio * Tensor(adv)).minimum(clipped * Tensor(adv)).mean()
 
         check_gradient(objective, (6,))
+
+
+class TestInvariantMatmul:
+    """The batch-invariant matmul kernel behind every ``Linear`` layer."""
+
+    def test_matches_matmul_values(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(37, 23))
+        b = rng.normal(size=(23, 11))
+        np.testing.assert_allclose(invariant_matmul(a, b), a @ b, rtol=1e-13)
+
+    def test_batch_invariance_bit_for_bit(self):
+        """``kernel(rows[i:i+1]) == kernel(rows)[i]`` exactly, random batches.
+
+        This is the property plain BLAS matmul does *not* have (the library
+        picks gemv/gemm and blocking from the batch shape), and the one the
+        engine-parity contract rests on.  Shapes cover the model's real
+        layers (kernel net K=10/32/16, value net K in the hundreds) plus
+        randomized sizes straddling the row-block boundary.
+        """
+        rng = np.random.default_rng(1)
+        shapes = [(1, 10, 32), (3, 32, 16), (16, 16, 1), (16, 640, 64)]
+        for _ in range(40):
+            shapes.append(
+                (
+                    int(rng.integers(1, 4 * INVARIANT_ROW_BLOCK)),
+                    int(rng.integers(1, 700)),
+                    int(rng.integers(1, 80)),
+                )
+            )
+        for rows, k, cols in shapes:
+            a = rng.normal(size=(rows, k))
+            b = rng.normal(size=(k, cols))
+            full = invariant_matmul(a, b)
+            for i in range(rows):
+                single = invariant_matmul(a[i : i + 1], b)
+                assert np.array_equal(single[0], full[i]), (rows, k, cols, i)
+            # Any sub-batch, not just singles.
+            lo = int(rng.integers(0, rows))
+            hi = int(rng.integers(lo + 1, rows + 1))
+            assert np.array_equal(invariant_matmul(a[lo:hi], b), full[lo:hi])
+
+    def test_transposed_views_are_supported(self):
+        """Backward passes multiply transposed views; results must match."""
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(19, 33))
+        b = rng.normal(size=(33, 7))
+        grad = rng.normal(size=(19, 7))
+        np.testing.assert_allclose(invariant_matmul(grad, b.T), grad @ b.T, rtol=1e-13)
+        np.testing.assert_allclose(invariant_matmul(a.T, grad), a.T @ grad, rtol=1e-13)
+
+    def test_empty_batch(self):
+        out = invariant_matmul(np.zeros((0, 5)), np.ones((5, 3)))
+        assert out.shape == (0, 3)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            invariant_matmul(np.ones(3), np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            invariant_matmul(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_tensor_op_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).matmul_invariant(Tensor(np.ones((3, 2))))
+
+    def test_gradcheck_first_operand_non_square(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(7, 3))
+        check_gradient(lambda t: t.matmul_invariant(Tensor(w)).sum(), (5, 7))
+
+    def test_gradcheck_second_operand_non_square(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(5, 7))
+        check_gradient(lambda t: Tensor(x).matmul_invariant(t).sum(), (7, 3))
+
+    def test_gradcheck_batch_of_one(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(9, 4))
+        check_gradient(lambda t: t.matmul_invariant(Tensor(w)).sum(), (1, 9))
+
+    def test_gradcheck_wider_than_row_block(self):
+        rng = np.random.default_rng(6)
+        w = rng.normal(size=(3, 2))
+        check_gradient(
+            lambda t: t.matmul_invariant(Tensor(w)).sum(),
+            (INVARIANT_ROW_BLOCK + 3, 3),
+        )
+
+    def test_gradcheck_through_masked_log_softmax_with_empty_mask_rows(self):
+        """The policy-loss composition: invariant matmul -> mask -> log-softmax.
+
+        One row's mask admits no action at all (every logit penalized) -- the
+        gradient must still match numerical differentiation.  The penalty is
+        scaled down from the production −1e8 (whose magnitude makes central
+        differences meaningless) without changing the composition's shape.
+        """
+        rng = np.random.default_rng(7)
+        w = rng.normal(size=(6, 4))
+        mask = np.array([[1.0, 0.0, 1.0, 0.0], [0.0, 0.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0]])
+        penalty = (1.0 - mask) * -30.0
+
+        def build(t):
+            logits = t.matmul_invariant(Tensor(w)) + Tensor(penalty)
+            return (logits.log_softmax(axis=-1) * 0.25).sum()
+
+        check_gradient(build, (3, 6))
+
+    def test_gradients_flow_to_both_operands(self):
+        rng = np.random.default_rng(8)
+        a = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        a.matmul_invariant(b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 2)) @ b.data.T, rtol=1e-12)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((4, 2)), rtol=1e-12)
+
+    def test_backward_is_batch_invariant_per_row(self):
+        """Gradients w.r.t. the inputs keep the per-row invariance too."""
+        rng = np.random.default_rng(9)
+        w = Tensor(rng.normal(size=(33, 5)), requires_grad=False)
+        x_data = rng.normal(size=(21, 33))
+
+        def input_grad(rows):
+            t = Tensor(rows, requires_grad=True)
+            t.matmul_invariant(w).sum().backward()
+            return t.grad
+
+        full = input_grad(x_data)
+        for i in (0, 7, 20):
+            assert np.array_equal(input_grad(x_data[i : i + 1])[0], full[i])
 
 
 class TestMechanics:

@@ -82,6 +82,103 @@ class TestMLP:
         assert isinstance(list(seq)[1], Tanh)
 
 
+class TestQualifiedStateDict:
+    """State dicts key parameters by attribute path, not flat index."""
+
+    def test_mlp_keys_are_qualified_paths(self):
+        mlp = MLP([4, 6, 2], seed=0)
+        assert list(mlp.state_dict()) == [
+            "network.0.weight",
+            "network.0.bias",
+            "network.2.weight",
+            "network.2.bias",
+        ]
+
+    def test_named_parameters_order_matches_parameters(self):
+        mlp = MLP([4, 6, 2], seed=0)
+        named = mlp.named_parameters()
+        assert [param for _, param in named] == mlp.parameters()
+
+    def test_attribute_order_cannot_scramble_a_load(self):
+        """Same parameter count and shapes, different attribute layout.
+
+        With flat-index keys this silently loaded ``first``'s weights into
+        ``second`` (the checkpoint-into-the-wrong-layers bug); qualified
+        paths map each array to its named layer regardless of the order the
+        attributes were defined in.
+        """
+
+        class Forward(Module):
+            def __init__(self, seed):
+                self.first = Linear(3, 3, seed=seed)
+                self.second = Linear(3, 3, seed=seed + 1)
+
+            def forward(self, x):
+                return self.second(self.first(x))
+
+        class Backward(Module):
+            def __init__(self, seed):
+                self.second = Linear(3, 3, seed=seed + 1)
+                self.first = Linear(3, 3, seed=seed)
+
+            def forward(self, x):
+                return self.second(self.first(x))
+
+        source = Forward(seed=0)
+        target = Backward(seed=7)
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_array_equal(
+            target.first.weight.numpy(), source.first.weight.numpy()
+        )
+        np.testing.assert_array_equal(
+            target.second.weight.numpy(), source.second.weight.numpy()
+        )
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+        np.testing.assert_array_equal(source(x).numpy(), target(x).numpy())
+
+    def test_missing_and_unexpected_keys_are_reported(self):
+        mlp = MLP([4, 6, 2], seed=0)
+        state = mlp.state_dict()
+        state["network.4.weight"] = state.pop("network.2.weight")
+        with pytest.raises(ValueError, match="network.2.weight"):
+            mlp.load_state_dict(state)
+        with pytest.raises(ValueError, match="network.4.weight"):
+            mlp.load_state_dict(state)
+
+    def test_index_keyed_fallback_loads_with_deprecation_warning(self):
+        a = MLP([4, 6, 2], seed=0)
+        b = MLP([4, 6, 2], seed=1)
+        legacy = {str(i): p.data.copy() for i, p in enumerate(a.parameters())}
+        with pytest.warns(DeprecationWarning, match="index-keyed"):
+            b.load_state_dict(legacy)
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_index_keyed_fallback_still_checks_count_and_shape(self):
+        mlp = MLP([4, 6, 2], seed=0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="parameters"):
+                mlp.load_state_dict({"0": np.zeros((4, 6))})
+        legacy = {str(i): p.data.copy() for i, p in enumerate(mlp.parameters())}
+        legacy["0"] = np.zeros((9, 9))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="shape mismatch"):
+                mlp.load_state_dict(legacy)
+
+    def test_shared_tensor_appears_once(self):
+        class Tied(Module):
+            def __init__(self):
+                self.embed = Linear(4, 4, bias=False, seed=0)
+                self.tied = self.embed.weight  # same tensor, second path
+
+            def forward(self, x):
+                return self.embed(x)
+
+        module = Tied()
+        assert len(module.parameters()) == 1
+        assert list(module.state_dict()) == ["embed.weight"]
+
+
 class TestOptimizers:
     def _quadratic_problem(self):
         target = np.array([1.0, -2.0, 3.0])

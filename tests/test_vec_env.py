@@ -7,7 +7,9 @@ The two contracts that matter (see docs/simulator.md):
   ``ScheduleMetrics`` to the serial ``Trainer.run_trajectory`` path.
 * **Lane independence** -- the trajectory computed for a given job sequence
   does not depend on which lane index it occupies or what the other lanes
-  are doing.
+  are doing -- exactly, down to the forward-pass floats, because the policy
+  runs through the batch-invariant matmul kernel.  (The full cross-config
+  bit-parity matrix lives in ``tests/test_parity_matrix.py``.)
 """
 
 import numpy as np
@@ -376,12 +378,12 @@ class TestStepBatch:
         assert float(log_probs[0]) == log_prob
 
     def test_identical_rows_get_identical_actions(self, small_trace):
-        """Within one batch, a row's action depends only on that row.
+        """Within one batch, a row's output depends only on that row.
 
-        The underlying BLAS may vary the last ulp of a matmul row with its
-        position in the batch (row-blocked kernels), so floats are compared
-        to 1e-12 while the sampled actions -- what actually drives the
-        simulated schedule -- must match exactly.
+        The forward pass runs through the batch-invariant matmul kernel, so
+        identical rows produce identical floats -- exactly, not to a
+        tolerance (before the kernel, row-blocked BLAS could vary the last
+        ulp with row position).
         """
         agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=3)
         env = make_env(small_trace, seed=4)
@@ -392,8 +394,33 @@ class TestStepBatch:
             batch_obs, batch_mask, rngs=[np.random.default_rng(7) for _ in range(3)]
         )
         assert len(set(actions.tolist())) == 1
-        assert values == pytest.approx(values[0], rel=1e-12, abs=1e-15)
-        assert log_probs == pytest.approx(log_probs[0], rel=1e-12, abs=1e-15)
+        assert values.tolist() == [values[0]] * 3
+        assert log_probs.tolist() == [log_probs[0]] * 3
+
+    def test_step_batch_rows_are_batch_invariant(self, small_trace):
+        """``step_batch(rows[i:i+1])[·] == step_batch(rows)[·][i]`` bit for bit.
+
+        The engine-parity contract at the forward-pass level: a row's
+        action, value, and log-prob are independent of how many other lanes
+        share the batch and of their contents.
+        """
+        agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=3)
+        rng = np.random.default_rng(1)
+        batch = 11
+        obs = rng.random((batch, OBS_CONFIG.observation_size))
+        mask = (rng.random((batch, OBS_CONFIG.num_actions)) < 0.5).astype(np.float64)
+        mask[np.arange(batch), rng.integers(0, OBS_CONFIG.num_actions, batch)] = 1.0
+        seeds = list(range(100, 100 + batch))
+        actions, values, log_probs = agent.step_batch(
+            obs, mask, rngs=[np.random.default_rng(s) for s in seeds]
+        )
+        for i in range(batch):
+            single_a, single_v, single_lp = agent.step_batch(
+                obs[i : i + 1], mask[i : i + 1], rngs=[np.random.default_rng(seeds[i])]
+            )
+            assert int(single_a[0]) == int(actions[i])
+            assert float(single_v[0]) == float(values[i])
+            assert float(single_lp[0]) == float(log_probs[i])
 
     def test_requires_per_row_rngs(self):
         agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=3)
