@@ -39,7 +39,19 @@ ROLLOUT_SHAPES = (
     (16, 64, 32),
     (16, 32, 1),
 )
+#: One *serial* (``num_envs=1``) decision step: the kernel network still folds
+#: 64 slot rows, but the value network forwards a single row -- the shapes the
+#: per-call-site ``row_block=1`` hint exists for (a 1-row product padded to
+#: the default 16-row block costs ~3-5x a raw gemv).
+SERIAL_SHAPES = (
+    (1, 640, 64),
+    (1, 64, 32),
+    (1, 32, 1),
+)
 MAX_OVERHEAD = 2.0
+#: The row_block=1 hint must stay within this factor of a raw 1-row gemv
+#: (it is the same BLAS call plus one reshape of a (1, 1, k) view).
+MAX_SERIAL_BLOCK1_OVERHEAD = 2.0
 REPEATS = 300
 
 
@@ -77,6 +89,34 @@ def measure_overhead() -> dict:
     }
 
 
+def measure_serial_recovery() -> dict:
+    """Serial-path cost: default 16-row block vs the row_block=1 site hint."""
+    rng = np.random.default_rng(1)
+    total_block16 = 0.0
+    total_block1 = 0.0
+    total_matmul = 0.0
+    for rows, k, cols in SERIAL_SHAPES:
+        a = rng.normal(size=(rows, k))
+        b = rng.normal(size=(k, cols))
+        invariant_matmul(a, b)  # warm every path before timing
+        invariant_matmul(a, b, row_block=1)
+        a @ b
+        total_block16 += _best_of(lambda a=a, b=b: invariant_matmul(a, b), REPEATS)
+        total_block1 += _best_of(
+            lambda a=a, b=b: invariant_matmul(a, b, row_block=1), REPEATS
+        )
+        total_matmul += _best_of(lambda a=a, b=b: a @ b, REPEATS)
+    return {
+        "block16_us": total_block16 * 1e6,
+        "block1_us": total_block1 * 1e6,
+        "matmul_us": total_matmul * 1e6,
+        # How much of the padded-block cost the row_block=1 hint recovers.
+        "recovery": total_block16 / total_block1,
+        "overhead_block16": total_block16 / total_matmul,
+        "overhead_block1": total_block1 / total_matmul,
+    }
+
+
 @pytest.mark.benchmark(group="invariant-matmul")
 def test_bench_invariant_matmul(benchmark):
     result = benchmark.pedantic(
@@ -93,4 +133,30 @@ def test_bench_invariant_matmul(benchmark):
     assert overhead <= MAX_OVERHEAD, (
         f"batch-invariant kernel costs {overhead:.2f}x raw np.matmul at rollout "
         f"batch sizes (bound {MAX_OVERHEAD}x): {result['per_shape']}"
+    )
+
+
+@pytest.mark.benchmark(group="invariant-matmul")
+def test_bench_invariant_matmul_serial(benchmark):
+    """Row-block hint: ``row_block=1`` recovers the serial 1-row forward cost."""
+    result = benchmark.pedantic(
+        measure_serial_recovery, rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["recovery_serial_rowblock1"] = round(result["recovery"], 3)
+    benchmark.extra_info["overhead_serial_block16_vs_matmul"] = round(
+        result["overhead_block16"], 3
+    )
+    benchmark.extra_info["overhead_serial_block1_vs_matmul"] = round(
+        result["overhead_block1"], 3
+    )
+    print(
+        "\nserial (1-row) forward shapes: block16 "
+        f"{result['block16_us']:.1f}us vs block1 {result['block1_us']:.1f}us vs raw "
+        f"{result['matmul_us']:.1f}us -- row_block=1 recovers "
+        f"{result['recovery']:.2f}x ({result['overhead_block16']:.2f}x -> "
+        f"{result['overhead_block1']:.2f}x of raw)"
+    )
+    assert result["overhead_block1"] <= MAX_SERIAL_BLOCK1_OVERHEAD, (
+        f"row_block=1 serial forward costs {result['overhead_block1']:.2f}x a raw "
+        f"1-row product (bound {MAX_SERIAL_BLOCK1_OVERHEAD}x)"
     )

@@ -39,8 +39,16 @@ conflated:
   by default -- the (deliberately non-blocking) benchmark job's own failure
   covers that case -- and fails the check under ``--strict``.
 
+Scenario-evaluation telemetry joins the same check: ``--scenario-report
+TIMING.json`` ingests the timing document written by
+``scripts/evaluate_scenarios.py`` (``--timing-out``) as a pseudo-benchmark
+named ``scenario_evaluation`` -- its total wall-clock becomes ``stats.mean``
+and the cell/worker counts land in ``extra_info`` -- so baseline metrics can
+reference it like any other benchmark.
+
 Usage:
-    python scripts/check_benchmark_trend.py [--strict] RESULTS.json [BASELINE.json]
+    python scripts/check_benchmark_trend.py [--strict]
+        [--scenario-report TIMING.json] RESULTS.json [BASELINE.json]
 """
 
 from __future__ import annotations
@@ -64,6 +72,37 @@ def load_benchmarks(results_path: Path) -> dict[str, dict]:
     return benches
 
 
+#: Name under which an ingested scenario-evaluation timing document appears.
+SCENARIO_BENCH_NAME = "scenario_evaluation"
+
+
+def ingest_scenario_report(benches: dict[str, dict], timing_path: Path) -> None:
+    """Fold a scenario-evaluation timing JSON into the benchmark map.
+
+    The timing document is the non-deterministic sidecar of the (byte-stable)
+    scenario report: total wall seconds, cell count, worker count.  It is
+    mapped onto the pytest-benchmark result shape so baseline metrics address
+    it uniformly (``stats.mean`` = total wall seconds).
+    """
+    timing = json.loads(timing_path.read_text())
+    wall = timing.get("scenario_eval_wall_seconds")
+    if wall is None:
+        raise ValueError(
+            f"{timing_path}: not a scenario timing document "
+            "(missing 'scenario_eval_wall_seconds')"
+        )
+    benches[SCENARIO_BENCH_NAME] = {
+        "name": SCENARIO_BENCH_NAME,
+        "stats": {"mean": float(wall)},
+        "extra_info": {
+            "cells": timing.get("cells"),
+            "workers": timing.get("workers"),
+            "cells_per_second": timing.get("cells_per_second"),
+            "scenario_eval_wall_seconds": float(wall),
+        },
+    }
+
+
 def read_value(benches: dict[str, dict], spec: dict) -> tuple[float | None, str, str]:
     """Resolve one ``{benchmark, key|stat}`` reference.
 
@@ -85,10 +124,17 @@ def read_value(benches: dict[str, dict], spec: dict) -> tuple[float | None, str,
     return float(value), label, ""
 
 
-def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
+def check(
+    results_path: Path,
+    baseline_path: Path,
+    strict: bool = False,
+    scenario_report: Path | None = None,
+) -> int:
     baseline = json.loads(baseline_path.read_text())
     default_tolerance = float(baseline.get("tolerance", 0.2))
     benches = load_benchmarks(results_path)
+    if scenario_report is not None:
+        ingest_scenario_report(benches, scenario_report)
 
     failures: list[str] = []
     missing: list[str] = []
@@ -174,8 +220,21 @@ def check(results_path: Path, baseline_path: Path, strict: bool = False) -> int:
 
 
 def main(argv: list[str]) -> int:
-    args = [a for a in argv[1:] if a != "--strict"]
-    strict = "--strict" in argv[1:]
+    args: list[str] = []
+    strict = False
+    scenario_report: Path | None = None
+    rest = list(argv[1:])
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--strict":
+            strict = True
+        elif arg == "--scenario-report":
+            if not rest:
+                print("--scenario-report needs a path", file=sys.stderr)
+                return 2
+            scenario_report = Path(rest.pop(0))
+        else:
+            args.append(arg)
     if len(args) not in (1, 2):
         print(__doc__, file=sys.stderr)
         return 2
@@ -184,7 +243,12 @@ def main(argv: list[str]) -> int:
     if not results_path.is_file():
         print(f"results file not found: {results_path}", file=sys.stderr)
         return 2
-    return check(results_path, baseline_path, strict=strict)
+    if scenario_report is not None and not scenario_report.is_file():
+        print(f"scenario timing file not found: {scenario_report}", file=sys.stderr)
+        return 2
+    return check(
+        results_path, baseline_path, strict=strict, scenario_report=scenario_report
+    )
 
 
 if __name__ == "__main__":

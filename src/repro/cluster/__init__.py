@@ -1,6 +1,6 @@
 """Homogeneous cluster model: processor pool, running-job registry, utilization."""
 
 from repro.cluster.resources import Allocation, ResourcePool
-from repro.cluster.machine import Machine, RunningJob
+from repro.cluster.machine import DowntimeWindow, Machine, RunningJob
 
-__all__ = ["Allocation", "ResourcePool", "Machine", "RunningJob"]
+__all__ = ["Allocation", "ResourcePool", "DowntimeWindow", "Machine", "RunningJob"]

@@ -6,6 +6,20 @@ jobs, and query availability.  Completion always uses the job's *actual*
 runtime; runtime estimates only influence reservations and backfilling
 decisions, never the physics of the simulated machine.
 
+**Capacity schedule.**  A machine can carry a schedule of
+:class:`DowntimeWindow` entries -- maintenance drains during which some
+processors are out of service.  Drains are *graceful*: jobs already running
+keep their processors until they finish, but no new job may start if doing so
+would push the busy count above the effective capacity
+``total - drained(now)``.  Every availability query (``free_processors``,
+``free_fraction``, :meth:`can_start`, :meth:`earliest_start_estimate`) is
+evaluated against the effective capacity at the machine's current simulated
+time, so schedulers -- and the RL observation encoder, which reads
+``free_fraction`` and the reservation features off the machine -- see the
+capacity loss the moment a window opens.  Utilization accounting integrates
+*busy* processors only, so a drained machine correctly reports reduced
+utilization against its full nameplate capacity.
+
 Two internal caches keep the hot simulator loop cheap without changing any
 observable behaviour:
 
@@ -21,12 +35,45 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.resources import Allocation, ResourcePool
 from repro.workloads.job import Job
 
-__all__ = ["RunningJob", "Machine"]
+__all__ = ["RunningJob", "Machine", "DowntimeWindow"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class DowntimeWindow:
+    """``processors`` processors are out of service over ``[start, end)``.
+
+    Windows may overlap (their drained counts add up, clipped to the machine
+    size) and are interpreted in simulation time -- the same clock job submit
+    times use.  A window never preempts running jobs; it only caps how many
+    processors new starts may occupy while it is active.
+    """
+
+    start: float
+    end: float
+    processors: int
+
+    def __post_init__(self) -> None:
+        if self.processors <= 0:
+            raise ValueError(f"downtime window must drain a positive processor count, got {self.processors}")
+        if not self.end > self.start:
+            raise ValueError(f"downtime window must have end > start, got [{self.start}, {self.end})")
+        if self.start < 0:
+            raise ValueError(f"downtime window cannot start before t=0, got {self.start}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def active_at(self, time: float) -> bool:
+        """Whether the window is draining processors at ``time`` (half-open)."""
+        return self.start - _EPS <= time < self.end - _EPS
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,8 +103,17 @@ class RunningJob:
 class Machine:
     """Homogeneous cluster with running-job bookkeeping and utilization accounting."""
 
-    def __init__(self, num_processors: int):
+    def __init__(
+        self,
+        num_processors: int,
+        capacity_schedule: Sequence[DowntimeWindow] | None = None,
+    ):
         self.pool = ResourcePool(total=num_processors)
+        #: Scheduled drains, sorted by start time; empty tuple = always full
+        #: capacity (the default, and the zero-overhead fast path everywhere).
+        self.capacity_schedule: Tuple[DowntimeWindow, ...] = tuple(
+            sorted(capacity_schedule or (), key=lambda w: (w.start, w.end))
+        )
         self._running: dict[int, RunningJob] = {}
         # Utilization accounting: integral of busy processors over time.
         self._busy_area = 0.0
@@ -84,11 +140,23 @@ class Machine:
 
     @property
     def free_processors(self) -> int:
-        return self.pool.free
+        """Processors a new job could occupy right now.
+
+        With a capacity schedule this is the *effective* free count: idle
+        processors minus those drained by the windows active at the machine's
+        current simulated time (never negative -- a graceful drain that finds
+        the machine busier than the remaining capacity simply blocks new
+        starts until jobs finish).
+        """
+        if not self.capacity_schedule:
+            return self.pool.free
+        return max(self.pool.free - self.drained_processors(), 0)
 
     @property
     def free_fraction(self) -> float:
-        return self.pool.free_fraction
+        if not self.capacity_schedule:
+            return self.pool.free_fraction
+        return self.free_processors / self.pool.total
 
     @property
     def running_jobs(self) -> List[RunningJob]:
@@ -103,7 +171,64 @@ class Machine:
         return job_id in self._running
 
     def can_start(self, job: Job) -> bool:
-        return self.pool.can_allocate(job.requested_processors)
+        if not self.capacity_schedule:
+            return self.pool.can_allocate(job.requested_processors)
+        return 0 < job.requested_processors <= self.free_processors
+
+    # -- capacity schedule --------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The machine's current simulated time (last accounting instant)."""
+        return self._last_accounting_time
+
+    def advance_to(self, now: float) -> None:
+        """Move the machine's clock forward to ``now`` without other effects.
+
+        The simulator calls this once at sequence start so availability
+        queries made before the first job starts already see the capacity
+        windows active at the first submission instant.
+        """
+        if now > self._last_accounting_time:
+            self._account(now)
+
+    def drained_processors(self, time: float | None = None) -> int:
+        """Processors out of service at ``time`` (default: the current clock)."""
+        if not self.capacity_schedule:
+            return 0
+        at = self._last_accounting_time if time is None else time
+        drained = 0
+        for window in self.capacity_schedule:
+            if window.start - _EPS > at:
+                break  # schedule is sorted by start; nothing later is active
+            if window.active_at(at):
+                drained += window.processors
+        return min(drained, self.pool.total)
+
+    def effective_capacity(self, time: float | None = None) -> int:
+        """Processors in service at ``time``: ``total - drained``."""
+        return self.pool.total - self.drained_processors(time)
+
+    def next_capacity_event(self, now: float) -> Optional[float]:
+        """Earliest window boundary (start or end) strictly after ``now``."""
+        nxt: Optional[float] = None
+        for window in self.capacity_schedule:
+            for boundary in (window.start, window.end):
+                if boundary > now + _EPS and (nxt is None or boundary < nxt):
+                    nxt = boundary
+        return nxt
+
+    def capacity_drains(self, now: float) -> List[Tuple[float, float, int]]:
+        """``(start, end, processors)`` of windows still (partly) ahead of ``now``.
+
+        Backfilling strategies use this to subtract scheduled drains from
+        their availability profiles; windows already over are dropped and the
+        start is clamped to ``now``.
+        """
+        return [
+            (max(window.start, now), window.end, window.processors)
+            for window in self.capacity_schedule
+            if window.end > now + _EPS
+        ]
 
     # -- utilization accounting -------------------------------------------
     def _account(self, now: float) -> None:
@@ -139,6 +264,12 @@ class Machine:
         if job.job_id in self._running:
             raise RuntimeError(f"job {job.job_id} is already running")
         self._account(now)
+        if self.capacity_schedule and job.requested_processors > self.free_processors:
+            raise RuntimeError(
+                f"job {job.job_id} requests {job.requested_processors} processors but only "
+                f"{self.free_processors} are in service at t={now} "
+                f"({self.drained_processors()} drained by the capacity schedule)"
+            )
         allocation = self.pool.allocate(job.requested_processors)
         record = RunningJob(job=job, start_time=now, allocation=allocation)
         self._running[job.job_id] = record
@@ -276,11 +407,23 @@ class Machine:
         the number of processors that would remain free at the reservation
         time after setting aside the reserved job's processors -- the classic
         EASY "extra nodes" that backfilled jobs may hold past the reservation.
+
+        With a capacity schedule the walk additionally honours scheduled
+        drains: effective availability can *drop* at a window start and
+        *recover* at a window end, so every window boundary is an event in the
+        merged timeline and the returned reservation is the earliest instant
+        at which the job fits within the in-service capacity.
         """
         needed = job.requested_processors
         free = self.free_processors
         if needed <= free:
             return now, free - needed
+        if self.capacity_schedule and (
+            self.drained_processors(now) > 0 or self.next_capacity_event(now) is not None
+        ):
+            # A window is active or still ahead; otherwise the schedule is
+            # entirely in the past and the plain (cached) walks below apply.
+            return self._earliest_start_with_capacity(job, now, estimator)
         if getattr(estimator, "stateless", False):
             plan = self._sorted_releases(estimator)
             if not plan or plan[0][0] >= now:
@@ -302,6 +445,35 @@ class Machine:
         raise RuntimeError(
             f"job {job.job_id} requests {needed} processors but the machine only has "
             f"{self.num_processors}"
+        )
+
+    def _earliest_start_with_capacity(
+        self, job: Job, now: float, estimator: Callable[[Job], float]
+    ) -> tuple[float, int]:
+        """Merged release/capacity-boundary walk for machines with drains."""
+        needed = job.requested_processors
+        raw_free = self.pool.free
+        releases = sorted(
+            (max(end_time, now), processors)
+            for end_time, processors in self._estimated_releases(estimator)
+        )
+        events = {t for t, _ in releases}
+        for window in self.capacity_schedule:
+            for boundary in (window.start, window.end):
+                if boundary > now + _EPS:
+                    events.add(boundary)
+        released = 0
+        index = 0
+        for event_time in sorted(events):
+            while index < len(releases) and releases[index][0] <= event_time + _EPS:
+                released += releases[index][1]
+                index += 1
+            effective = raw_free + released - self.drained_processors(event_time)
+            if effective >= needed:
+                return event_time, effective - needed
+        raise RuntimeError(
+            f"job {job.job_id} requests {needed} processors but the machine never frees "
+            f"enough in-service capacity (total {self.num_processors})"
         )
 
     def reset(self) -> None:

@@ -23,6 +23,7 @@ from typing import Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.machine import DowntimeWindow
 from repro.core.observation import ObservationBuilder, ObservationConfig
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
 from repro.rl.env import Environment, StepResult
@@ -81,6 +82,7 @@ class BackfillEnvironment(Environment):
         max_reset_attempts: int = 25,
         training_pool_size: int | None = None,
         min_baseline_bsld: float | None = None,
+        capacity_schedule: Sequence[DowntimeWindow] | None = None,
     ):
         if sequence_length <= 0:
             raise ValueError("sequence_length must be positive")
@@ -98,6 +100,11 @@ class BackfillEnvironment(Environment):
             baseline_backfill if baseline_backfill is not None else EasyBackfill(order="sjf")
         )
         self.num_processors = int(num_processors or trace.num_processors)
+        # Scheduled node drains applied to every episode (agent and baseline
+        # alike).  Capacity loss reaches the agent through the observation:
+        # free_fraction, the reservation horizon, and the extra-processor
+        # features are all computed off the capacity-aware machine state.
+        self.capacity_schedule = tuple(capacity_schedule or ())
         self.rng = as_rng(seed)
         self.max_reset_attempts = int(max_reset_attempts)
         self.builder = ObservationBuilder(self.observation_config)
@@ -151,6 +158,7 @@ class BackfillEnvironment(Environment):
             max_reset_attempts=self.max_reset_attempts,
             training_pool_size=self.training_pool_size,
             min_baseline_bsld=self.min_baseline_bsld,
+            capacity_schedule=self.capacity_schedule,
         )
 
     # -- Environment interface --------------------------------------------------
@@ -167,6 +175,7 @@ class BackfillEnvironment(Environment):
             num_processors=self.num_processors,
             policy=self.policy,
             estimator=self.estimator,
+            capacity_schedule=self.capacity_schedule,
         )
 
     def _baseline_bsld(self, jobs: Sequence[Job]) -> float:
@@ -433,6 +442,7 @@ class BackfillEnvironment(Environment):
                 num_processors=self.num_processors,
                 policy=self.policy,
                 estimator=estimator,
+                capacity_schedule=self.capacity_schedule,
             )
             results[label] = simulator.run(jobs, backfill=backfill).bsld
         return results

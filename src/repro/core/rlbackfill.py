@@ -10,6 +10,7 @@ deterministically (paper §3.3.1: no exploration at test time).
 
 from __future__ import annotations
 
+import copy
 from typing import Optional
 
 from repro.core.agent import RLBackfillAgent
@@ -34,8 +35,25 @@ class RLBackfillPolicy(BackfillStrategy):
         deterministic: bool = True,
         seed: SeedLike = None,
         label: str | None = None,
+        row_block: int | None = None,
     ):
+        """Wrap ``agent`` as a backfilling strategy.
+
+        ``row_block`` pins the matmul row-block hint of this deployment site
+        (see :func:`repro.rl.autograd.invariant_matmul`).  This strategy
+        forwards **one** decision at a time, so ``row_block=1`` skips the
+        1-row-to-16 padding of the default rollout block and recovers the
+        serial forward cost.  To keep the hint site-local the agent is
+        deep-copied before retagging -- the caller's agent (and any batched
+        engine sharing it) keeps its own block, and outputs of the two sites
+        may differ in the last ulp (each remains internally bit-stable).
+        """
+        if row_block is not None:
+            agent = copy.deepcopy(agent)
+            agent.kernel.set_forward_row_block(row_block)
+            agent.value_net.set_forward_row_block(row_block)
         self.agent = agent
+        self.row_block = row_block
         self.deterministic = bool(deterministic)
         self.rng = as_rng(seed)
         self.builder = ObservationBuilder(agent.observation_config)

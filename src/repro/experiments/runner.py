@@ -24,7 +24,7 @@ from repro.prediction.predictors import ActualRuntime, RuntimeEstimator, UserEst
 from repro.scheduler.backfill.base import BackfillStrategy
 from repro.scheduler.backfill.easy import EasyBackfill
 from repro.scheduler.policies import PriorityPolicy, get_policy
-from repro.scheduler.simulator import Simulator
+from repro.scheduler.simulator import SimulationResult, Simulator
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.workloads.job import Job, Trace
 from repro.workloads.archive import load_trace
@@ -33,6 +33,7 @@ from repro.workloads.sampling import sample_sequence
 __all__ = [
     "SchedulingConfiguration",
     "evaluate_strategy",
+    "evaluate_strategy_results",
     "evaluate_configurations",
     "TrainedModel",
     "train_rlbackfilling",
@@ -98,22 +99,54 @@ def _sample_evaluation_sequences(
     ]
 
 
-def evaluate_strategy(
+def _resolve_capacity_schedule(capacity_schedule, jobs: Sequence[Job]):
+    """Resolve a per-sequence capacity schedule.
+
+    ``capacity_schedule`` may be ``None``, a concrete sequence of
+    :class:`~repro.cluster.machine.DowntimeWindow`, or a callable mapping the
+    sequence's submission span (seconds) to a window list -- the form the
+    scenario subsystem uses so fractional downtime specs scale with the
+    evaluated sequence.
+    """
+    if capacity_schedule is None:
+        return None
+    if callable(capacity_schedule):
+        span = max(job.submit_time for job in jobs) - min(job.submit_time for job in jobs)
+        return capacity_schedule(span)
+    return capacity_schedule
+
+
+def evaluate_strategy_results(
     trace: Trace,
     configuration: SchedulingConfiguration,
     sequences: Sequence[Sequence[Job]],
-) -> float:
-    """Mean bounded slowdown of ``configuration`` over ``sequences``."""
-    bslds = []
+    capacity_schedule=None,
+) -> List[SimulationResult]:
+    """Per-sequence :class:`SimulationResult` of ``configuration`` over ``sequences``."""
+    results = []
     for jobs in sequences:
         simulator = Simulator(
             num_processors=trace.num_processors,
             policy=configuration.policy,
             backfill=configuration.backfill,
             estimator=configuration.estimator,
+            capacity_schedule=_resolve_capacity_schedule(capacity_schedule, jobs),
         )
-        bslds.append(simulator.run(jobs).bsld)
-    return float(np.mean(bslds))
+        results.append(simulator.run(jobs))
+    return results
+
+
+def evaluate_strategy(
+    trace: Trace,
+    configuration: SchedulingConfiguration,
+    sequences: Sequence[Sequence[Job]],
+    capacity_schedule=None,
+) -> float:
+    """Mean bounded slowdown of ``configuration`` over ``sequences``."""
+    results = evaluate_strategy_results(
+        trace, configuration, sequences, capacity_schedule=capacity_schedule
+    )
+    return float(np.mean([result.bsld for result in results]))
 
 
 def evaluate_configurations(
@@ -122,14 +155,33 @@ def evaluate_configurations(
     scale: ExperimentScale | str = "quick",
     seed: SeedLike = 0,
     sequences: Sequence[Sequence[Job]] | None = None,
+    capacity_schedule=None,
 ) -> Dict[str, float]:
-    """Evaluate every configuration on the same sampled sequences of ``trace``."""
+    """Evaluate every configuration on the same sampled sequences of ``trace``.
+
+    ``trace`` additionally accepts a ``"scenario:<name>"`` string, which
+    builds the named scenario from the registry
+    (:mod:`repro.scenarios.registry`) at this call's seed: the scenario's
+    transformed trace becomes the workload and its downtime windows become
+    the ``capacity_schedule`` (unless one was passed explicitly).
+    """
     scale = get_scale(scale)
+    if isinstance(trace, str) and trace.startswith("scenario:"):
+        from repro.scenarios.registry import get_scenario
+
+        built = get_scenario(trace[len("scenario:"):]).build(
+            seed=seed, num_jobs=scale.trace_jobs
+        )
+        trace = built.trace
+        if capacity_schedule is None and built.has_downtime:
+            capacity_schedule = built.capacity_schedule
     trace = resolve_trace(trace, scale)
     if sequences is None:
         sequences = _sample_evaluation_sequences(trace, scale, seed)
     return {
-        configuration.label: evaluate_strategy(trace, configuration, sequences)
+        configuration.label: evaluate_strategy(
+            trace, configuration, sequences, capacity_schedule=capacity_schedule
+        )
         for configuration in configurations
     }
 

@@ -51,7 +51,9 @@ _GRAD_ENABLED = True
 INVARIANT_ROW_BLOCK = 16
 
 
-def invariant_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def invariant_matmul(
+    a: np.ndarray, b: np.ndarray, row_block: Optional[int] = None
+) -> np.ndarray:
     """``a @ b`` with batch-invariant output rows.
 
     Row-blocked BLAS kernels choose their algorithm (gemv vs gemm, K-panel
@@ -72,6 +74,17 @@ def invariant_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     in ``tests/test_rl_autograd.py``).  This is what makes policy outputs
     identical across rollout lane count, worker shard layout, and pipeline
     depth -- see the determinism contract in ``docs/simulator.md``.
+
+    ``row_block`` is a **per-call-site hint** overriding the default block
+    size.  Batch invariance holds *within* a call site -- any fixed block
+    puts row ``i`` at the fixed position ``i % block`` of block
+    ``i // block`` -- but two sites using different blocks may disagree in
+    the last ulp, so a site must pin one value for its lifetime.  Serial
+    deployment sites (one decision forwarded at a time, e.g. the scenario
+    harness's :class:`~repro.core.rlbackfill.RLBackfillPolicy`) use
+    ``row_block=1`` to stop padding one row to 16, which recovers the
+    3-5x single-row overhead measured by
+    ``benchmarks/test_bench_invariant_matmul.py``.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -85,7 +98,9 @@ def invariant_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     cols = b.shape[1]
     if rows == 0:
         return np.zeros((0, cols), dtype=np.float64)
-    block = INVARIANT_ROW_BLOCK
+    block = INVARIANT_ROW_BLOCK if row_block is None else int(row_block)
+    if block <= 0:
+        raise ValueError(f"row_block must be positive, got {row_block}")
     num_blocks = -(-rows // block)
     padded = num_blocks * block
     if rows == padded:
@@ -335,7 +350,7 @@ class Tensor:
 
     __matmul__ = matmul
 
-    def matmul_invariant(self, other: "Tensor") -> "Tensor":
+    def matmul_invariant(self, other: "Tensor", row_block: Optional[int] = None) -> "Tensor":
         """Matrix product with batch-invariant rows (see :func:`invariant_matmul`).
 
         Forward and both backward products go through the fixed-block kernel:
@@ -345,16 +360,20 @@ class Tensor:
         whole op is bitwise reproducible for a given batch.  ``Linear``
         layers route through this op, which is what makes policy/value
         outputs independent of rollout batch composition.
+
+        ``row_block`` is the per-call-site block-size hint of
+        :func:`invariant_matmul`; all three products of this op use it, so a
+        site that pins a value stays internally bit-reproducible.
         """
         if not isinstance(other, Tensor):
             other = Tensor(_as_array(other))
-        data = invariant_matmul(self.data, other.data)
+        data = invariant_matmul(self.data, other.data, row_block=row_block)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(invariant_matmul(grad, other.data.T))
+                self._accumulate(invariant_matmul(grad, other.data.T, row_block=row_block))
             if other.requires_grad:
-                other._accumulate(invariant_matmul(self.data.T, grad))
+                other._accumulate(invariant_matmul(self.data.T, grad, row_block=row_block))
 
         return Tensor._make(data, (self, other), backward)
 

@@ -136,6 +136,27 @@ class Module:
                 )
             param.data = array.copy()
 
+    def set_forward_row_block(self, row_block: int | None) -> None:
+        """Pin the matmul row-block hint of every :class:`Linear` child.
+
+        ``row_block`` is the per-call-site hint of
+        :func:`repro.rl.autograd.invariant_matmul`: any fixed value keeps the
+        module batch-invariant per row, but *changing* it changes the floats
+        in the last ulp, so set it once when a model is instantiated for a
+        new site (e.g. ``1`` for serial deployment, where padding one row to
+        the default block of 16 costs 3-5x) and never mid-run.  ``None``
+        restores the default block.
+        """
+        for name, value in list(self.__dict__.items()):
+            if isinstance(value, Module):
+                value.set_forward_row_block(row_block)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.set_forward_row_block(row_block)
+        if isinstance(self, Linear):
+            self.row_block = row_block
+
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 
@@ -151,28 +172,47 @@ class Linear(Module):
     matter how many rows share the forward batch; the bias add and every
     activation are elementwise, which leaves whole-network outputs
     batch-invariant per row.
+
+    ``row_block`` is the layer's per-call-site block-size hint (see
+    :func:`repro.rl.autograd.invariant_matmul`): ``None`` uses the default
+    ``INVARIANT_ROW_BLOCK``; serial deployment sites pin ``1`` -- typically
+    via :meth:`Module.set_forward_row_block` on the whole model -- to skip
+    the 1-row-to-16 padding.  Invariance holds for any fixed value; only
+    changing it mid-run changes floats.
     """
 
-    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = None):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+        row_block: int | None = None,
+    ):
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear layer dimensions must be positive")
         rng = as_rng(seed)
         bound = np.sqrt(6.0 / (in_features + out_features))
         self.in_features = in_features
         self.out_features = out_features
+        self.row_block = row_block
         self.weight = Tensor(
             rng.uniform(-bound, bound, size=(in_features, out_features)), requires_grad=True
         )
         self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x.matmul_invariant(self.weight)
+        out = x.matmul_invariant(self.weight, row_block=self.row_block)
         if self.bias is not None:
             out = out + self.bias
         return out
 
     def __repr__(self) -> str:
-        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+        return (
+            f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None}"
+            + (f", row_block={self.row_block}" if self.row_block is not None else "")
+            + ")"
+        )
 
 
 class Tanh(Module):

@@ -1,0 +1,400 @@
+"""Multi-policy scenario evaluation: cells, aggregation, and the JSON report.
+
+One **cell** is (scenario x policy): the scenario's transformed trace is
+sampled into the scale's evaluation sequences (the *same* sequences for every
+policy of that scenario, the fair-comparison protocol of
+:mod:`repro.experiments.runner`), each sequence is scheduled to completion
+under the policy -- honouring the scenario's downtime windows -- and the
+per-sequence :func:`repro.scheduler.metrics.compute_metrics` outputs are
+averaged into one metrics row.  Cells are independent, which is what the
+process worker pool (:mod:`repro.scenarios.pool`) exploits.
+
+The report is **seed-deterministic by construction**: every simulated float
+is a pure function of ``(suite, scale, seed, policies)``, cells are keyed --
+never ordered by completion -- and the serializer sorts keys, so two runs
+with the same seed produce byte-identical JSON regardless of worker count.
+Wall-clock telemetry is therefore kept out of the report and returned as a
+separate timing document (``scripts/check_benchmark_trend.py`` ingests it
+with ``--scenario-report``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.agent import RLBackfillAgent
+from repro.core.observation import ObservationConfig
+from repro.core.rlbackfill import RLBackfillPolicy
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.runner import (
+    SchedulingConfiguration,
+    evaluate_strategy_results,
+    train_rlbackfilling,
+)
+from repro.prediction.predictors import UserEstimate
+from repro.scenarios.registry import BuiltScenario, ScenarioSpec, suite_scenarios
+from repro.scheduler.backfill.conservative import ConservativeBackfill
+from repro.scheduler.backfill.easy import EasyBackfill
+from repro.scheduler.metrics import JobRecord
+from repro.utils.rng import SeedLike, derive_seed, spawn_rngs
+from repro.workloads.job import Job
+from repro.workloads.sampling import sample_sequence
+
+__all__ = [
+    "METRIC_FIELDS",
+    "AgentBundle",
+    "HEURISTIC_POLICIES",
+    "DEFAULT_POLICIES",
+    "train_evaluation_agent",
+    "make_configuration",
+    "scenario_sequences",
+    "evaluate_cell",
+    "build_report",
+    "report_to_json",
+    "evaluate_suite",
+]
+
+#: Fixed order of the per-cell aggregate metrics; this is also the layout of
+#: the shared-memory result frame the worker pool ships, so append-only.
+METRIC_FIELDS: Tuple[str, ...] = (
+    "num_jobs",
+    "average_bounded_slowdown",
+    "average_slowdown",
+    "average_wait_time",
+    "average_turnaround",
+    "max_wait_time",
+    "makespan",
+    "utilization",
+    "backfilled_jobs",
+    "decision_count",
+    "window_utilization",
+)
+
+#: Policies available without a trained agent.
+HEURISTIC_POLICIES: Tuple[str, ...] = ("easy", "conservative")
+
+#: The acceptance-criteria policy set: two heuristics plus the learned policy.
+DEFAULT_POLICIES: Tuple[str, ...] = ("easy", "conservative", "rl")
+
+
+@dataclass(frozen=True)
+class AgentBundle:
+    """A trained agent in wire form: plain arrays + the observation shape.
+
+    Workers rebuild the agent from this (instead of pickling live network
+    objects) so the pool's spawn path stays cheap and version-stable.
+    """
+
+    max_queue_size: int
+    kernel_state: Mapping[str, np.ndarray]
+    value_state: Mapping[str, np.ndarray]
+
+    @classmethod
+    def from_agent(cls, agent: RLBackfillAgent) -> "AgentBundle":
+        state = agent.state_dict()
+        return cls(
+            max_queue_size=agent.observation_config.max_queue_size,
+            kernel_state=dict(state["kernel"]),
+            value_state=dict(state["value"]),
+        )
+
+    def to_agent(self) -> RLBackfillAgent:
+        from repro.core.checkpoints import _rebuild_with_shapes  # shares shape recovery
+
+        config = ObservationConfig(max_queue_size=self.max_queue_size)
+        try:
+            agent = RLBackfillAgent(observation_config=config)
+            agent.load_state_dict({"kernel": dict(self.kernel_state), "value": dict(self.value_state)})
+        except ValueError:
+            agent = _rebuild_with_shapes(config, dict(self.kernel_state), dict(self.value_state))
+        return agent
+
+
+def train_evaluation_agent(
+    scale: ExperimentScale | str = "quick",
+    seed: SeedLike = 0,
+    base_trace: str = "SDSC-SP2",
+) -> AgentBundle:
+    """Train the suite's RL policy on the *clean* base trace.
+
+    The robustness story evaluates a policy trained on an unperturbed
+    workload across perturbed scenarios, so the agent never sees the
+    transforms or downtime windows during training.  Training is
+    seed-deterministic (batch-invariant kernels + the seeded trainer), which
+    keeps the whole report byte-reproducible.
+    """
+    model = train_rlbackfilling(
+        base_trace, policy="FCFS", scale=scale, seed=derive_seed(seed, 0x52_4C), backend="local"
+    )
+    return AgentBundle.from_agent(model.agent)
+
+
+def make_configuration(
+    policy: str, agent_bundle: Optional[AgentBundle] = None
+) -> SchedulingConfiguration:
+    """Build the :class:`SchedulingConfiguration` for a policy name.
+
+    ``rl`` wraps the bundle's agent in a deterministic
+    :class:`RLBackfillPolicy` with the serial row-block hint (``row_block=1``):
+    scenario evaluation forwards one decision at a time, so the deployment
+    site opts out of the 16-row padding the batched rollout engines need.
+    """
+    if policy == "easy":
+        return SchedulingConfiguration(
+            label="easy", policy="FCFS", backfill=EasyBackfill(), estimator=UserEstimate()
+        )
+    if policy == "conservative":
+        # Bounded reservation depth / candidate attempts (the Slurm
+        # bf_max_job_test discipline): surge scenarios legitimately build
+        # queues hundreds deep, where the textbook unbounded re-plan is
+        # quadratic per decision and a single hyper-contended sequence can
+        # cost minutes.  The no-delay guarantee covers the first 64 waiting
+        # jobs -- beyond what the surged sequences' windows typically hold.
+        return SchedulingConfiguration(
+            label="conservative",
+            policy="FCFS",
+            backfill=ConservativeBackfill(reservation_depth=64, max_candidates=16),
+            estimator=UserEstimate(),
+        )
+    if policy == "rl":
+        if agent_bundle is None:
+            raise ValueError("the 'rl' policy needs a trained AgentBundle")
+        strategy = RLBackfillPolicy(
+            agent_bundle.to_agent(), deterministic=True, label="rl", row_block=1
+        )
+        return SchedulingConfiguration(
+            label="rl", policy="FCFS", backfill=strategy, estimator=UserEstimate()
+        )
+    raise KeyError(
+        f"unknown policy {policy!r}; available: easy, conservative, rl"
+    )
+
+
+def scenario_seed(seed: SeedLike, scenario_name: str) -> int:
+    """Stable per-scenario sub-seed (name-keyed, so suite order is irrelevant)."""
+    if isinstance(seed, np.random.Generator):
+        raise TypeError("scenario evaluation requires a reproducible seed, not a Generator")
+    return derive_seed(seed, zlib.crc32(scenario_name.encode("utf-8")))
+
+
+def scenario_sequences(
+    built: BuiltScenario, scale: ExperimentScale, seed: SeedLike
+) -> List[List[Job]]:
+    """The scenario's evaluation sequences (shared by every policy cell)."""
+    rngs = spawn_rngs(scenario_seed(seed, built.name), scale.eval_samples)
+    return [
+        sample_sequence(built.trace, scale.eval_sequence_length, seed=rng) for rng in rngs
+    ]
+
+
+def _window_utilization(
+    records: Sequence[JobRecord], windows, num_processors: int
+) -> Tuple[float, float]:
+    """(busy processor-seconds inside the windows, window processor-seconds)."""
+    busy = 0.0
+    capacity = 0.0
+    for window in windows:
+        capacity += (window.end - window.start) * num_processors
+        for record in records:
+            overlap = min(record.end_time, window.end) - max(record.start_time, window.start)
+            if overlap > 0.0:
+                busy += overlap * record.job.requested_processors
+    return busy, capacity
+
+
+def evaluate_cell(
+    built: BuiltScenario,
+    policy: str,
+    scale: ExperimentScale,
+    seed: SeedLike,
+    agent_bundle: Optional[AgentBundle] = None,
+    sequences: Optional[Sequence[Sequence[Job]]] = None,
+) -> Dict[str, float]:
+    """Evaluate one (scenario x policy) cell into an aggregate metrics row.
+
+    Returns a mapping over :data:`METRIC_FIELDS`: each simulated sequence's
+    :class:`ScheduleMetrics` are averaged (counts too -- "jobs backfilled per
+    sequence" reads more naturally across scales than a grand total).
+    ``window_utilization`` is the busy fraction of *nameplate* capacity over
+    the scenario's downtime windows -- the number the acceptance criterion
+    pins below 1.0 -- and ``NaN`` for scenarios without downtime.
+    """
+    if sequences is None:
+        sequences = scenario_sequences(built, scale, seed)
+    configuration = make_configuration(policy, agent_bundle)
+    totals = {field: 0.0 for field in METRIC_FIELDS}
+    window_busy = 0.0
+    window_capacity = 0.0
+    for jobs in sequences:
+        span = max(job.submit_time for job in jobs) - min(job.submit_time for job in jobs)
+        windows = built.capacity_schedule(span)
+        result = evaluate_strategy_results(
+            built.trace, configuration, [jobs], capacity_schedule=windows
+        )[0]
+        metrics = result.metrics.as_dict()
+        for field in METRIC_FIELDS:
+            if field in metrics:
+                totals[field] += float(metrics[field])
+        totals["decision_count"] += float(result.decision_count)
+        if windows:
+            busy, capacity = _window_utilization(
+                result.records, windows, built.trace.num_processors
+            )
+            window_busy += busy
+            window_capacity += capacity
+    count = float(len(sequences))
+    row = {field: totals[field] / count for field in METRIC_FIELDS}
+    row["window_utilization"] = (
+        window_busy / window_capacity if window_capacity > 0.0 else float("nan")
+    )
+    return row
+
+
+# -- report assembly -----------------------------------------------------------
+
+def build_report(
+    suite_name: str,
+    scenarios: Sequence[ScenarioSpec],
+    policies: Sequence[str],
+    scale: ExperimentScale,
+    seed: int,
+    cells: Mapping[Tuple[str, str], Mapping[str, float]],
+) -> Dict[str, object]:
+    """Assemble the deterministic report document from evaluated cells."""
+    scenario_block: Dict[str, object] = {}
+    wins: Dict[str, int] = {policy: 0 for policy in policies}
+    bsld_sums: Dict[str, float] = {policy: 0.0 for policy in policies}
+    for spec in scenarios:
+        rows = {policy: dict(cells[(spec.name, policy)]) for policy in policies}
+        ranking = sorted(
+            policies, key=lambda policy: (rows[policy]["average_bounded_slowdown"], policy)
+        )
+        wins[ranking[0]] += 1
+        for policy in policies:
+            bsld_sums[policy] += rows[policy]["average_bounded_slowdown"]
+        scenario_block[spec.name] = {
+            **spec.describe(),
+            "policies": rows,
+            "ranking": ranking,
+            "best_policy": ranking[0],
+        }
+    summary = {
+        "wins": wins,
+        "mean_bsld": {
+            policy: bsld_sums[policy] / float(len(scenarios)) for policy in policies
+        },
+    }
+    return {
+        "suite": suite_name,
+        "seed": int(seed),
+        "scale": {
+            "name": scale.name,
+            "trace_jobs": scale.trace_jobs,
+            "eval_samples": scale.eval_samples,
+            "eval_sequence_length": scale.eval_sequence_length,
+        },
+        "policies": list(policies),
+        "metric_fields": list(METRIC_FIELDS),
+        "scenarios": scenario_block,
+        "summary": summary,
+    }
+
+
+def report_to_json(report: Mapping[str, object]) -> str:
+    """Canonical serialization: sorted keys, fixed separators, trailing newline.
+
+    ``NaN`` would serialize non-portably, so it is rewritten to ``None``
+    before dumping; byte-identical output across same-seed runs is part of
+    the report's contract.
+    """
+
+    def _clean(value):
+        if isinstance(value, float) and not np.isfinite(value):
+            return None
+        if isinstance(value, dict):
+            return {key: _clean(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [_clean(item) for item in value]
+        return value
+
+    return json.dumps(_clean(dict(report)), indent=2, sort_keys=True, allow_nan=False) + "\n"
+
+
+def evaluate_suite(
+    suite: str | Sequence[str] = "core",
+    scale: ExperimentScale | str = "quick",
+    seed: int = 0,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    num_workers: int | None = None,
+    agent_bundle: Optional[AgentBundle] = None,
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Evaluate ``suite`` x ``policies`` and return ``(report, timing)``.
+
+    ``num_workers`` > 0 fans the cells across a process worker pool
+    (:class:`repro.scenarios.pool.ScenarioWorkerPool`); ``0`` evaluates
+    inline.  ``None`` picks ``min(cells, available cores)``.  The report is
+    identical either way; only the timing document differs.
+    """
+    scale = get_scale(scale)
+    scenarios = suite_scenarios(suite)
+    policies = list(policies)
+    if "rl" in policies and agent_bundle is None:
+        agent_bundle = train_evaluation_agent(scale=scale, seed=seed)
+    cell_keys = [(spec.name, policy) for spec in scenarios for policy in policies]
+
+    started = time.perf_counter()
+    if num_workers is None:
+        from repro.rl.lane_pool import available_worker_count
+
+        num_workers = max(1, min(len(cell_keys), available_worker_count()))
+    if num_workers > 0:
+        from repro.scenarios.pool import ScenarioWorkerPool
+
+        with ScenarioWorkerPool(
+            scenarios=scenarios,
+            policies=policies,
+            scale=scale,
+            seed=seed,
+            agent_bundle=agent_bundle,
+            num_workers=num_workers,
+        ) as pool:
+            cells, cell_walls = pool.run()
+    else:
+        cells = {}
+        cell_walls = {}
+        for spec in scenarios:
+            built = spec.build(seed=scenario_seed(seed, spec.name), num_jobs=scale.trace_jobs)
+            sequences = scenario_sequences(built, scale, seed)
+            for policy in policies:
+                cell_started = time.perf_counter()
+                cells[(spec.name, policy)] = evaluate_cell(
+                    built, policy, scale, seed, agent_bundle, sequences=sequences
+                )
+                cell_walls[(spec.name, policy)] = time.perf_counter() - cell_started
+    total_wall = time.perf_counter() - started
+
+    report = build_report(
+        suite_name=suite if isinstance(suite, str) else ",".join(suite),
+        scenarios=scenarios,
+        policies=policies,
+        scale=scale,
+        seed=seed,
+        cells=cells,
+    )
+    timing = {
+        "scenario_eval_wall_seconds": total_wall,
+        "cells": len(cell_keys),
+        "workers": num_workers,
+        "cells_per_second": len(cell_keys) / total_wall if total_wall > 0 else 0.0,
+        "cell_wall_seconds": {
+            f"{name}/{policy}": cell_walls.get((name, policy), 0.0)
+            for name, policy in cell_keys
+        },
+    }
+    return report, timing

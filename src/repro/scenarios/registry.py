@@ -1,0 +1,325 @@
+"""Named, parameterized workload/cluster scenarios.
+
+A :class:`ScenarioSpec` packages everything one evaluation cell needs to
+rebuild its workload deterministically: a **base trace** (any name accepted
+by :func:`repro.workloads.archive.load_trace` -- SWF-backed or synthetic), a
+chain of :class:`~repro.scenarios.transforms.TraceTransform` perturbations,
+and a :class:`ClusterSpec` of scheduled node-downtime windows.  Building a
+scenario is a pure function of ``(spec, seed, num_jobs)``:
+
+    built = get_scenario("load-surge-2x").build(seed=0, num_jobs=4000)
+    built.trace                  # the transformed Trace
+    built.capacity_schedule(span)  # DowntimeWindow list for a sequence span
+
+Downtime windows are expressed as **fractions of the evaluated sequence's
+submission span** (scale-free, so the same scenario works at smoke and paper
+scales) or as absolute seconds; they are resolved into concrete
+:class:`~repro.cluster.machine.DowntimeWindow` events per job sequence by the
+evaluation harness.
+
+The module-level registry maps names to specs; :data:`CORE_SUITE` is the
+built-in robustness suite run by ``scripts/evaluate_scenarios.py`` and the CI
+``scenario-matrix`` job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.machine import DowntimeWindow
+from repro.scenarios.transforms import (
+    ArrivalThin,
+    BurstInject,
+    EstimateInflate,
+    EstimateNoise,
+    LoadScale,
+    SizeRescale,
+    TraceTransform,
+    apply_transforms,
+)
+from repro.utils.rng import SeedLike, derive_seed
+from repro.workloads.archive import load_trace
+from repro.workloads.job import Trace
+
+__all__ = [
+    "DowntimeSpec",
+    "ClusterSpec",
+    "ScenarioSpec",
+    "BuiltScenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "suite_scenarios",
+    "CORE_SUITE",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DowntimeSpec:
+    """One scheduled drain, in absolute seconds or sequence-span fractions.
+
+    Exactly one of ``(start, duration)`` / ``(start_fraction,
+    duration_fraction)`` must be given.  ``processors`` takes an absolute
+    count, ``fraction_of_machine`` a fraction of the cluster size; exactly one
+    of those two as well.
+    """
+
+    start: float | None = None
+    duration: float | None = None
+    start_fraction: float | None = None
+    duration_fraction: float | None = None
+    processors: int | None = None
+    fraction_of_machine: float | None = None
+
+    def __post_init__(self) -> None:
+        absolute = self.start is not None or self.duration is not None
+        fractional = self.start_fraction is not None or self.duration_fraction is not None
+        if absolute == fractional:
+            raise ValueError(
+                "specify either (start, duration) seconds or "
+                "(start_fraction, duration_fraction), not both or neither"
+            )
+        if absolute and (self.start is None or self.duration is None):
+            raise ValueError("absolute downtime needs both start and duration")
+        if fractional and (self.start_fraction is None or self.duration_fraction is None):
+            raise ValueError("fractional downtime needs both start_fraction and duration_fraction")
+        if (self.processors is None) == (self.fraction_of_machine is None):
+            raise ValueError("specify exactly one of processors / fraction_of_machine")
+        if self.fraction_of_machine is not None and not 0.0 < self.fraction_of_machine <= 1.0:
+            raise ValueError("fraction_of_machine must be in (0, 1]")
+        if self.processors is not None and self.processors <= 0:
+            raise ValueError("processors must be positive")
+
+    def resolve(self, span_seconds: float, num_processors: int) -> DowntimeWindow:
+        """Concrete window for a sequence spanning ``span_seconds`` of arrivals."""
+        if self.start is not None:
+            start, duration = float(self.start), float(self.duration)
+        else:
+            start = float(self.start_fraction) * span_seconds
+            duration = float(self.duration_fraction) * span_seconds
+        if self.processors is not None:
+            processors = int(self.processors)
+        else:
+            processors = max(1, int(round(self.fraction_of_machine * num_processors)))
+        duration = max(duration, 1.0)
+        return DowntimeWindow(start=start, end=start + duration, processors=processors)
+
+    def describe(self) -> Dict[str, object]:
+        return {k: v for k, v in (
+            ("start", self.start),
+            ("duration", self.duration),
+            ("start_fraction", self.start_fraction),
+            ("duration_fraction", self.duration_fraction),
+            ("processors", self.processors),
+            ("fraction_of_machine", self.fraction_of_machine),
+        ) if v is not None}
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """Cluster-side disturbances of a scenario (scheduled downtime)."""
+
+    downtime: Tuple[DowntimeSpec, ...] = ()
+
+    @property
+    def has_downtime(self) -> bool:
+        return bool(self.downtime)
+
+    def resolve(self, span_seconds: float, num_processors: int) -> List[DowntimeWindow]:
+        return [spec.resolve(span_seconds, num_processors) for spec in self.downtime]
+
+    def describe(self) -> List[Dict[str, object]]:
+        return [spec.describe() for spec in self.downtime]
+
+
+@dataclass(frozen=True, slots=True)
+class BuiltScenario:
+    """A scenario materialized for one seed: trace + resolvable downtime."""
+
+    name: str
+    trace: Trace
+    cluster: ClusterSpec
+    description: str = ""
+
+    @property
+    def has_downtime(self) -> bool:
+        return self.cluster.has_downtime
+
+    def capacity_schedule(self, span_seconds: float) -> List[DowntimeWindow] | None:
+        """Downtime windows for a job sequence spanning ``span_seconds``."""
+        if not self.cluster.has_downtime:
+            return None
+        return self.cluster.resolve(span_seconds, self.trace.num_processors)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """A named scenario: base trace x transform chain x cluster disturbances."""
+
+    name: str
+    base_trace: str
+    description: str = ""
+    transforms: Tuple[TraceTransform, ...] = ()
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+
+    def build(self, seed: SeedLike = 0, num_jobs: int = 4_000) -> BuiltScenario:
+        """Materialize the scenario's trace for ``seed``.
+
+        ``seed`` follows the workload-generator seeding rule (int / ``None``
+        / ``SeedSequence`` / ``Generator``); the base trace and the transform
+        chain receive independent derived streams, so adding a transform
+        never changes the base trace's content.
+        """
+        import numpy as np
+
+        if isinstance(seed, np.random.Generator):
+            seed = int(seed.integers(0, 2**63 - 1))
+        base_seed = derive_seed(seed, 0)
+        transform_seed = derive_seed(seed, 1)
+        trace = load_trace(self.base_trace, num_jobs=num_jobs, seed=base_seed)
+        if self.transforms:
+            trace = apply_transforms(trace, self.transforms, transform_seed)
+        return BuiltScenario(
+            name=self.name, trace=trace, cluster=self.cluster, description=self.description
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serializable provenance for the evaluation report."""
+        return {
+            "base_trace": self.base_trace,
+            "description": self.description,
+            "transforms": [t.describe() for t in self.transforms],
+            "downtime": self.cluster.describe(),
+        }
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the global registry (returns it for chaining)."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"scenario {spec.name!r} is already registered (pass overwrite=True to replace)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def suite_scenarios(suite: str | Sequence[str]) -> List[ScenarioSpec]:
+    """Resolve a suite name (``"core"``) or an explicit name list to specs."""
+    if isinstance(suite, str):
+        if suite == "core":
+            names: Sequence[str] = CORE_SUITE
+        else:
+            names = [part for part in suite.split(",") if part]
+    else:
+        names = suite
+    if not names:
+        raise ValueError("scenario suite is empty")
+    return [get_scenario(name) for name in names]
+
+
+# -- built-in core suite -------------------------------------------------------
+# The robustness suite: two clean baselines, load/burst stress, estimate
+# corruption, workload-shape shifts, and two capacity-loss scenarios.
+
+register_scenario(ScenarioSpec(
+    name="baseline-sdsc",
+    base_trace="SDSC-SP2",
+    description="Clean SDSC-SP2-like workload; the control cell.",
+))
+register_scenario(ScenarioSpec(
+    name="baseline-lublin",
+    base_trace="Lublin-1",
+    description="Clean Lublin-1 synthetic workload (no user estimates).",
+))
+register_scenario(ScenarioSpec(
+    name="load-surge-1.5x",
+    base_trace="SDSC-SP2",
+    description="SDSC-SP2 arrivals compressed 1.5x: sustained load surge.",
+    transforms=(LoadScale(1.5),),
+))
+register_scenario(ScenarioSpec(
+    name="load-surge-2x",
+    base_trace="Lublin-1",
+    description="Lublin-1 arrivals compressed 2x: heavy overload.",
+    transforms=(LoadScale(2.0),),
+))
+register_scenario(ScenarioSpec(
+    name="burst-storm",
+    base_trace="SDSC-SP2",
+    description="Submission storms: runs of 24 jobs collapse into 2-minute bursts.",
+    transforms=(BurstInject(num_bursts=6, burst_length=24, span_seconds=120.0),),
+))
+register_scenario(ScenarioSpec(
+    name="estimate-noise",
+    base_trace="SDSC-SP2",
+    description="Log-normal noise (sigma=1.0) on user wall-time estimates, under-estimates allowed.",
+    transforms=(EstimateNoise(sigma=1.0),),
+))
+register_scenario(ScenarioSpec(
+    name="estimate-inflate-3x",
+    base_trace="HPC2N",
+    description="Every wall-time estimate inflated 3x: systematic over-requesting.",
+    transforms=(EstimateInflate(3.0),),
+))
+register_scenario(ScenarioSpec(
+    name="thin-wide",
+    base_trace="Lublin-2",
+    description="40% of jobs dropped, survivors 1.5x wider: sparse wide-job mix.",
+    transforms=(ArrivalThin(keep_fraction=0.6), SizeRescale(1.5)),
+))
+register_scenario(ScenarioSpec(
+    name="downtime-half",
+    base_trace="SDSC-SP2",
+    description="Half the machine drains for the middle 30% of the sequence.",
+    cluster=ClusterSpec(downtime=(
+        DowntimeSpec(start_fraction=0.35, duration_fraction=0.30, fraction_of_machine=0.5),
+    )),
+))
+register_scenario(ScenarioSpec(
+    name="rolling-maintenance",
+    base_trace="Lublin-1",
+    description="Two staggered 25%-capacity maintenance drains under a 1.25x load surge.",
+    transforms=(LoadScale(1.25),),
+    cluster=ClusterSpec(downtime=(
+        DowntimeSpec(start_fraction=0.20, duration_fraction=0.15, fraction_of_machine=0.25),
+        DowntimeSpec(start_fraction=0.55, duration_fraction=0.15, fraction_of_machine=0.25),
+    )),
+))
+
+#: The built-in robustness suite (ordered); >= 8 scenarios by construction.
+CORE_SUITE: Tuple[str, ...] = (
+    "baseline-sdsc",
+    "baseline-lublin",
+    "load-surge-1.5x",
+    "load-surge-2x",
+    "burst-storm",
+    "estimate-noise",
+    "estimate-inflate-3x",
+    "thin-wide",
+    "downtime-half",
+    "rolling-maintenance",
+)

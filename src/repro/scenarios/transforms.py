@@ -1,0 +1,339 @@
+"""Composable, seed-deterministic trace transforms.
+
+A :class:`TraceTransform` is a pure ``Trace -> Trace`` map: it never mutates
+the input trace and all randomness comes from the :class:`numpy.random.Generator`
+passed to :meth:`~TraceTransform.apply`, so a scenario built from
+``(base trace, transform list, seed)`` is reproducible bit for bit.  The
+transforms model the standard perturbations of the Lublin/Feitelson
+synthetic-workload robustness methodology:
+
+* :class:`LoadScale` -- uniform interarrival compression (offered-load x N),
+* :class:`BurstInject` -- collapse runs of arrivals into near-simultaneous
+  submission storms,
+* :class:`ArrivalThin` -- random job dropout (sparse/quiet workloads),
+* :class:`EstimateNoise` / :class:`EstimateInflate` -- corrupt or inflate the
+  user wall-time estimates the backfilling reservations rely on,
+* :class:`SizeFilter` / :class:`SizeRescale` -- restrict or rescale job
+  widths.
+
+Transforms compose with :func:`apply_transforms` (or :class:`Compose`);
+composition is **order-sensitive** -- thinning after burst injection thins
+the bursts, thinning before it bursts the survivors -- and each transform in
+a chain draws from its own child generator so inserting a transform never
+perturbs the draws of the ones after it (only their inputs).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, check_probability, spawn_rngs
+from repro.workloads.job import Job, Trace
+
+__all__ = [
+    "TraceTransform",
+    "LoadScale",
+    "BurstInject",
+    "ArrivalThin",
+    "EstimateNoise",
+    "EstimateInflate",
+    "SizeFilter",
+    "SizeRescale",
+    "Compose",
+    "apply_transforms",
+]
+
+
+class TraceTransform(ABC):
+    """A pure, seedable ``Trace -> Trace`` map."""
+
+    @abstractmethod
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        """Return the transformed trace (the input is never mutated)."""
+
+    @property
+    def tag(self) -> str:
+        """Short label appended to the trace name for provenance."""
+        return type(self).__name__.lower()
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serializable provenance record (kind + parameters)."""
+        record: Dict[str, object] = {"kind": type(self).__name__}
+        for field in getattr(self, "__dataclass_fields__", {}):
+            record[field] = getattr(self, field)
+        return record
+
+    def _rename(self, trace: Trace, jobs: Sequence[Job]) -> Trace:
+        return Trace.from_jobs(
+            name=f"{trace.name}+{self.tag}",
+            num_processors=trace.num_processors,
+            jobs=jobs,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LoadScale(TraceTransform):
+    """Scale the offered load by compressing interarrival gaps uniformly.
+
+    ``factor > 1`` compresses arrivals (higher load), ``factor < 1`` stretches
+    them.  Submission times map as ``s0 + (s - s0) / factor``; runtimes,
+    widths, and estimates are untouched, so the processor-seconds demanded per
+    wall-clock second scale by exactly ``factor``.
+    """
+
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"load factor must be positive, got {self.factor}")
+
+    @property
+    def tag(self) -> str:
+        return f"load{self.factor:g}x"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        if not len(trace):
+            return trace
+        origin = trace.jobs[0].submit_time
+        jobs = [
+            replace(job, submit_time=origin + (job.submit_time - origin) / self.factor)
+            for job in trace.jobs
+        ]
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class BurstInject(TraceTransform):
+    """Collapse runs of consecutive arrivals into near-simultaneous bursts.
+
+    ``num_bursts`` anchor jobs are drawn uniformly; the ``burst_length`` jobs
+    following each anchor are resubmitted within ``span_seconds`` of the
+    anchor's submission (uniformly), modelling submission storms (a user
+    releasing a parameter sweep, a gateway flushing a queue).  Total job count
+    and every per-job attribute except the submit time are preserved.
+    """
+
+    num_bursts: int = 4
+    burst_length: int = 24
+    span_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.num_bursts <= 0 or self.burst_length <= 0:
+            raise ValueError("num_bursts and burst_length must be positive")
+        if self.span_seconds < 0:
+            raise ValueError("span_seconds must be non-negative")
+
+    @property
+    def tag(self) -> str:
+        return f"burst{self.num_bursts}x{self.burst_length}"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        n = len(trace)
+        if n < 2:
+            return trace
+        submits = np.array([job.submit_time for job in trace.jobs], dtype=np.float64)
+        max_anchor = max(n - self.burst_length - 1, 1)
+        anchors = np.sort(rng.integers(0, max_anchor, size=self.num_bursts))
+        for anchor in anchors:
+            stop = min(anchor + 1 + self.burst_length, n)
+            count = stop - (anchor + 1)
+            if count <= 0:
+                continue
+            offsets = rng.uniform(0.0, self.span_seconds, size=count)
+            submits[anchor + 1 : stop] = submits[anchor] + offsets
+        jobs = [
+            replace(job, submit_time=float(submits[i])) for i, job in enumerate(trace.jobs)
+        ]
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalThin(TraceTransform):
+    """Keep each job independently with probability ``keep_fraction``.
+
+    At least ``min_jobs`` jobs always survive (the earliest submitters are
+    retained if the coin flips would leave fewer), so downstream sequence
+    sampling never sees an empty trace.
+    """
+
+    keep_fraction: float = 0.5
+    min_jobs: int = 16
+
+    def __post_init__(self) -> None:
+        check_probability(self.keep_fraction, "keep_fraction")
+        if self.keep_fraction == 0.0:
+            raise ValueError("keep_fraction must be positive (0 would drop every job)")
+        if self.min_jobs <= 0:
+            raise ValueError("min_jobs must be positive")
+
+    @property
+    def tag(self) -> str:
+        return f"thin{self.keep_fraction:g}"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        keep = rng.random(len(trace)) < self.keep_fraction
+        jobs = [job for job, kept in zip(trace.jobs, keep) if kept]
+        if len(jobs) < self.min_jobs:
+            jobs = list(trace.jobs[: self.min_jobs])
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateNoise(TraceTransform):
+    """Multiply user wall-time estimates by log-normal noise.
+
+    ``sigma`` controls the spread; ``bias`` shifts the median multiplicatively
+    (``bias > 1`` leans towards over-estimation).  With
+    ``allow_underestimate=False`` the noisy estimate is floored at the actual
+    runtime, preserving the "estimate is an upper bound" contract some
+    schedulers assume; the default allows under-estimates, the harder regime
+    the paper's Figure 1 explores.
+    """
+
+    sigma: float = 0.8
+    bias: float = 1.0
+    allow_underestimate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.bias <= 0:
+            raise ValueError("bias must be positive")
+
+    @property
+    def tag(self) -> str:
+        return f"estnoise{self.sigma:g}"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        factors = self.bias * np.exp(rng.normal(0.0, self.sigma, size=len(trace)))
+        jobs = []
+        for job, factor in zip(trace.jobs, factors):
+            estimate = max(job.requested_time * float(factor), 1.0)
+            if not self.allow_underestimate:
+                estimate = max(estimate, job.runtime)
+            jobs.append(job.with_requested_time(estimate))
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateInflate(TraceTransform):
+    """Multiply every wall-time estimate by a fixed ``factor`` (>= or < 1)."""
+
+    factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    @property
+    def tag(self) -> str:
+        return f"estx{self.factor:g}"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        jobs = [
+            job.with_requested_time(max(job.requested_time * self.factor, 1.0))
+            for job in trace.jobs
+        ]
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class SizeFilter(TraceTransform):
+    """Keep only jobs whose width lies in ``[min_processors, max_processors]``."""
+
+    min_processors: int = 1
+    max_processors: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_processors <= 0:
+            raise ValueError("min_processors must be positive")
+        if self.max_processors is not None and self.max_processors < self.min_processors:
+            raise ValueError("max_processors must be >= min_processors")
+
+    @property
+    def tag(self) -> str:
+        hi = "inf" if self.max_processors is None else f"{self.max_processors}"
+        return f"size[{self.min_processors},{hi}]"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        hi = self.max_processors if self.max_processors is not None else trace.num_processors
+        jobs = [
+            job
+            for job in trace.jobs
+            if self.min_processors <= job.requested_processors <= hi
+        ]
+        if not jobs:
+            raise ValueError(
+                f"SizeFilter[{self.min_processors}, {hi}] removed every job of trace "
+                f"{trace.name!r}"
+            )
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class SizeRescale(TraceTransform):
+    """Scale job widths by ``factor``, clipping into ``[1, num_processors]``."""
+
+    factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    @property
+    def tag(self) -> str:
+        return f"width{self.factor:g}x"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        jobs = [
+            replace(
+                job,
+                requested_processors=int(
+                    np.clip(round(job.requested_processors * self.factor), 1, trace.num_processors)
+                ),
+            )
+            for job in trace.jobs
+        ]
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class Compose(TraceTransform):
+    """Apply ``transforms`` left to right (order matters)."""
+
+    transforms: tuple[TraceTransform, ...]
+
+    @property
+    def tag(self) -> str:
+        return "+".join(t.tag for t in self.transforms)
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": "Compose", "transforms": [t.describe() for t in self.transforms]}
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        # One child generator per stage: inserting or removing a stage changes
+        # only the inputs of the stages after it, never their random draws.
+        rngs = spawn_rngs(rng, len(self.transforms))
+        for transform, child in zip(self.transforms, rngs):
+            trace = transform.apply(trace, child)
+        return trace
+
+
+def apply_transforms(
+    trace: Trace, transforms: Sequence[TraceTransform], seed: SeedLike
+) -> Trace:
+    """Apply ``transforms`` to ``trace`` left to right, seeded by ``seed``.
+
+    Seeding follows the workload-generator rule (see ``repro.utils.rng``):
+    ``seed`` may be an int, ``None``, a ``SeedSequence``, or an existing
+    ``Generator`` (whose state is consumed).  Each transform receives its own
+    child generator in list order.
+    """
+    rngs = spawn_rngs(seed, len(transforms))
+    for transform, rng in zip(transforms, rngs):
+        trace = transform.apply(trace, rng)
+    return trace

@@ -12,6 +12,14 @@ the waiting queue in base-policy priority order).  That keeps the strategy
 stateless between decision points, which is slower than an incremental
 profile but easy to verify -- and decision points are rare relative to
 simulated events.
+
+For pathologically contended workloads (hundreds of waiting jobs) the full
+re-plan is quadratic per decision; production schedulers bound it the same
+way this class optionally does: ``reservation_depth`` plans reservations for
+only the first N waiting jobs (Slurm's ``bf_max_job_test`` /Moab's
+reservation depth -- the no-delay guarantee then covers those N jobs), and
+``max_candidates`` caps how many backfill candidates are *tried* per
+decision.  Both default to ``None`` (unbounded, the textbook algorithm).
 """
 
 from __future__ import annotations
@@ -32,10 +40,21 @@ class ConservativeBackfill(BackfillStrategy):
 
     name = "conservative"
 
-    def __init__(self, order: str = "fcfs"):
+    def __init__(
+        self,
+        order: str = "fcfs",
+        reservation_depth: int | None = None,
+        max_candidates: int | None = None,
+    ):
         if order not in ("fcfs", "sjf"):
             raise ValueError(f"unsupported candidate order {order!r}")
+        if reservation_depth is not None and reservation_depth <= 0:
+            raise ValueError("reservation_depth must be positive when given")
+        if max_candidates is not None and max_candidates <= 0:
+            raise ValueError("max_candidates must be positive when given")
         self.order = order
+        self.reservation_depth = reservation_depth
+        self.max_candidates = max_candidates
 
     # -- helpers -----------------------------------------------------------
     @staticmethod
@@ -47,7 +66,13 @@ class ConservativeBackfill(BackfillStrategy):
             (r.estimated_end_time(estimator), r.allocation.processors)
             for r in machine.running_jobs
         ]
-        return ResourceProfile.from_running_jobs(machine.num_processors, decision.time, running)
+        profile = ResourceProfile.from_running_jobs(machine.num_processors, decision.time, running)
+        # Scheduled capacity drains shape availability exactly like running
+        # jobs do, except they may overlap processors already committed to
+        # running jobs (graceful drain), hence the clipped subtraction.
+        for start, end, processors in machine.capacity_drains(decision.time):
+            profile.drain(start, end - start, processors)
+        return profile
 
     @staticmethod
     def _plan(
@@ -77,6 +102,10 @@ class ConservativeBackfill(BackfillStrategy):
         self, decision: DecisionPoint, estimator: RuntimeEstimator
     ) -> Optional[Job]:
         queue = self._queue_in_order(decision)
+        if self.reservation_depth is not None:
+            # Reservations (and thus the no-delay guarantee) cover only the
+            # first N waiting jobs, like Slurm's bf_max_job_test.
+            queue = queue[: self.reservation_depth]
         baseline_plan = self._plan(self._base_profile(decision, estimator), queue, estimator)
 
         candidates = list(decision.candidates)
@@ -84,12 +113,23 @@ class ConservativeBackfill(BackfillStrategy):
             candidates.sort(key=lambda j: (estimator(j), j.submit_time, j.job_id))
         else:
             candidates.sort(key=lambda j: (j.submit_time, j.job_id))
+        if self.max_candidates is not None:
+            candidates = candidates[: self.max_candidates]
 
+        machine = decision.machine
+        graceful = machine is not None and bool(getattr(machine, "capacity_schedule", ()))
         for candidate in candidates:
             profile = self._base_profile(decision, estimator)
-            # Pretend the candidate starts right now.
+            # Pretend the candidate starts right now.  Under a capacity
+            # schedule the candidate may gracefully straddle a drain window it
+            # starts before (the drain never preempts), so its reservation
+            # uses the clipped drain-subtraction; the planner's own
+            # reservations still go through the raising ``reserve``.
             duration = max(float(estimator(candidate)), 1.0)
-            profile.reserve(decision.time, duration, candidate.requested_processors)
+            if graceful:
+                profile.drain(decision.time, duration, candidate.requested_processors)
+            else:
+                profile.reserve(decision.time, duration, candidate.requested_processors)
             remaining = [j for j in queue if j.job_id != candidate.job_id]
             new_plan = self._plan(profile, remaining, estimator)
             delayed = any(

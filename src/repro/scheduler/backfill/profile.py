@@ -96,6 +96,26 @@ class ResourceProfile:
                 )
             self._free[i] = new_free
 
+    def drain(self, start: float, duration: float, processors: int) -> None:
+        """Subtract ``processors`` over ``[start, start+duration)``, clipping at zero.
+
+        Used for scheduled capacity drains (node downtime windows): a drain
+        claims idle processors first, and where the profile is already busier
+        than the remaining capacity -- jobs running on nodes that are being
+        drained gracefully -- the free count bottoms out at zero instead of
+        over-subscribing.  Regular job reservations must keep using
+        :meth:`reserve`, which treats over-subscription as the bug it is.
+        """
+        if processors <= 0:
+            raise ValueError("processors must be positive")
+        if duration <= 0:
+            return
+        end = math.inf if math.isinf(duration) else start + duration
+        start_idx = self._ensure_breakpoint(start)
+        end_idx = len(self._times) if math.isinf(end) else self._ensure_breakpoint(end)
+        for i in range(start_idx, end_idx):
+            self._free[i] = max(self._free[i] - processors, 0)
+
     def earliest_start(self, processors: int, duration: float, earliest: float | None = None) -> float:
         """Earliest time >= ``earliest`` at which ``processors`` stay free for ``duration``."""
         if processors > self.total:

@@ -27,7 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterable, List, Optional, Sequence
 
-from repro.cluster.machine import Machine
+from repro.cluster.machine import DowntimeWindow, Machine
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
 from repro.scheduler.backfill.base import BackfillStrategy
 from repro.scheduler.backfill.none import NoBackfill
@@ -92,6 +92,7 @@ class Simulator:
         backfill: BackfillStrategy | None = None,
         estimator: RuntimeEstimator | None = None,
         bsld_threshold: float = BSLD_THRESHOLD,
+        capacity_schedule: Sequence[DowntimeWindow] | None = None,
     ):
         if num_processors <= 0:
             raise ValueError(f"num_processors must be positive, got {num_processors}")
@@ -100,6 +101,11 @@ class Simulator:
         self.backfill = backfill if backfill is not None else NoBackfill()
         self.estimator = estimator if estimator is not None else UserEstimate()
         self.bsld_threshold = float(bsld_threshold)
+        #: Scheduled node drains honoured by every simulated sequence: new
+        #: starts are capped at the in-service capacity, window boundaries are
+        #: simulation events, and reservations/backfill checks see the drained
+        #: availability (see :class:`repro.cluster.machine.DowntimeWindow`).
+        self.capacity_schedule: tuple[DowntimeWindow, ...] = tuple(capacity_schedule or ())
 
     # -- public API ---------------------------------------------------------
     @property
@@ -130,10 +136,13 @@ class Simulator:
         :class:`SimulationResult` when the sequence completes."""
         job_list = self._validated(jobs)
         state = _SimState(
-            machine=Machine(self.num_processors),
+            machine=Machine(self.num_processors, capacity_schedule=self.capacity_schedule),
             pending=deque(sorted(job_list, key=lambda j: (j.submit_time, j.job_id))),
         )
         state.now = state.pending[0].submit_time if state.pending else 0.0
+        # Sync the machine clock so availability queries made before the first
+        # start already see the capacity windows active at the first arrival.
+        state.machine.advance_to(state.now)
         self._admit(state)
 
         while state.pending or state.queue or state.machine.num_running:
@@ -291,6 +300,13 @@ class Simulator:
             next_completion = state.machine.next_completion_time()
             next_completion = math.inf if next_completion is None else next_completion
             next_time = min(next_arrival, next_completion)
+            if self.capacity_schedule:
+                # A capacity boundary can unblock (window end) or further
+                # constrain (window start) the waiting queue, so it is a
+                # scheduling event whenever jobs are waiting.
+                next_capacity = state.machine.next_capacity_event(state.now)
+                if next_capacity is not None:
+                    next_time = min(next_time, next_capacity)
         if math.isinf(next_time):
             return False
         state.now = max(state.now, next_time)
@@ -324,6 +340,7 @@ def run_schedule(
     policy: PriorityPolicy | str = "FCFS",
     backfill: BackfillStrategy | None = None,
     estimator: RuntimeEstimator | None = None,
+    capacity_schedule: Sequence[DowntimeWindow] | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     simulator = Simulator(
@@ -331,5 +348,6 @@ def run_schedule(
         policy=policy,
         backfill=backfill,
         estimator=estimator,
+        capacity_schedule=capacity_schedule,
     )
     return simulator.run(jobs)

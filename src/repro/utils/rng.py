@@ -1,10 +1,27 @@
 """Deterministic random-number-generator helpers.
 
-Every stochastic component in the library (workload generators, trace
-samplers, PPO exploration, noisy runtime predictors) accepts either an
-integer seed, ``None``, or an existing :class:`numpy.random.Generator`.  The
-helpers here normalize those inputs so experiments are reproducible end to
-end from a single seed.
+**The seeding rule.**  Every stochastic entry point in the library -- the
+workload generators (``lublin_trace``, ``synthetic_trace``, ``load_trace``),
+the trace samplers (``sample_sequence``/``sample_sequences``), the scenario
+transforms, PPO exploration, and the noisy runtime predictors -- accepts one
+``seed`` argument of type :data:`SeedLike` and interprets it uniformly:
+
+* ``int`` or :class:`numpy.random.SeedSequence` -- a reproducible stream of
+  its own; calling the entry point twice with the same value yields
+  bit-identical output.
+* :class:`numpy.random.Generator` -- draws from the *caller's* stream,
+  advancing it: two consecutive calls with the same generator yield
+  different (but jointly reproducible) output.  This is how one top-level
+  seed fans out through nested components.
+* ``None`` -- fresh OS entropy (irreproducible), except where a stable
+  context-derived default exists (``load_trace`` derives one from the trace
+  name).
+
+Entry points that must *derive* independent child streams (one per sampled
+sequence, per transform, per lane) go through :func:`spawn_rngs` /
+:func:`derive_seed` rather than reusing the parent generator, so inserting a
+component never perturbs its siblings' draws.  The helpers here normalize
+all of this so experiments are reproducible end to end from a single seed.
 """
 
 from __future__ import annotations

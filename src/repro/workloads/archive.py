@@ -17,7 +17,9 @@ import zlib
 from functools import lru_cache
 from typing import Callable, Dict, Iterable
 
-from repro.utils.rng import derive_seed
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_seed
 from repro.workloads.job import Trace
 from repro.workloads.lublin import LUBLIN_1, LUBLIN_2, lublin_trace
 from repro.workloads.swf import read_swf
@@ -117,7 +119,7 @@ def _load_cached(name: str, num_jobs: int, seed: int) -> Trace:
     return factory(num_jobs, seed)
 
 
-def load_trace(name: str, num_jobs: int = 10_000, seed: int | None = None) -> Trace:
+def load_trace(name: str, num_jobs: int = 10_000, seed: SeedLike = None) -> Trace:
     """Load one of the evaluation traces by name.
 
     Parameters
@@ -128,13 +130,23 @@ def load_trace(name: str, num_jobs: int = 10_000, seed: int | None = None) -> Tr
     num_jobs:
         Number of jobs to keep; the paper uses the first 10K jobs of each trace.
     seed:
-        Seed for the synthetic generators.  ``None`` derives a stable seed
-        from the trace name so repeated calls return identical traces.
+        Seed for the synthetic generators, following the uniform workload
+        seeding rule (see :mod:`repro.utils.rng`): an ``int`` or
+        ``SeedSequence`` selects a reproducible trace, an existing
+        ``Generator`` draws the trace seed from its stream (advancing it),
+        and ``None`` derives a stable seed from the trace name so repeated
+        calls return identical traces.
     """
     if seed is None:
         # zlib.crc32 is stable across interpreter runs (unlike hash() on str),
         # so the default trace content is identical for every process.
         seed = derive_seed(zlib.crc32(name.encode("utf-8")), 0)
+    elif isinstance(seed, np.random.Generator):
+        seed = int(seed.integers(0, 2**63 - 1))
+    elif isinstance(seed, np.random.SeedSequence):
+        # Derive from the sequence's own state (entropy AND spawn_key), so
+        # spawned siblings select distinct traces and tuple entropy works.
+        seed = int(seed.generate_state(1, dtype=np.uint64)[0] % (2**63 - 1))
     return _load_cached(name, int(num_jobs), int(seed))
 
 

@@ -247,3 +247,80 @@ class TestConservativeBackfill:
     def test_invalid_order(self):
         with pytest.raises(ValueError):
             ConservativeBackfill(order="widest")
+
+
+class TestBoundedConservative:
+    """The reservation_depth / max_candidates bounds (Slurm bf_max_job_test)."""
+
+    def test_defaults_are_unbounded(self):
+        strategy = ConservativeBackfill()
+        assert strategy.reservation_depth is None
+        assert strategy.max_candidates is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConservativeBackfill(reservation_depth=0)
+        with pytest.raises(ValueError):
+            ConservativeBackfill(max_candidates=0)
+
+    def test_bounded_matches_unbounded_on_shallow_queue(self):
+        """With depth >= queue length the bound is a no-op."""
+        machine = Machine(16)
+        machine.start(make_job(1, runtime=100, requested_time=100, processors=10), now=0.0)
+        rjob = make_job(2, submit_time=1, requested_time=100, runtime=100, processors=8)
+        queued3 = make_job(3, submit_time=2, requested_time=100, runtime=100, processors=8)
+        candidate = make_job(4, submit_time=3, requested_time=5000, runtime=5000, processors=6)
+        queue = [rjob, queued3, candidate]
+        decision = make_decision(
+            machine, rjob, [candidate], queue=queue, estimator=ActualRuntime()
+        )
+        bounded = ConservativeBackfill(reservation_depth=10, max_candidates=10)
+        unbounded = ConservativeBackfill()
+        assert bounded.select_backfill(decision, ActualRuntime()) == \
+            unbounded.select_backfill(decision, ActualRuntime())
+
+    def test_depth_limits_the_guarantee(self):
+        """A job beyond the reservation depth holds no reservation, so a
+        candidate that would delay only it is accepted."""
+        machine = Machine(16)
+        machine.start(make_job(1, runtime=100, requested_time=100, processors=10), now=0.0)
+        rjob = make_job(2, submit_time=1, requested_time=100, runtime=100, processors=8)
+        queued3 = make_job(3, submit_time=2, requested_time=100, runtime=100, processors=8)
+        candidate = make_job(4, submit_time=3, requested_time=5000, runtime=5000, processors=6)
+        queue = [rjob, queued3, candidate]
+        decision = make_decision(
+            machine, rjob, [candidate], queue=queue, estimator=ActualRuntime()
+        )
+        # Depth 2 plans only (rjob, queued3): still protected -> still None.
+        assert ConservativeBackfill(reservation_depth=2).select_backfill(
+            decision, ActualRuntime()
+        ) is None
+        # Depth 1 plans only the rjob; the candidate fits beside its
+        # reservation, and queued3 is no longer protected -> accepted.
+        choice = ConservativeBackfill(reservation_depth=1).select_backfill(
+            decision, ActualRuntime()
+        )
+        assert choice is not None and choice.job_id == 4
+
+    def test_max_candidates_truncates_attempts(self):
+        # The setup of test_does_not_delay_second_queued_job: the 6-wide
+        # long 'blocker' candidate would delay queued3's reservation and is
+        # rejected; a small short candidate behind it is harmless.
+        machine = Machine(16)
+        machine.start(make_job(1, runtime=100, requested_time=100, processors=10), now=0.0)
+        rjob = make_job(2, submit_time=1, requested_time=100, runtime=100, processors=8)
+        queued3 = make_job(3, submit_time=2, requested_time=100, runtime=100, processors=8)
+        blocker = make_job(4, submit_time=3, requested_time=5000, runtime=5000, processors=6)
+        harmless = make_job(5, submit_time=4, requested_time=10, runtime=10, processors=2)
+        queue = [rjob, queued3, blocker, harmless]
+        decision = make_decision(
+            machine, rjob, [blocker, harmless], queue=queue, estimator=ActualRuntime()
+        )
+        # Unbounded: rejects the blocker, then accepts the harmless one.
+        unbounded = ConservativeBackfill().select_backfill(decision, ActualRuntime())
+        assert unbounded is not None and unbounded.job_id == 5
+        # Capped at one attempt: only the (rejected) blocker is ever tried.
+        capped = ConservativeBackfill(max_candidates=1).select_backfill(
+            decision, ActualRuntime()
+        )
+        assert capped is None

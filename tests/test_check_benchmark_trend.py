@@ -166,3 +166,73 @@ class TestCommittedBaseline:
         assert ceiling == pytest.approx(2.0)
         gated = metrics["speedup_pipelined_vs_lockstep"]
         assert gated["min_cores"] >= 4
+
+
+class TestScenarioReportIngestion:
+    def _timing(self, tmp_path, wall=3.5, **extra):
+        payload = {
+            "scenario_eval_wall_seconds": wall,
+            "cells": 20,
+            "workers": 2,
+            "cells_per_second": 20 / wall,
+        }
+        payload.update(extra)
+        path = tmp_path / "scenario-timing.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_ingested_wall_clock_checks_against_ceiling(self, tmp_path, capsys):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(
+            tmp_path,
+            [{"benchmark": "scenario_evaluation", "stat": "mean",
+              "baseline": 30.0, "higher_is_better": False, "tolerance": 1.0}],
+        )
+        timing = self._timing(tmp_path, wall=3.5)
+        assert trend.check(results, baseline, scenario_report=timing) == 0
+        assert "scenario_evaluation:mean" in capsys.readouterr().out
+
+    def test_ingested_wall_clock_regression_fails(self, tmp_path):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(
+            tmp_path,
+            [{"benchmark": "scenario_evaluation", "stat": "mean",
+              "baseline": 30.0, "higher_is_better": False, "tolerance": 1.0}],
+        )
+        timing = self._timing(tmp_path, wall=120.0)  # beyond the 60s ceiling
+        assert trend.check(results, baseline, scenario_report=timing) == 1
+
+    def test_extra_info_keys_are_addressable(self, tmp_path):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(
+            tmp_path,
+            [{"benchmark": "scenario_evaluation", "key": "cells_per_second",
+              "baseline": 1.0, "higher_is_better": True, "tolerance": 0.5}],
+        )
+        timing = self._timing(tmp_path, wall=4.0)  # 5 cells/s
+        assert trend.check(results, baseline, scenario_report=timing) == 0
+
+    def test_without_report_metric_is_missing_not_failing(self, tmp_path, capsys):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(
+            tmp_path,
+            [{"benchmark": "scenario_evaluation", "stat": "mean",
+              "baseline": 30.0, "higher_is_better": False}],
+        )
+        assert trend.check(results, baseline) == 0
+        assert "MISSING" in capsys.readouterr().out
+        assert trend.check(results, baseline, strict=True) == 1
+
+    def test_rejects_non_timing_document(self, tmp_path):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, [])
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError):
+            trend.check(results, baseline, scenario_report=bogus)
+
+    def test_committed_baseline_has_scenario_ceiling(self):
+        baseline = json.loads(trend.DEFAULT_BASELINE.read_text())
+        entries = [m for m in baseline["metrics"] if m["benchmark"] == "scenario_evaluation"]
+        assert len(entries) == 1
+        assert entries[0]["higher_is_better"] is False

@@ -275,6 +275,72 @@ class TestInvariantMatmul:
             assert np.array_equal(input_grad(x_data[i : i + 1])[0], full[i])
 
 
+class TestRowBlockHint:
+    """The per-call-site ``row_block`` hint of the invariant kernel."""
+
+    def test_matches_matmul_values_for_any_block(self):
+        rng = np.random.default_rng(10)
+        a = rng.normal(size=(23, 17))
+        b = rng.normal(size=(17, 9))
+        for block in (1, 2, 7, 16, 64):
+            np.testing.assert_allclose(
+                invariant_matmul(a, b, row_block=block), a @ b, rtol=1e-13
+            )
+
+    def test_batch_invariance_holds_per_block_size(self):
+        """Any *fixed* block keeps row ``i`` at position ``i % block`` of its
+        block, so per-site invariance is preserved for every hint value."""
+        rng = np.random.default_rng(11)
+        for block in (1, 3, 16):
+            a = rng.normal(size=(2 * block + 1, 33))
+            b = rng.normal(size=(33, 6))
+            full = invariant_matmul(a, b, row_block=block)
+            for i in range(a.shape[0]):
+                single = invariant_matmul(a[i : i + 1], b, row_block=block)
+                assert np.array_equal(single[0], full[i]), (block, i)
+
+    def test_default_block_is_module_constant(self):
+        rng = np.random.default_rng(12)
+        a = rng.normal(size=(5, 8))
+        b = rng.normal(size=(8, 3))
+        assert np.array_equal(
+            invariant_matmul(a, b),
+            invariant_matmul(a, b, row_block=INVARIANT_ROW_BLOCK),
+        )
+
+    def test_rejects_non_positive_block(self):
+        with pytest.raises(ValueError):
+            invariant_matmul(np.ones((2, 2)), np.ones((2, 2)), row_block=0)
+
+    def test_gradcheck_with_block_one(self):
+        rng = np.random.default_rng(13)
+        w = rng.normal(size=(7, 3))
+        check_gradient(
+            lambda t: t.matmul_invariant(Tensor(w), row_block=1).sum(), (5, 7)
+        )
+
+    def test_linear_row_block_is_site_local(self):
+        """A Linear pinned to row_block=1 is internally batch-invariant and
+        numerically equivalent (not necessarily bit-equal) to the default."""
+        from repro.rl.nn import MLP
+
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=(4, 12))
+        default_site = MLP([12, 8, 2], seed=42)
+        serial_site = MLP([12, 8, 2], seed=42)
+        serial_site.set_forward_row_block(1)
+        for layer in serial_site.network:
+            if hasattr(layer, "row_block"):
+                assert layer.row_block == 1
+        out_default = default_site(Tensor(x)).numpy()
+        out_serial = serial_site(Tensor(x)).numpy()
+        np.testing.assert_allclose(out_serial, out_default, rtol=1e-12)
+        # Per-site invariance at block 1: single-row forwards equal batch rows.
+        for i in range(x.shape[0]):
+            row = serial_site(Tensor(x[i : i + 1])).numpy()
+            assert np.array_equal(row[0], out_serial[i])
+
+
 class TestMechanics:
     def test_backward_requires_scalar(self):
         t = Tensor(np.ones((2, 2)), requires_grad=True)
