@@ -44,11 +44,23 @@ TIMING.json`` ingests the timing document written by
 ``scripts/evaluate_scenarios.py`` (``--timing-out``) as a pseudo-benchmark
 named ``scenario_evaluation`` -- its total wall-clock becomes ``stats.mean``
 and the cell/worker counts land in ``extra_info`` -- so baseline metrics can
-reference it like any other benchmark.
+reference it like any other benchmark.  The timing document also carries
+``reference_cell_seconds`` (one representative cell re-timed inline on the
+same machine), which is what the committed scenario metric divides by: the
+suite/reference-cell ratio transfers across runners where the old absolute
+30s wall-clock ceiling did not.
+
+Service-load telemetry likewise: ``--service-report TIMING.json`` ingests
+the document written by ``scripts/load_service.py --out`` as a
+pseudo-benchmark named ``service_load`` (``stats.mean`` = live wall seconds;
+decision rate, tail latencies, and the machine-relative
+``p99_latency_per_forward`` / ``decision_throughput_x_forward`` ratios in
+``extra_info``).
 
 Usage:
     python scripts/check_benchmark_trend.py [--strict]
-        [--scenario-report TIMING.json] RESULTS.json [BASELINE.json]
+        [--scenario-report TIMING.json] [--service-report TIMING.json]
+        RESULTS.json [BASELINE.json]
 """
 
 from __future__ import annotations
@@ -91,14 +103,56 @@ def ingest_scenario_report(benches: dict[str, dict], timing_path: Path) -> None:
             f"{timing_path}: not a scenario timing document "
             "(missing 'scenario_eval_wall_seconds')"
         )
+    extra_info = {
+        "cells": timing.get("cells"),
+        "workers": timing.get("workers"),
+        "cells_per_second": timing.get("cells_per_second"),
+        "scenario_eval_wall_seconds": float(wall),
+    }
+    reference = timing.get("reference_cell_seconds")
+    if reference is not None:
+        extra_info["reference_cell_seconds"] = float(reference)
+        extra_info["reference_cell"] = timing.get("reference_cell")
     benches[SCENARIO_BENCH_NAME] = {
         "name": SCENARIO_BENCH_NAME,
         "stats": {"mean": float(wall)},
+        "extra_info": extra_info,
+    }
+
+
+#: Name under which an ingested service-load timing document appears.
+SERVICE_BENCH_NAME = "service_load"
+
+
+def ingest_service_report(benches: dict[str, dict], timing_path: Path) -> None:
+    """Fold a service-load timing JSON into the benchmark map.
+
+    The document is written by ``scripts/load_service.py --out``; its live
+    wall seconds become ``stats.mean`` and the throughput/latency metrics --
+    including the two machine-relative ratios the committed baseline gates --
+    land in ``extra_info``.
+    """
+    timing = json.loads(timing_path.read_text())
+    wall = timing.get("service_load_wall_seconds")
+    if wall is None:
+        raise ValueError(
+            f"{timing_path}: not a service timing document "
+            "(missing 'service_load_wall_seconds')"
+        )
+    replay = timing.get("replay") or {}
+    benches[SERVICE_BENCH_NAME] = {
+        "name": SERVICE_BENCH_NAME,
+        "stats": {"mean": float(wall)},
         "extra_info": {
-            "cells": timing.get("cells"),
-            "workers": timing.get("workers"),
-            "cells_per_second": timing.get("cells_per_second"),
-            "scenario_eval_wall_seconds": float(wall),
+            "decisions": timing.get("decisions"),
+            "decisions_per_second": timing.get("decisions_per_second"),
+            "latency_p50_ms": timing.get("latency_p50_ms"),
+            "latency_p95_ms": timing.get("latency_p95_ms"),
+            "latency_p99_ms": timing.get("latency_p99_ms"),
+            "reference_forward_seconds": timing.get("reference_forward_seconds"),
+            "p99_latency_per_forward": timing.get("p99_latency_per_forward"),
+            "decision_throughput_x_forward": timing.get("decision_throughput_x_forward"),
+            "replay_matched": 1.0 if replay.get("matched") else 0.0,
         },
     }
 
@@ -129,12 +183,15 @@ def check(
     baseline_path: Path,
     strict: bool = False,
     scenario_report: Path | None = None,
+    service_report: Path | None = None,
 ) -> int:
     baseline = json.loads(baseline_path.read_text())
     default_tolerance = float(baseline.get("tolerance", 0.2))
     benches = load_benchmarks(results_path)
     if scenario_report is not None:
         ingest_scenario_report(benches, scenario_report)
+    if service_report is not None:
+        ingest_service_report(benches, service_report)
 
     failures: list[str] = []
     missing: list[str] = []
@@ -223,6 +280,7 @@ def main(argv: list[str]) -> int:
     args: list[str] = []
     strict = False
     scenario_report: Path | None = None
+    service_report: Path | None = None
     rest = list(argv[1:])
     while rest:
         arg = rest.pop(0)
@@ -233,6 +291,11 @@ def main(argv: list[str]) -> int:
                 print("--scenario-report needs a path", file=sys.stderr)
                 return 2
             scenario_report = Path(rest.pop(0))
+        elif arg == "--service-report":
+            if not rest:
+                print("--service-report needs a path", file=sys.stderr)
+                return 2
+            service_report = Path(rest.pop(0))
         else:
             args.append(arg)
     if len(args) not in (1, 2):
@@ -246,8 +309,15 @@ def main(argv: list[str]) -> int:
     if scenario_report is not None and not scenario_report.is_file():
         print(f"scenario timing file not found: {scenario_report}", file=sys.stderr)
         return 2
+    if service_report is not None and not service_report.is_file():
+        print(f"service timing file not found: {service_report}", file=sys.stderr)
+        return 2
     return check(
-        results_path, baseline_path, strict=strict, scenario_report=scenario_report
+        results_path,
+        baseline_path,
+        strict=strict,
+        scenario_report=scenario_report,
+        service_report=service_report,
     )
 
 

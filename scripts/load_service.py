@@ -1,0 +1,325 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the online scheduling service.
+
+Starts a :class:`~repro.service.server.SchedulingService` in-process, drives
+it over real TCP with concurrent closed-loop clients (each submits a batch,
+waits for the response, submits the next), then drains the service, verifies
+the replay log offline, and writes a ``service-timing.json`` telemetry
+sidecar consumed by ``scripts/check_benchmark_trend.py --service-report``.
+
+Reported metrics are machine-relative so they transfer across runners:
+
+* ``decisions_per_second`` -- served decisions during the live window (drain
+  excluded) divided by live wall seconds;
+* ``latency_p50/p95/p99_ms`` -- submit round-trip percentiles;
+* ``reference_forward_seconds`` -- the measured serial (``row_block=1``)
+  policy forward on this machine;
+* ``p99_latency_per_forward`` / ``decision_throughput_x_forward`` -- the two
+  ratios committed to ``benchmarks/throughput_baseline.json``.
+
+Run ``PYTHONPATH=src python scripts/load_service.py --quick`` for the CI
+smoke configuration (~15s wall).  ``--min-rate`` turns the throughput floor
+into a hard exit code; replay parity is always enforced unless
+``--no-parity-check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.agent import RLBackfillAgent  # noqa: E402
+from repro.experiments.runner import load_or_train_agent  # noqa: E402
+from repro.service import (  # noqa: E402
+    SchedulingService,
+    ServiceClient,
+    ServiceConfig,
+    verify_replay_log,
+)
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke preset: short run, untrained weights"
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="agent checkpoint (.npz); trained at smoke scale if missing (see "
+        "load_or_train_agent). Default: untrained weights with --quick, "
+        "otherwise a smoke-scale training run without persisting.",
+    )
+    parser.add_argument("--duration", type=float, default=None, help="live window wall seconds")
+    parser.add_argument("--clients", type=int, default=4, help="concurrent closed-loop clients")
+    parser.add_argument("--batch", type=int, default=16, help="jobs per submit request")
+    parser.add_argument("--procs", type=int, default=64, help="simulated cluster width")
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1200.0,
+        help="event seconds per wall second (tuned so arrivals keep the cluster contended)",
+    )
+    parser.add_argument(
+        "--wide-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of wide jobs (they block the queue head and create backfill decisions)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--admission-rate",
+        type=float,
+        default=None,
+        help="per-tenant refill tokens/sec (default: effectively unthrottled for load runs)",
+    )
+    parser.add_argument("--out", default=None, help="service-timing JSON path")
+    parser.add_argument("--replay-out", default=None, help="replay log JSONL path")
+    parser.add_argument(
+        "--min-rate",
+        type=float,
+        default=None,
+        help="fail (exit 1) if live decisions/sec falls below this floor",
+    )
+    parser.add_argument(
+        "--no-parity-check",
+        action="store_true",
+        help="skip the offline replay verification (parity is enforced by default)",
+    )
+    args = parser.parse_args(argv)
+    if args.duration is None:
+        args.duration = 8.0 if args.quick else 20.0
+    return args
+
+
+def make_batch(
+    rng: np.random.Generator,
+    next_id: int,
+    batch: int,
+    procs: int,
+    wide_fraction: float,
+) -> List[Dict[str, object]]:
+    """One submit batch: mostly narrow/short backfill fodder, occasionally a
+    wide job that blocks the FCFS head and opens backfill opportunities.
+    Runtimes are in event seconds (the service assigns submit times)."""
+    jobs = []
+    for offset in range(batch):
+        if rng.random() < wide_fraction:
+            width = int(rng.integers(procs // 2, max(procs // 2 + 1, procs - 4)))
+            runtime = float(rng.exponential(40.0)) + 5.0
+        else:
+            width = int(rng.integers(1, 5))
+            runtime = float(rng.exponential(8.0)) + 1.0
+        jobs.append(
+            {
+                "job_id": next_id + offset,
+                "runtime": runtime,
+                "requested_processors": width,
+                "requested_time": runtime * 2.0,
+            }
+        )
+    return jobs
+
+
+async def run_client(
+    index: int,
+    host: str,
+    port: int,
+    args: argparse.Namespace,
+    deadline: float,
+    id_stride: int,
+    latencies: List[float],
+    totals: Dict[str, int],
+) -> None:
+    rng = np.random.default_rng(args.seed * 1000 + index)
+    next_id = index + 1
+    async with ServiceClient(host, port) as client:
+        while time.perf_counter() < deadline:
+            jobs = make_batch(rng, next_id, args.batch, args.procs, args.wide_fraction)
+            # Stride ids by client so concurrent submitters never collide.
+            for offset, job in enumerate(jobs):
+                job["job_id"] = next_id + offset * id_stride
+            next_id += args.batch * id_stride
+            t0 = time.perf_counter()
+            response = await client.submit(jobs, tenant=f"tenant-{index}")
+            latencies.append(time.perf_counter() - t0)
+            if not response.get("ok"):
+                if response.get("error") == "overloaded":
+                    totals["overloaded"] += 1
+                    await asyncio.sleep(0.005)
+                    continue
+                raise RuntimeError(f"client {index}: submit failed: {response}")
+            totals["decisions"] += len(response["decisions"])
+            for result in response["results"]:
+                if result.get("admitted"):
+                    totals["admitted"] += 1
+                else:
+                    totals["rejected"] += 1
+
+
+def measure_reference_forward(service: SchedulingService, repeats: int = 2000) -> float:
+    """Mean serial-forward seconds of the *serving* agent (the ``row_block=1``
+    deep copy), measured on this machine after the load run."""
+    agent = service.strategy.agent
+    cfg = agent.observation_config
+    rng = np.random.default_rng(0)
+    observation = rng.standard_normal(cfg.observation_size) * 0.1
+    mask = np.ones(cfg.num_actions)
+    agent.step(observation, mask, deterministic=True)  # warm caches
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        agent.step(observation, mask, deterministic=True)
+    return (time.perf_counter() - t0) / repeats
+
+
+def percentile_ms(latencies: List[float], q: float) -> float:
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies), q) * 1000.0)
+
+
+async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str, object]:
+    config = ServiceConfig(
+        num_processors=args.procs,
+        time_scale=args.time_scale,
+        replay_log_path=args.replay_out,
+        admission_capacity=1e9 if args.admission_rate is None else 4 * args.admission_rate,
+        admission_refill=((0.0, 1e9 if args.admission_rate is None else args.admission_rate),),
+    )
+    service = SchedulingService(agent, config)
+    latencies: List[float] = []
+    totals = {"decisions": 0, "admitted": 0, "rejected": 0, "overloaded": 0}
+    async with service:
+        host, port = service.address
+        start = time.perf_counter()
+        deadline = start + args.duration
+        clients = [
+            asyncio.create_task(
+                run_client(i, host, port, args, deadline, args.clients, latencies, totals)
+            )
+            for i in range(args.clients)
+        ]
+        await asyncio.gather(*clients)
+        live_seconds = time.perf_counter() - start
+        live_decisions = service.counters.decisions
+        async with ServiceClient(host, port) as client:
+            drain = await client.drain()
+            stats = (await client.stats())["stats"]
+            await client.shutdown()
+        await service.wait_stopped()
+
+    replay = {"checked": False, "matched": None, "jobs": None, "decisions": None}
+    if not args.no_parity_check:
+        source = args.replay_out if args.replay_out else service.replay.records
+        check = verify_replay_log(source, agent)
+        replay = {
+            "checked": True,
+            "matched": check.matched,
+            "jobs": check.jobs,
+            "decisions": check.decisions,
+            "mismatches": list(check.mismatches),
+        }
+
+    forward_seconds = measure_reference_forward(service)
+    rate = live_decisions / live_seconds if live_seconds > 0 else 0.0
+    p99_ms = percentile_ms(latencies, 99.0)
+    report: Dict[str, object] = {
+        "service_load_wall_seconds": live_seconds,
+        "decisions": live_decisions,
+        "decisions_per_second": rate,
+        "drain_decisions": int(drain.get("decisions_served", 0)) - live_decisions,
+        "jobs_admitted": totals["admitted"],
+        "jobs_rejected": totals["rejected"],
+        "overloaded_responses": totals["overloaded"],
+        "requests": len(latencies),
+        "latency_p50_ms": percentile_ms(latencies, 50.0),
+        "latency_p95_ms": percentile_ms(latencies, 95.0),
+        "latency_p99_ms": p99_ms,
+        "reference_forward_seconds": forward_seconds,
+        "p99_latency_per_forward": (p99_ms / 1000.0) / forward_seconds,
+        "decision_throughput_x_forward": rate * forward_seconds,
+        "replay": replay,
+        "drain": {k: v for k, v in drain.items() if k != "ok"},
+        "service_stats": stats,
+        "config": {
+            "clients": args.clients,
+            "batch": args.batch,
+            "procs": args.procs,
+            "time_scale": args.time_scale,
+            "wide_fraction": args.wide_fraction,
+            "duration": args.duration,
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    if args.checkpoint is not None:
+        agent = load_or_train_agent(args.checkpoint, scale="smoke", seed=args.seed)
+    elif args.quick:
+        # CI smoke: untrained weights exercise the identical forward path and
+        # determinism contract without a training run in the loop.
+        agent = RLBackfillAgent(seed=args.seed)
+    else:
+        agent = load_or_train_agent(None, scale="smoke", seed=args.seed)
+
+    report = asyncio.run(run_load(args, agent))
+
+    print(
+        f"live: {report['decisions']} decisions in "
+        f"{report['service_load_wall_seconds']:.1f}s = "
+        f"{report['decisions_per_second']:.0f} dec/s "
+        f"(+{report['drain_decisions']} on drain)"
+    )
+    print(
+        f"latency ms: p50={report['latency_p50_ms']:.1f} "
+        f"p95={report['latency_p95_ms']:.1f} p99={report['latency_p99_ms']:.1f}"
+    )
+    print(
+        f"reference forward: {report['reference_forward_seconds'] * 1e6:.0f}us; "
+        f"p99/forward={report['p99_latency_per_forward']:.0f}; "
+        f"throughput*forward={report['decision_throughput_x_forward']:.3f}"
+    )
+    replay = report["replay"]
+    if replay["checked"]:
+        print(
+            f"replay: {replay['jobs']} jobs, {replay['decisions']} decisions, "
+            f"matched={replay['matched']}"
+        )
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+
+    failed = False
+    if replay["checked"] and not replay["matched"]:
+        print("FAIL: served decisions are not bit-identical to the offline replay:")
+        for mismatch in replay.get("mismatches", [])[:5]:
+            print(f"  {mismatch}")
+        failed = True
+    if args.min_rate is not None and report["decisions_per_second"] < args.min_rate:
+        print(
+            f"FAIL: {report['decisions_per_second']:.0f} decisions/s is below the "
+            f"--min-rate floor of {args.min_rate:.0f}"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

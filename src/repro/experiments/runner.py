@@ -10,6 +10,7 @@ per configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +38,7 @@ __all__ = [
     "evaluate_configurations",
     "TrainedModel",
     "train_rlbackfilling",
+    "load_or_train_agent",
     "resolve_trace",
 ]
 
@@ -261,6 +263,36 @@ def train_rlbackfilling(
     return TrainedModel(
         agent=agent, history=history, trace_name=trace.name, policy_name=policy.name
     )
+
+
+def load_or_train_agent(
+    checkpoint: str | None,
+    trace: str | Trace = "lublin_256",
+    policy: str | PriorityPolicy = "FCFS",
+    scale: ExperimentScale | str = "smoke",
+    seed: SeedLike = 0,
+) -> RLBackfillAgent:
+    """Load a trained agent from ``checkpoint``, training one if it is absent.
+
+    The online scheduling service and its load harness need *some* trained
+    weights without caring where they came from: a committed checkpoint on a
+    developer machine, or a freshly trained smoke-scale agent on a CI runner.
+    When ``checkpoint`` names an existing file it is loaded as-is; when it
+    names a missing path, a quick agent is trained and saved there so repeat
+    runs are warm; ``None`` trains without persisting.
+    """
+    from repro.core.checkpoints import load_agent, save_agent
+
+    if checkpoint is not None:
+        path = Path(checkpoint)
+        if not path.suffix:
+            path = path.with_suffix(".npz")
+        if path.exists():
+            return load_agent(path)
+    model = train_rlbackfilling(trace, policy=policy, scale=scale, seed=seed)
+    if checkpoint is not None:
+        save_agent(model.agent, checkpoint)
+    return model.agent
 
 
 def standard_columns(

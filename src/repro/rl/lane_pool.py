@@ -1474,6 +1474,14 @@ def make_rollout_engine(
     (plus background episode pre-sampling; ``presample`` overrides its
     default of "on iff pipelined").  The local backend steps lanes in this
     process, so the knob does not apply and is ignored.
+
+    ``work_stealing`` is deliberately NOT forwarded to the local backend
+    either, even though :class:`~repro.rl.vec_env.VecBackfillEnv` now has a
+    stealing mode: the trainer's default config sets ``work_stealing=True``,
+    and wiring it through here would silently change every local-backend
+    training run's trajectory stream.  The local stealing mode is a parity
+    *reference* -- construct ``VecBackfillEnv`` with ``work_stealing=True``
+    directly when you want it (as ``tests/test_parity_matrix.py`` does).
     """
     if backend == "local":
         return VecBackfillEnv.from_template(environment, num_envs, seed=seed)

@@ -101,7 +101,11 @@ def validate_rollout_args(
 class VecBackfillEnv:
     """Steps N independent backfilling environments in lockstep."""
 
-    def __init__(self, envs: Sequence[Environment]):
+    def __init__(self, envs: Sequence[Environment], work_stealing: bool = False):
+        """``work_stealing=True`` enables the always-restart crediting scheme
+        of the process pool (see :meth:`rollout`); the default keeps the
+        historical fixed-assignment behaviour, which is what the trainer's
+        local backend uses."""
         if not envs:
             raise ValueError("VecBackfillEnv needs at least one environment lane")
         sizes = {(env.observation_size, env.num_actions) for env in envs}
@@ -112,11 +116,13 @@ class VecBackfillEnv:
         if len({id(env) for env in envs}) != len(envs):
             raise ValueError("environment lanes must be distinct instances")
         self.envs: List[Environment] = list(envs)
+        self.work_stealing = bool(work_stealing)
         self._counters: Dict[str, int] = {
             "rollouts": 0,
             "rounds": 0,
             "decisions": 0,
             "episodes": 0,
+            "steal_discarded": 0,
             "forward_ns": 0,
             "encode_ns": 0,
             "step_ns": 0,
@@ -126,7 +132,11 @@ class VecBackfillEnv:
     # -- construction --------------------------------------------------------
     @classmethod
     def from_template(
-        cls, env: Environment, num_envs: int, seed: SeedLike = None
+        cls,
+        env: Environment,
+        num_envs: int,
+        seed: SeedLike = None,
+        work_stealing: bool = False,
     ) -> "VecBackfillEnv":
         """Build ``num_envs`` lanes from one template environment.
 
@@ -135,7 +145,7 @@ class VecBackfillEnv:
         clones seeded from ``seed``.  The template must expose ``clone(seed)``
         (as :class:`~repro.core.environment.BackfillEnvironment` does).
         """
-        return cls(clone_lane_envs(env, num_envs, seed=seed))
+        return cls(clone_lane_envs(env, num_envs, seed=seed), work_stealing=work_stealing)
 
     # -- properties -----------------------------------------------------------
     @property
@@ -154,9 +164,13 @@ class VecBackfillEnv:
     def stats(self) -> Dict[str, float]:
         """Cumulative engine statistics, same keys as the process backend.
 
-        The pool-only counters (stealing, pre-sampling, worker idle) are
-        structurally zero here: the in-process engine has no workers to idle
-        and restarts lanes inline, so nothing is ever stolen or pre-sampled.
+        Most pool-only counters (pre-sampling, worker idle) are structurally
+        zero here: the in-process engine has no workers to idle.  In
+        work-stealing mode, surplus episodes completed in the final round are
+        *discarded* rather than banked for a future call (there is no
+        persistent worker to hold them), so they are reported under
+        ``steal_banked`` -- the pool's count of the same surplus -- while
+        ``steal_credited`` stays zero (no bank ever pays out locally).
         """
         c = self._counters
         return {
@@ -167,7 +181,7 @@ class VecBackfillEnv:
             "rounds": c["rounds"],
             "decisions": c["decisions"],
             "episodes": c["episodes"],
-            "steal_banked": 0,
+            "steal_banked": c["steal_discarded"],
             "steal_credited": 0,
             "presampled_resets": 0,
             "worker_idle_fraction": 0.0,
@@ -229,8 +243,24 @@ class VecBackfillEnv:
         Returns one info dict per completed episode (the environment's
         terminal info plus ``episode_reward``/``episode_steps``), in
         completion order.
+
+        **Work-stealing mode** (``work_stealing=True`` at construction,
+        effective only for sampled non-deterministic rollouts, exactly like
+        the process pool): every lane always restarts after finishing an
+        episode instead of parking once the remaining quota is below the lane
+        count, and completed episodes are credited in completion order --
+        within a lockstep round, ascending lane order, which is the pool's
+        canonical ``(lane decision clock, lane)`` release order -- until
+        ``num_trajectories`` are credited.  Surplus episodes finished in the
+        final round are discarded (the pool banks them for its next call; a
+        local engine has no next-call state, see :meth:`stats`).  For one
+        fresh rollout call the credited episode stream is therefore
+        bit-identical to a fresh stealing pool's at any worker count or
+        pipeline depth, which is what makes this the single-process parity
+        reference for the stealing matrix in ``tests/test_parity_matrix.py``.
         """
         rngs = validate_rollout_args(self.num_envs, num_trajectories, rngs, episode_jobs)
+        stealing = self.work_stealing and episode_jobs is None and not deterministic
 
         lane_buffers = [
             TrajectoryBuffer(gamma=buffer.gamma, lam=buffer.lam) for _ in self.envs
@@ -265,7 +295,10 @@ class VecBackfillEnv:
             episode_rewards[lane] = 0.0
             episode_steps[lane] = 0
 
-        started = min(self.num_envs, num_trajectories)
+        # Stealing keeps every lane running regardless of the remaining
+        # quota; the fixed-assignment mode never starts more episodes than
+        # it will credit.
+        started = self.num_envs if stealing else min(self.num_envs, num_trajectories)
         active = list(range(started))
         encode_lanes: List[int] = []
         counters = self._counters
@@ -276,7 +309,7 @@ class VecBackfillEnv:
                 actor_critic, num_trajectories, buffer, rngs, deterministic,
                 episode_jobs, lane_buffers, observations, masks,
                 episode_rewards, episode_steps, infos, deferred, builder,
-                start_episode, started, active, encode_lanes,
+                start_episode, started, active, encode_lanes, stealing,
             )
         finally:
             # Wall time must stay consistent with the per-phase counters
@@ -303,6 +336,7 @@ class VecBackfillEnv:
         started,
         active,
         encode_lanes,
+        stealing=False,
     ) -> List[Dict]:
         """The round loop of :meth:`rollout`, extracted so the caller can
         account wall time in a ``finally`` (consistent counters even when a
@@ -372,20 +406,35 @@ class VecBackfillEnv:
                             "lane": lane,
                         }
                     )
-                    infos.append(info)
-                    buffer.absorb(lane_buffers[lane])
-                    if started < num_trajectories:
+                    if stealing:
+                        # Credit in completion order up to the quota; surplus
+                        # from the final round is discarded (the pool would
+                        # bank it for its next call).  Lanes always restart.
+                        if len(infos) < num_trajectories:
+                            infos.append(info)
+                            buffer.absorb(lane_buffers[lane])
+                        else:
+                            counters["steal_discarded"] += 1
+                            lane_buffers[lane].clear()
                         start_episode(lane, started)
-                        started += 1
                         still_active.append(lane)
                         if deferred:
                             encode_lanes.append(lane)
                     else:
-                        # The lane has exhausted the episode quota: drop its
-                        # observation and mask so it contributes no further
-                        # rows to the encode or forward batches.
-                        observations[lane] = None
-                        masks[lane] = None
+                        infos.append(info)
+                        buffer.absorb(lane_buffers[lane])
+                        if started < num_trajectories:
+                            start_episode(lane, started)
+                            started += 1
+                            still_active.append(lane)
+                            if deferred:
+                                encode_lanes.append(lane)
+                        else:
+                            # The lane has exhausted the episode quota: drop
+                            # its observation and mask so it contributes no
+                            # further rows to the encode or forward batches.
+                            observations[lane] = None
+                            masks[lane] = None
                 else:
                     masks[lane] = result.mask
                     if deferred:
@@ -395,6 +444,11 @@ class VecBackfillEnv:
                     still_active.append(lane)
             counters["step_ns"] += time.perf_counter_ns() - t_step
             active = still_active
+            if stealing and len(infos) >= num_trajectories:
+                # Stealing lanes never park themselves, so the quota check
+                # terminates the round loop (matching the pool, which stops
+                # issuing step commands once its credit count fills).
+                break
         return infos
 
     def __repr__(self) -> str:

@@ -387,11 +387,38 @@ def evaluate_suite(
         seed=seed,
         cells=cells,
     )
+    # Reference cell: one representative cell re-evaluated inline and timed on
+    # this same machine.  The suite/reference ratio is the hardware-relative
+    # tripwire the trend check gates on -- an absolute suite wall-clock ceiling
+    # would encode one runner's speed into the committed baseline.
+    ref_scenario = next(
+        (spec for spec in scenarios if spec.name == "baseline"), scenarios[0]
+    )
+    ref_policy = "easy" if "easy" in policies else policies[0]
+    ref_started = time.perf_counter()
+    ref_built = ref_scenario.build(
+        seed=scenario_seed(seed, ref_scenario.name), num_jobs=scale.trace_jobs
+    )
+    evaluate_cell(
+        ref_built,
+        ref_policy,
+        scale,
+        seed,
+        agent_bundle,
+        sequences=scenario_sequences(ref_built, scale, seed),
+    )
+    reference_cell_seconds = time.perf_counter() - ref_started
+
     timing = {
         "scenario_eval_wall_seconds": total_wall,
         "cells": len(cell_keys),
         "workers": num_workers,
         "cells_per_second": len(cell_keys) / total_wall if total_wall > 0 else 0.0,
+        "reference_cell": f"{ref_scenario.name}/{ref_policy}",
+        "reference_cell_seconds": reference_cell_seconds,
+        "wall_per_reference_cell": (
+            total_wall / reference_cell_seconds if reference_cell_seconds > 0 else 0.0
+        ),
         "cell_wall_seconds": {
             f"{name}/{policy}": cell_walls.get((name, policy), 0.0)
             for name, policy in cell_keys

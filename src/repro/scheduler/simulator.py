@@ -36,7 +36,13 @@ from repro.scheduler.metrics import BSLD_THRESHOLD, JobRecord, ScheduleMetrics, 
 from repro.scheduler.policies import PriorityPolicy, get_policy
 from repro.workloads.job import Job
 
-__all__ = ["Simulator", "SimulationResult"]
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "OnlineSession",
+    "ServedDecision",
+    "capture_decisions",
+]
 
 _EPS = 1e-9
 
@@ -127,6 +133,16 @@ class Simulator:
         except StopIteration as stop:
             result: SimulationResult = stop.value
             return result
+
+    def open_session(self) -> "OnlineSession":
+        """Open an incremental :class:`OnlineSession` over this simulator.
+
+        The session drives the same event loop as :meth:`decision_points`
+        but accepts submissions over time and only processes events up to an
+        explicit event-time horizon -- the online-serving form of the
+        simulator (see :mod:`repro.service`).
+        """
+        return OnlineSession(self)
 
     def decision_points(
         self, jobs: Iterable[Job]
@@ -332,6 +348,297 @@ class Simulator:
             decision_count=state.decision_count,
             backfill_count=state.backfill_count,
         )
+
+
+@dataclass(frozen=True, slots=True)
+class ServedDecision:
+    """One backfill decision taken at a decision point, in serving order.
+
+    The tuple ``(index, time, reserved_job_id, chosen_job_id)`` is the unit of
+    the online/offline determinism contract: a live :class:`OnlineSession` and
+    an offline :meth:`Simulator.run` over the same submission stream must
+    produce *equal* sequences of these records -- same count, same order, and
+    bit-identical ``time`` floats (all event times are derived from the same
+    submit/runtime arithmetic on both sides).
+    """
+
+    index: int
+    time: float
+    reserved_job_id: int
+    chosen_job_id: Optional[int]
+
+
+def capture_decisions(
+    simulator: Simulator, jobs: Iterable[Job]
+) -> tuple[List[ServedDecision], SimulationResult]:
+    """Run ``simulator`` over ``jobs`` recording every decision it serves.
+
+    This is :meth:`Simulator.run` with a tap on the decision stream; the
+    offline half of the replay-parity check
+    (:func:`repro.service.replay.verify_replay_log`).
+    """
+    strategy = simulator.backfill
+    strategy.on_sequence_start()
+    simulator.estimator.reset()
+    decisions: List[ServedDecision] = []
+    gen = simulator.decision_points(jobs)
+    try:
+        decision = next(gen)
+        while True:
+            choice = strategy.select_backfill(decision, simulator.estimator)
+            decisions.append(
+                ServedDecision(
+                    index=len(decisions),
+                    time=decision.time,
+                    reserved_job_id=decision.reserved_job.job_id,
+                    chosen_job_id=None if choice is None else choice.job_id,
+                )
+            )
+            decision = gen.send(choice)
+    except StopIteration as stop:
+        return decisions, stop.value
+
+
+class OnlineSession:
+    """Incremental driver for the simulator's event loop: the online service.
+
+    :meth:`Simulator.decision_points` takes the whole job sequence up front
+    and runs the event loop to completion; a long-lived scheduling service
+    instead receives submissions *over time* and must only process events up
+    to "now".  ``OnlineSession`` reuses the simulator's own scheduling
+    internals (``_schedule_now`` / ``_backfill_opportunity`` /
+    ``_advance_time``) but exposes them incrementally:
+
+    * :meth:`submit` inserts a job into the pending arrivals (its submit time
+      must be strictly after every event already processed);
+    * :meth:`advance_to` processes every event with time <= the given event
+      time -- arrivals, completions, capacity boundaries -- serving backfill
+      decisions through the simulator's configured strategy at exactly the
+      instants the offline loop would;
+    * :meth:`drain` stops accepting work and runs the loop to completion,
+      after which :meth:`result` finalizes the :class:`SimulationResult`.
+
+    **Parity invariant** (enforced by ``tests/test_service.py``): for any
+    interleaving of ``submit``/``advance_to`` calls, the decision stream is a
+    pure function of the submitted jobs -- replaying them offline through an
+    identically configured :class:`Simulator` yields an equal
+    :class:`ServedDecision` sequence and an identical final result.  Two
+    properties make this hold:
+
+    * events are endogenous (completions, capacity boundaries) or logged
+      (arrival times), so the wall-clock granularity of ``advance_to`` calls
+      never shifts *when* anything happens in event time;
+    * scheduling runs at most once per distinct event instant
+      (``_schedule_due``), matching the offline loop's strict
+      schedule/advance alternation -- calling ``advance_to`` twice with no
+      intervening event serves no duplicate decision points.
+    """
+
+    def __init__(self, simulator: Simulator):
+        self.sim = simulator
+        self.state = _SimState(
+            machine=Machine(
+                simulator.num_processors, capacity_schedule=simulator.capacity_schedule
+            ),
+            pending=deque(),
+        )
+        self.decisions: List[ServedDecision] = []
+        self._submitted_ids: set[int] = set()
+        self._started = False
+        self._drained = False
+        self._schedule_due = False
+        self._blocked = False
+        self._result: Optional[SimulationResult] = None
+        simulator.backfill.on_sequence_start()
+        simulator.estimator.reset()
+
+    # -- submission ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Event time of the last processed event."""
+        return self.state.now
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting (admitted, not yet started)."""
+        return len(self.state.queue)
+
+    @property
+    def jobs_submitted(self) -> int:
+        return len(self._submitted_ids)
+
+    def submit(self, job: Job) -> None:
+        """Accept ``job`` into the pending arrivals.
+
+        ``job.submit_time`` is the event time of the arrival; once the
+        session has started processing events it must be strictly greater
+        than :attr:`now` (an arrival in the processed past cannot be
+        scheduled at its own instant any more, which would break replay
+        parity).  Width and duplicate-id validation mirror
+        :meth:`Simulator._validated`.
+        """
+        if self._drained:
+            raise RuntimeError("session is drained; no further submissions")
+        if job.requested_processors > self.sim.num_processors:
+            raise ValueError(
+                f"job {job.job_id} requests {job.requested_processors} processors but the "
+                f"machine has only {self.sim.num_processors}"
+            )
+        if job.job_id in self._submitted_ids:
+            raise ValueError(f"duplicate job id {job.job_id} in session")
+        if self._started and job.submit_time <= self.state.now:
+            raise ValueError(
+                f"job {job.job_id} submitted at event time {job.submit_time} but events "
+                f"up to {self.state.now} were already processed"
+            )
+        self._submitted_ids.add(job.job_id)
+        pending = self.state.pending
+        key = (job.submit_time, job.job_id)
+        if pending and key < (pending[-1].submit_time, pending[-1].job_id):
+            # Out-of-order future arrival: keep the deque sorted.
+            ordered = sorted([*pending, job], key=lambda j: (j.submit_time, j.job_id))
+            pending.clear()
+            pending.extend(ordered)
+        else:
+            pending.append(job)
+
+    # -- event processing ---------------------------------------------------
+    def _ensure_started(self, limit: float) -> bool:
+        """Process the session's first arrival if it is due by ``limit``.
+
+        Mirrors the prologue of :meth:`Simulator.decision_points`: the clock
+        starts at the first submit time, with the machine's capacity windows
+        synchronized before the first scheduling pass.
+        """
+        if self._started:
+            return True
+        state = self.state
+        if not state.pending or state.pending[0].submit_time > limit:
+            return False
+        state.now = state.pending[0].submit_time
+        state.machine.advance_to(state.now)
+        self.sim._admit(state)
+        self._started = True
+        self._schedule_due = True
+        return True
+
+    def _drive_schedule(self, served: List[ServedDecision]) -> bool:
+        """Run one scheduling pass at the current instant, serving decisions.
+
+        Drives the same generator :meth:`Simulator.run` drives, with the
+        simulator's configured backfill strategy answering each yielded
+        :class:`~repro.scheduler.events.DecisionPoint`.  Returns the
+        generator's ``blocked`` flag.
+        """
+        gen = self.sim._schedule_now(self.state)
+        try:
+            decision = next(gen)
+            while True:
+                choice = self.sim.backfill.select_backfill(decision, self.sim.estimator)
+                record = ServedDecision(
+                    index=len(self.decisions),
+                    time=decision.time,
+                    reserved_job_id=decision.reserved_job.job_id,
+                    chosen_job_id=None if choice is None else choice.job_id,
+                )
+                self.decisions.append(record)
+                served.append(record)
+                decision = gen.send(choice)
+        except StopIteration as stop:
+            return bool(stop.value)
+
+    def _next_event_time(self, state: _SimState) -> Optional[float]:
+        """The next live event instant, or ``None`` if nothing is knowable yet.
+
+        Identical to :meth:`Simulator._advance_time`'s event selection except
+        for the final drain: with an empty queue and no *known* arrivals the
+        offline loop jumps to the machine's last completion, but a live
+        session must keep waiting -- a later submission may still arrive
+        before that completion.  :meth:`drain` performs the final jump.
+        """
+        next_arrival = state.pending[0].submit_time if state.pending else math.inf
+        if not state.queue:
+            # Same fast path as offline: with an empty waiting queue,
+            # completions cannot enable decisions, so jump straight to the
+            # next known arrival.
+            next_time = next_arrival
+        else:
+            next_completion = state.machine.next_completion_time()
+            next_completion = math.inf if next_completion is None else next_completion
+            next_time = min(next_arrival, next_completion)
+            if self.sim.capacity_schedule:
+                next_capacity = state.machine.next_capacity_event(state.now)
+                if next_capacity is not None:
+                    next_time = min(next_time, next_capacity)
+        return None if math.isinf(next_time) else next_time
+
+    def advance_to(self, event_time: float) -> List[ServedDecision]:
+        """Process every event with time <= ``event_time``.
+
+        Returns the decisions served by this call (also appended to
+        :attr:`decisions`).  Idempotent between events: re-advancing to the
+        same (or an earlier) time serves nothing new.
+        """
+        if self._drained:
+            raise RuntimeError("session is drained")
+        served: List[ServedDecision] = []
+        if not self._ensure_started(event_time):
+            return served
+        state = self.state
+        while True:
+            if self._schedule_due:
+                self._schedule_due = False
+                self._blocked = self._drive_schedule(served) if state.queue else False
+            next_time = self._next_event_time(state)
+            if next_time is None or next_time > event_time:
+                break
+            state.now = max(state.now, next_time)
+            state.machine.release_completed(state.now)
+            self.sim._admit(state)
+            self._schedule_due = True
+        return served
+
+    def drain(self) -> List[ServedDecision]:
+        """Run the event loop to completion (no further submissions accepted).
+
+        This is the offline loop's epilogue: schedule, advance (now including
+        the final jump to the machine's last completion), repeat until the
+        pending/queue/machine are all empty.  After draining,
+        :meth:`result` returns the finalized :class:`SimulationResult`.
+        """
+        if self._drained:
+            return []
+        served: List[ServedDecision] = []
+        self._ensure_started(math.inf)
+        state = self.state
+        while state.pending or state.queue or state.machine.num_running:
+            if self._schedule_due:
+                self._schedule_due = False
+                self._blocked = self._drive_schedule(served) if state.queue else False
+            advanced = self.sim._advance_time(state)
+            if advanced:
+                self._schedule_due = True
+                continue
+            if not self._blocked and not state.queue and not state.pending:
+                break
+            if state.queue and not self._blocked:  # pragma: no cover - defensive
+                widest = max(state.queue, key=lambda j: j.requested_processors)
+                raise RuntimeError(
+                    f"session deadlocked: job {widest.job_id} requests "
+                    f"{widest.requested_processors} of {self.sim.num_processors} processors"
+                )
+        self._drained = True
+        return served
+
+    def result(self) -> SimulationResult:
+        """Finalize and return the session's :class:`SimulationResult`."""
+        if not self._drained:
+            raise RuntimeError("drain() the session before reading its result")
+        if not self._submitted_ids:
+            raise ValueError("cannot finalize a session that served no jobs")
+        if self._result is None:
+            self._result = self.sim._finalize(self.state)
+        return self._result
 
 
 def run_schedule(

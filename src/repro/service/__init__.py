@@ -1,0 +1,42 @@
+"""Online decision serving: asyncio service, admission control, replay logs.
+
+See ``docs/service.md`` for the protocol and the determinism contract.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionVerdict,
+    RefillPhase,
+    RefillSchedule,
+    TokenBucket,
+)
+from repro.service.replay import (
+    ReplayCheck,
+    ReplayLog,
+    ReplayLogWriter,
+    build_replay_simulator,
+    job_from_wire,
+    job_to_wire,
+    read_replay_log,
+    verify_replay_log,
+)
+from repro.service.server import SchedulingService, ServiceClient, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionVerdict",
+    "RefillPhase",
+    "RefillSchedule",
+    "TokenBucket",
+    "ReplayCheck",
+    "ReplayLog",
+    "ReplayLogWriter",
+    "build_replay_simulator",
+    "job_from_wire",
+    "job_to_wire",
+    "read_replay_log",
+    "verify_replay_log",
+    "SchedulingService",
+    "ServiceClient",
+    "ServiceConfig",
+]

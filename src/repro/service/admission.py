@@ -1,0 +1,284 @@
+"""Per-tenant token-bucket admission control with time-varying refill.
+
+The online scheduling service (:mod:`repro.service.server`) throttles each
+tenant's submission stream through its own :class:`TokenBucket`: a submission
+costs one token, tokens refill continuously at a rate given by a
+piecewise-constant :class:`RefillSchedule` (so operators can express quiet
+hours, ramp-ups, or emergency brakes as rate phases), and the bucket never
+holds more than ``capacity`` tokens -- the burst cap.
+
+Everything here is pure and clock-agnostic: methods take an explicit ``now``
+(seconds on any monotone clock) instead of reading wall time, which is what
+makes the property-based tests in ``tests/test_admission.py`` exact rather
+than sleep-based.  The invariants those tests pin down:
+
+* **burst cap** -- ``available(now) <= capacity`` always;
+* **token conservation** -- tokens consumed equals tokens accrued plus the
+  initial fill minus what is left (no token is ever minted by an acquire);
+* **refill monotonicity** -- between acquisitions, ``available`` is
+  non-decreasing in time for any (non-negative) rate schedule;
+* **tenant isolation** -- buckets are independent per tenant, so one
+  tenant's arrival storm cannot consume another tenant's tokens.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "RefillPhase",
+    "RefillSchedule",
+    "TokenBucket",
+    "AdmissionVerdict",
+    "AdmissionController",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RefillPhase:
+    """One piece of a piecewise-constant refill schedule.
+
+    ``rate`` (tokens/second) applies from ``start`` (seconds on the bucket's
+    clock) until the next phase's start, or forever for the last phase.
+    """
+
+    start: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ValueError(f"phase start must be non-negative, got {self.start}")
+        if self.rate < 0.0 or not math.isfinite(self.rate):
+            raise ValueError(f"refill rate must be finite and >= 0, got {self.rate}")
+
+
+class RefillSchedule:
+    """A piecewise-constant refill rate and its exact integral.
+
+    Phases must start at 0 and be strictly increasing in ``start``.  The
+    schedule is *time-varying by construction*: ``rate_at(t)`` is a step
+    function and :meth:`accrued` integrates it exactly (sum of
+    ``rate * overlap`` per phase), so accrual is additive over adjacent
+    intervals up to float rounding.
+    """
+
+    def __init__(self, phases: Iterable[RefillPhase | Tuple[float, float]]):
+        normalized: List[RefillPhase] = [
+            phase if isinstance(phase, RefillPhase) else RefillPhase(*phase)
+            for phase in phases
+        ]
+        if not normalized:
+            raise ValueError("a refill schedule needs at least one phase")
+        if normalized[0].start != 0.0:
+            raise ValueError(
+                f"the first refill phase must start at 0, got {normalized[0].start}"
+            )
+        for previous, current in zip(normalized, normalized[1:]):
+            if current.start <= previous.start:
+                raise ValueError(
+                    "refill phases must be strictly increasing in start time: "
+                    f"{current.start} follows {previous.start}"
+                )
+        self.phases: Tuple[RefillPhase, ...] = tuple(normalized)
+
+    @classmethod
+    def constant(cls, rate: float) -> "RefillSchedule":
+        """A schedule with one flat rate for all time."""
+        return cls([RefillPhase(0.0, rate)])
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous refill rate at time ``t`` (clamped to >= 0)."""
+        rate = self.phases[0].rate
+        for phase in self.phases:
+            if phase.start > t:
+                break
+            rate = phase.rate
+        return rate
+
+    def accrued(self, t0: float, t1: float) -> float:
+        """Tokens accrued over ``[t0, t1]`` (0 when the interval is empty)."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for i, phase in enumerate(self.phases):
+            end = self.phases[i + 1].start if i + 1 < len(self.phases) else math.inf
+            overlap = min(t1, end) - max(t0, phase.start)
+            if overlap > 0.0:
+                total += phase.rate * overlap
+        return total
+
+    def time_to_accrue(self, now: float, amount: float) -> float:
+        """Seconds after ``now`` until ``amount`` tokens accrue (inf if never)."""
+        if amount <= 0.0:
+            return 0.0
+        remaining = amount
+        cursor = now
+        for i, phase in enumerate(self.phases):
+            end = self.phases[i + 1].start if i + 1 < len(self.phases) else math.inf
+            if end <= cursor:
+                continue
+            start = max(cursor, phase.start)
+            span = end - start
+            if phase.rate > 0.0:
+                needed = remaining / phase.rate
+                if needed <= span:
+                    return (start - now) + needed
+                remaining -= phase.rate * span
+            # rate 0 phases contribute nothing; fall through to the next.
+        return math.inf
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{p.start:g}s: {p.rate:g}/s]" for p in self.phases)
+        return f"RefillSchedule({inner})"
+
+
+@dataclass
+class TokenBucket:
+    """A single tenant's token bucket over an explicit monotone clock.
+
+    ``capacity`` is the burst cap; ``schedule`` the time-varying refill.  The
+    bucket starts full unless ``initial`` says otherwise.  Calls may pass any
+    ``now``; time is clamped to be non-decreasing (a stale reading behaves as
+    "no time has passed"), so the invariants hold even for careless callers.
+    """
+
+    capacity: float
+    schedule: RefillSchedule
+    initial: Optional[float] = None
+    tokens: float = field(init=False)
+    updated: float = field(init=False, default=0.0)
+    admitted: int = field(init=False, default=0)
+    rejected: int = field(init=False, default=0)
+    consumed: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0 or not math.isfinite(self.capacity):
+            raise ValueError(f"capacity must be finite and positive, got {self.capacity}")
+        fill = self.capacity if self.initial is None else self.initial
+        if fill < 0.0:
+            raise ValueError(f"initial fill must be non-negative, got {fill}")
+        self.tokens = min(fill, self.capacity)
+
+    def _advance(self, now: float) -> float:
+        now = max(now, self.updated)
+        self.tokens = min(
+            self.capacity, self.tokens + self.schedule.accrued(self.updated, now)
+        )
+        self.updated = now
+        return now
+
+    def available(self, now: float) -> float:
+        """Tokens available at ``now`` (never exceeds ``capacity``)."""
+        self._advance(now)
+        return self.tokens
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if available; returns whether it succeeded."""
+        if cost < 0.0:
+            raise ValueError(f"cost must be non-negative, got {cost}")
+        self._advance(now)
+        if self.tokens + 1e-12 >= cost:
+            self.tokens -= cost
+            self.tokens = max(self.tokens, 0.0)
+            self.consumed += cost
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def retry_after(self, now: float, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens would be available (0 if they are)."""
+        now = self._advance(now)
+        deficit = cost - self.tokens
+        if deficit <= 0.0:
+            return 0.0
+        return self.schedule.time_to_accrue(now, deficit)
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionVerdict:
+    """Outcome of one admission check."""
+
+    tenant: str
+    admitted: bool
+    tokens_remaining: float
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """Per-tenant token buckets behind one admit call.
+
+    Buckets are created lazily on a tenant's first submission, each with the
+    controller's ``capacity`` and ``schedule`` (or a per-tenant override
+    registered via :meth:`configure_tenant`).  Isolation is structural: a
+    tenant's acquires touch only its own bucket.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        schedule: RefillSchedule | float,
+        cost: float = 1.0,
+    ):
+        self.capacity = float(capacity)
+        self.schedule = (
+            schedule
+            if isinstance(schedule, RefillSchedule)
+            else RefillSchedule.constant(float(schedule))
+        )
+        self.cost = float(cost)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._overrides: Dict[str, Tuple[float, RefillSchedule]] = {}
+
+    def configure_tenant(
+        self, tenant: str, capacity: float, schedule: RefillSchedule | float
+    ) -> None:
+        """Override one tenant's bucket parameters (before its first use)."""
+        if tenant in self._buckets:
+            raise ValueError(f"tenant {tenant!r} already has a live bucket")
+        if not isinstance(schedule, RefillSchedule):
+            schedule = RefillSchedule.constant(float(schedule))
+        self._overrides[tenant] = (float(capacity), schedule)
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            capacity, schedule = self._overrides.get(
+                tenant, (self.capacity, self.schedule)
+            )
+            bucket = TokenBucket(capacity=capacity, schedule=schedule)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, now: float, cost: Optional[float] = None) -> AdmissionVerdict:
+        """Charge ``tenant``'s bucket for one submission at time ``now``."""
+        bucket = self.bucket(tenant)
+        cost = self.cost if cost is None else float(cost)
+        if bucket.try_acquire(now, cost):
+            return AdmissionVerdict(
+                tenant=tenant, admitted=True, tokens_remaining=bucket.tokens
+            )
+        return AdmissionVerdict(
+            tenant=tenant,
+            admitted=False,
+            tokens_remaining=bucket.tokens,
+            retry_after=bucket.retry_after(now, cost),
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters for the service's stats endpoint."""
+        return {
+            tenant: {
+                "tokens": bucket.tokens,
+                "admitted": bucket.admitted,
+                "rejected": bucket.rejected,
+                "consumed": bucket.consumed,
+            }
+            for tenant, bucket in sorted(self._buckets.items())
+        }
+
+    @property
+    def tenants(self) -> Sequence[str]:
+        return tuple(sorted(self._buckets))

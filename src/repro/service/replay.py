@@ -1,0 +1,290 @@
+"""The service's replay log: every served decision, reproducible offline.
+
+The online service appends one JSON record per line (JSONL) as it runs:
+
+* ``header`` -- the simulator configuration a replay needs (processor count,
+  base policy, BSLD threshold, the policy's forward row block, time scale);
+* ``submit`` -- one admitted job with its **assigned event time** baked into
+  ``job.submit_time`` (rejected submissions never reach the simulator and are
+  logged as ``reject`` records for audit only);
+* ``decision`` -- one :class:`~repro.scheduler.simulator.ServedDecision` in
+  serving order;
+* ``drain`` -- the final summary once the session ran to completion.
+
+**The determinism contract.**  Decisions are a pure function of the admitted
+submission stream: event times in the simulator come either from the log
+(arrivals) or from job runtimes (completions), never from wall clock, and the
+policy forward is bit-invariant (batch-invariant kernel, ``row_block`` pinned
+per deployment site).  So replaying the logged jobs through a freshly built
+:class:`~repro.scheduler.simulator.Simulator` with the same agent weights
+must reproduce the logged decision stream *exactly* -- same count, same
+order, bit-identical decision times.  :func:`verify_replay_log` performs that
+check; ``tests/test_service.py`` and the CI service smoke job enforce it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, IO, List, Mapping, Optional, Sequence
+
+from repro.core.agent import RLBackfillAgent
+from repro.core.rlbackfill import RLBackfillPolicy
+from repro.prediction.predictors import UserEstimate
+from repro.scheduler.simulator import (
+    ServedDecision,
+    SimulationResult,
+    Simulator,
+    capture_decisions,
+)
+from repro.workloads.job import Job
+
+__all__ = [
+    "JOB_WIRE_FIELDS",
+    "job_to_wire",
+    "job_from_wire",
+    "ReplayLogWriter",
+    "ReplayLog",
+    "read_replay_log",
+    "build_replay_simulator",
+    "ReplayCheck",
+    "verify_replay_log",
+]
+
+#: Every :class:`Job` field crosses the wire; replay must reconstruct the
+#: exact dataclass the session scheduled (equality is part of the contract).
+JOB_WIRE_FIELDS = (
+    "job_id",
+    "submit_time",
+    "runtime",
+    "requested_processors",
+    "requested_time",
+    "user_id",
+    "group_id",
+    "executable",
+    "queue",
+    "partition",
+    "status",
+)
+
+
+def job_to_wire(job: Job) -> Dict[str, object]:
+    return {name: getattr(job, name) for name in JOB_WIRE_FIELDS}
+
+
+def job_from_wire(payload: Mapping[str, object]) -> Job:
+    return Job(**{name: payload[name] for name in JOB_WIRE_FIELDS if name in payload})
+
+
+class ReplayLogWriter:
+    """Appends replay records as JSONL to a file (or buffers them in memory).
+
+    ``path=None`` keeps records in :attr:`records` only -- the in-process
+    test mode.  Records are written eagerly and flushed on :meth:`close` so a
+    crashed service still leaves a replayable prefix.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path: Optional[Path] = None if path is None else Path(path)
+        self.records: List[Dict[str, object]] = []
+        self._handle: Optional[IO[str]] = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+
+    def write(self, record: Mapping[str, object]) -> None:
+        record = dict(record)
+        self.records.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def header(
+        self,
+        num_processors: int,
+        policy: str,
+        time_scale: float,
+        row_block: Optional[int],
+        bsld_threshold: float,
+    ) -> None:
+        self.write(
+            {
+                "type": "header",
+                "num_processors": num_processors,
+                "policy": policy,
+                "time_scale": time_scale,
+                "row_block": row_block,
+                "bsld_threshold": bsld_threshold,
+            }
+        )
+
+    def submit(self, tenant: str, job: Job) -> None:
+        self.write({"type": "submit", "tenant": tenant, "job": job_to_wire(job)})
+
+    def reject(self, tenant: str, wall_time: float, retry_after: float) -> None:
+        retry = retry_after if math.isfinite(retry_after) else None
+        self.write(
+            {"type": "reject", "tenant": tenant, "wall_time": wall_time, "retry_after": retry}
+        )
+
+    def decision(self, decision: ServedDecision) -> None:
+        self.write({"type": "decision", **asdict(decision)})
+
+    def drain(self, summary: Mapping[str, object]) -> None:
+        self.write({"type": "drain", **dict(summary)})
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayLog:
+    """A parsed replay log."""
+
+    header: Dict[str, object]
+    jobs: tuple[Job, ...]
+    tenants: tuple[str, ...]
+    decisions: tuple[ServedDecision, ...]
+    rejects: int
+    summary: Optional[Dict[str, object]]
+
+
+def read_replay_log(source: str | Path | Sequence[Mapping[str, object]]) -> ReplayLog:
+    """Parse a replay log from a JSONL path or an in-memory record list."""
+    if isinstance(source, (str, Path)):
+        records = [
+            json.loads(line)
+            for line in Path(source).read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+    else:
+        records = [dict(record) for record in source]
+    header: Optional[Dict[str, object]] = None
+    jobs: List[Job] = []
+    tenants: List[str] = []
+    decisions: List[ServedDecision] = []
+    rejects = 0
+    summary: Optional[Dict[str, object]] = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "header":
+            header = {key: value for key, value in record.items() if key != "type"}
+        elif kind == "submit":
+            jobs.append(job_from_wire(record["job"]))
+            tenants.append(str(record.get("tenant", "")))
+        elif kind == "decision":
+            decisions.append(
+                ServedDecision(
+                    index=int(record["index"]),
+                    time=float(record["time"]),
+                    reserved_job_id=int(record["reserved_job_id"]),
+                    chosen_job_id=(
+                        None
+                        if record.get("chosen_job_id") is None
+                        else int(record["chosen_job_id"])
+                    ),
+                )
+            )
+        elif kind == "reject":
+            rejects += 1
+        elif kind == "drain":
+            summary = {key: value for key, value in record.items() if key != "type"}
+    if header is None:
+        raise ValueError("replay log has no header record")
+    return ReplayLog(
+        header=header,
+        jobs=tuple(jobs),
+        tenants=tuple(tenants),
+        decisions=tuple(decisions),
+        rejects=rejects,
+        summary=summary,
+    )
+
+
+def build_replay_simulator(header: Mapping[str, object], agent: RLBackfillAgent) -> Simulator:
+    """Rebuild the service's simulator configuration from a log header.
+
+    The strategy wraps ``agent`` exactly as the service did
+    (``deterministic=True`` and the header's ``row_block``), so the policy
+    forward runs through the same kernel path bit for bit.
+    """
+    row_block = header.get("row_block")
+    strategy = RLBackfillPolicy(
+        agent,
+        deterministic=True,
+        label="replay",
+        row_block=None if row_block is None else int(row_block),
+    )
+    return Simulator(
+        num_processors=int(header["num_processors"]),
+        policy=str(header.get("policy", "FCFS")),
+        backfill=strategy,
+        estimator=UserEstimate(),
+        bsld_threshold=float(header.get("bsld_threshold", 10.0)),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayCheck:
+    """Outcome of one offline replay verification."""
+
+    jobs: int
+    decisions: int
+    matched: bool
+    mismatches: tuple[str, ...]
+    result: Optional[SimulationResult]
+
+    def raise_on_mismatch(self) -> "ReplayCheck":
+        if not self.matched:
+            detail = "; ".join(self.mismatches[:5])
+            raise AssertionError(
+                f"replay parity violated ({len(self.mismatches)} mismatch(es)): {detail}"
+            )
+        return self
+
+
+def verify_replay_log(
+    source: str | Path | Sequence[Mapping[str, object]] | ReplayLog,
+    agent: RLBackfillAgent,
+) -> ReplayCheck:
+    """Replay a log offline and compare decision streams field by field.
+
+    Equality is exact: decision count, order, reserved/chosen job ids, and
+    the decision-time floats must all match the log bit for bit.
+    """
+    log = source if isinstance(source, ReplayLog) else read_replay_log(source)
+    if not log.jobs:
+        return ReplayCheck(
+            jobs=0,
+            decisions=len(log.decisions),
+            matched=not log.decisions,
+            mismatches=("log has decisions but no jobs",) if log.decisions else (),
+            result=None,
+        )
+    simulator = build_replay_simulator(log.header, agent)
+    replayed, result = capture_decisions(simulator, log.jobs)
+    mismatches: List[str] = []
+    if len(replayed) != len(log.decisions):
+        mismatches.append(
+            f"decision count: log has {len(log.decisions)}, replay produced {len(replayed)}"
+        )
+    for logged, fresh in zip(log.decisions, replayed):
+        if logged != fresh:
+            mismatches.append(f"decision {logged.index}: log {logged} != replay {fresh}")
+            if len(mismatches) >= 8:
+                break
+    return ReplayCheck(
+        jobs=len(log.jobs),
+        decisions=len(log.decisions),
+        matched=not mismatches,
+        mismatches=tuple(mismatches),
+        result=result,
+    )

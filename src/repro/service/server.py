@@ -1,0 +1,531 @@
+"""The asyncio online scheduling service.
+
+A long-lived process around one :class:`~repro.scheduler.simulator.OnlineSession`:
+concurrent clients stream job submissions over TCP (newline-delimited JSON,
+one request per line, one response per line), a per-tenant token-bucket
+:class:`~repro.service.admission.AdmissionController` throttles them, and
+admitted jobs are scheduled by the trained
+:class:`~repro.core.rlbackfill.RLBackfillPolicy` running the ``row_block=1``
+serial forward path -- the deployment site PR 5's kernel hint was tuned for.
+
+**Event time is wall-clock-mapped**: ``event_seconds = wall_seconds_since_start
+* time_scale``.  The mapping only decides *when* the service looks at the
+event loop; every simulated instant (arrivals as assigned, completions from
+job runtimes) is independent of wall-clock granularity, which is why the
+replay log (:mod:`repro.service.replay`) reproduces every served decision
+offline, bit for bit.  Submission event times are assigned monotonically with
+a margin wider than the simulator's admission epsilon, so an arrival can
+never land inside an already-processed instant.
+
+**Concurrency model**: connection handlers only parse/frame; every
+state-touching request goes through one bounded queue into a single scheduler
+task (requests are totally ordered, so are assigned event times and served
+decisions).  A full queue is backpressure -- the client gets an ``overloaded``
+error immediately instead of unbounded buffering.  ``drain`` stops admission
+and runs the simulation to completion; ``shutdown`` closes the server after
+the in-flight queue empties.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.agent import RLBackfillAgent
+from repro.core.rlbackfill import RLBackfillPolicy
+from repro.prediction.predictors import UserEstimate
+from repro.scheduler.simulator import OnlineSession, ServedDecision, Simulator
+from repro.service.admission import AdmissionController, RefillSchedule
+from repro.service.replay import ReplayLogWriter, job_from_wire, job_to_wire
+from repro.workloads.job import Job
+
+__all__ = ["ServiceConfig", "SchedulingService", "ServiceClient"]
+
+#: Margin (event seconds) added between an assigned submission time and the
+#: latest processed event.  Must exceed the simulator's admission epsilon
+#: (1e-9): an arrival assigned within that epsilon of an already-processed
+#: instant would be admitted retroactively by the offline replay, breaking
+#: online/offline parity.
+_TIME_MARGIN = 1e-6
+
+#: Per-line frame limit: a batch submission of a few hundred jobs fits well
+#: under this; anything larger is a framing error, not a workload.
+_STREAM_LIMIT = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of one :class:`SchedulingService`."""
+
+    num_processors: int = 64
+    policy: str = "FCFS"
+    #: Event seconds that elapse per wall second.  High values make the
+    #: simulated cluster churn fast enough to generate backfill decisions at
+    #: load-test rates; 1.0 would serve a real-time cluster.
+    time_scale: float = 1000.0
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Scheduler-queue bound: requests beyond this are refused with an
+    #: ``overloaded`` error (the service's backpressure signal).
+    max_pending_requests: int = 1024
+    #: Admission: per-tenant burst capacity and time-varying refill phases
+    #: ``(start_wall_seconds, tokens_per_second)``.
+    admission_capacity: float = 256.0
+    admission_refill: Tuple[Tuple[float, float], ...] = ((0.0, 128.0),)
+    #: JSONL replay log path (``None`` keeps records in memory only).
+    replay_log_path: Optional[str] = None
+    #: Row block pinned on the serving policy's forward site.
+    row_block: Optional[int] = 1
+    #: Wall seconds between background event-loop ticks (``None`` disables;
+    #: decisions are then only served on submit/tick requests).
+    tick_interval: Optional[float] = 0.05
+
+
+@dataclass
+class _Counters:
+    requests: int = 0
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    errored: int = 0
+    decisions: int = 0
+    overloaded: int = 0
+    ticks: int = 0
+
+
+class SchedulingService:
+    """Serve backfill decisions for a live submission stream.
+
+    ``clock`` is injectable (seconds, monotone) so tests can drive event time
+    deterministically; the default is :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        agent: RLBackfillAgent,
+        config: ServiceConfig | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.strategy = RLBackfillPolicy(
+            agent,
+            deterministic=True,
+            label="serve",
+            row_block=self.config.row_block,
+        )
+        self.simulator = Simulator(
+            num_processors=self.config.num_processors,
+            policy=self.config.policy,
+            backfill=self.strategy,
+            estimator=UserEstimate(),
+        )
+        self.session: OnlineSession = self.simulator.open_session()
+        self.admission = AdmissionController(
+            capacity=self.config.admission_capacity,
+            schedule=RefillSchedule(self.config.admission_refill),
+        )
+        self.replay = ReplayLogWriter(self.config.replay_log_path)
+        self.replay.header(
+            num_processors=self.config.num_processors,
+            policy=self.config.policy,
+            time_scale=self.config.time_scale,
+            row_block=self.config.row_block,
+            bsld_threshold=self.simulator.bsld_threshold,
+        )
+        self.counters = _Counters()
+        self._clock = clock or time.monotonic
+        self._t0: Optional[float] = None
+        self._last_assigned = 0.0
+        self._tenant_ids: Dict[str, int] = {}
+        self._draining = False
+        self._drain_summary: Optional[Dict[str, object]] = None
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.max_pending_requests)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._worker_task: Optional[asyncio.Task] = None
+        self._ticker_task: Optional[asyncio.Task] = None
+        self._stopped = asyncio.Event()
+
+    # -- clocks -------------------------------------------------------------
+    def wall_now(self) -> float:
+        """Wall seconds since the service started serving."""
+        if self._t0 is None:
+            return 0.0
+        return self._clock() - self._t0
+
+    def event_now(self) -> float:
+        """The wall-clock-mapped event-time horizon."""
+        return self.wall_now() * self.config.time_scale
+
+    def _assign_event_time(self) -> float:
+        """Strictly-increasing submission event time, margin-separated from
+        every processed instant (see :data:`_TIME_MARGIN`)."""
+        floor = max(self.session.now, self._last_assigned) + _TIME_MARGIN
+        assigned = max(self.event_now(), floor)
+        self._last_assigned = assigned
+        return assigned
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener and start the scheduler/ticker tasks."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._t0 = self._clock()
+        self._worker_task = asyncio.create_task(self._worker(), name="service-scheduler")
+        if self.config.tick_interval is not None:
+            self._ticker_task = asyncio.create_task(self._ticker(), name="service-ticker")
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=_STREAM_LIMIT,
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, flush the queue, close the log."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+            try:
+                await self._ticker_task
+            except asyncio.CancelledError:
+                pass
+            self._ticker_task = None
+        if self._worker_task is not None:
+            await self._queue.put(None)
+            await self._worker_task
+            self._worker_task = None
+        self.replay.close()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def __aenter__(self) -> "SchedulingService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- scheduler task -----------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            request, future = item
+            try:
+                response = self._handle(request)
+            except Exception as error:  # noqa: BLE001 - surfaced to the client
+                self.counters.errored += 1
+                response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            if future is not None and not future.cancelled():
+                future.set_result(response)
+
+    async def _ticker(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.tick_interval)
+            try:
+                self._queue.put_nowait(({"op": "tick"}, None))
+            except asyncio.QueueFull:
+                # The scheduler is saturated with client work; it advances
+                # event time on every submit anyway, so a dropped tick is
+                # harmless.
+                pass
+
+    def _advance(self, horizon: Optional[float] = None) -> List[ServedDecision]:
+        if horizon is None:
+            horizon = max(self.event_now(), self._last_assigned)
+        served = self.session.advance_to(horizon)
+        for decision in served:
+            self.replay.decision(decision)
+        self.counters.decisions += len(served)
+        return served
+
+    # -- request handling ---------------------------------------------------
+    def _handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        op = request.get("op")
+        self.counters.requests += 1
+        if op == "tick":
+            self.counters.ticks += 1
+            if self._draining:
+                return {"ok": True, "decisions": []}
+            served = self._advance()
+            return {
+                "ok": True,
+                "decisions": [self._decision_to_wire(d) for d in served],
+                "event_time": self.session.now,
+            }
+        if op == "submit":
+            return self._handle_submit(request)
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "drain":
+            return self._handle_drain()
+        raise ValueError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _decision_to_wire(decision: ServedDecision) -> Dict[str, object]:
+        return {
+            "index": decision.index,
+            "time": decision.time,
+            "reserved_job_id": decision.reserved_job_id,
+            "chosen_job_id": decision.chosen_job_id,
+        }
+
+    def _tenant_user_id(self, tenant: str) -> int:
+        user_id = self._tenant_ids.get(tenant)
+        if user_id is None:
+            user_id = len(self._tenant_ids)
+            self._tenant_ids[tenant] = user_id
+        return user_id
+
+    def _handle_submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        if self._draining:
+            return {"ok": False, "error": "draining", "results": []}
+        tenant = str(request.get("tenant", "default"))
+        payloads = request.get("jobs")
+        if payloads is None:
+            job = request.get("job")
+            payloads = [] if job is None else [job]
+        if not isinstance(payloads, list) or not payloads:
+            return {"ok": False, "error": "submit needs 'job' or a non-empty 'jobs' list"}
+        results: List[Dict[str, object]] = []
+        wall = self.wall_now()
+        for payload in payloads:
+            self.counters.submitted += 1
+            try:
+                verdict = self.admission.admit(tenant, wall)
+                if not verdict.admitted:
+                    self.counters.rejected += 1
+                    retry = verdict.retry_after
+                    self.replay.reject(tenant, wall, retry)
+                    results.append(
+                        {
+                            "job_id": payload.get("job_id"),
+                            "admitted": False,
+                            "reason": "throttled",
+                            "retry_after": retry if math.isfinite(retry) else None,
+                        }
+                    )
+                    continue
+                job = job_from_wire(
+                    {
+                        **payload,
+                        "submit_time": self._assign_event_time(),
+                        "user_id": self._tenant_user_id(tenant),
+                    }
+                )
+                self.session.submit(job)
+            except (ValueError, TypeError, KeyError) as error:
+                self.counters.errored += 1
+                results.append(
+                    {
+                        "job_id": payload.get("job_id") if isinstance(payload, dict) else None,
+                        "admitted": False,
+                        "reason": "invalid",
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+                continue
+            self.counters.admitted += 1
+            self.replay.submit(tenant, job)
+            results.append(
+                {"job_id": job.job_id, "admitted": True, "event_time": job.submit_time}
+            )
+        served = self._advance()
+        return {
+            "ok": True,
+            "results": results,
+            "decisions": [self._decision_to_wire(d) for d in served],
+            "event_time": self.session.now,
+            "queue_depth": self.session.queue_depth,
+        }
+
+    def _handle_drain(self) -> Dict[str, object]:
+        if self._drain_summary is not None:
+            return {"ok": True, **self._drain_summary}
+        self._draining = True
+        served = self.session.drain()
+        for decision in served:
+            self.replay.decision(decision)
+        self.counters.decisions += len(served)
+        summary: Dict[str, object] = {
+            "jobs": self.session.jobs_submitted,
+            "decisions_served": len(self.session.decisions),
+            "event_time": self.session.now,
+        }
+        if self.session.jobs_submitted:
+            result = self.session.result()
+            summary.update(
+                {
+                    "bsld": result.bsld,
+                    "backfilled": result.backfill_count,
+                    "utilization": result.metrics.utilization,
+                }
+            )
+        if self.replay.path is not None:
+            summary["replay_log"] = str(self.replay.path)
+        self.replay.drain(summary)
+        self.replay.flush()
+        self._drain_summary = summary
+        return {"ok": True, **summary}
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "wall_seconds": self.wall_now(),
+            "event_time": self.session.now,
+            "event_horizon": self.event_now(),
+            "time_scale": self.config.time_scale,
+            "jobs_submitted": self.counters.submitted,
+            "jobs_admitted": self.counters.admitted,
+            "jobs_rejected": self.counters.rejected,
+            "jobs_errored": self.counters.errored,
+            "decisions_served": self.counters.decisions,
+            "requests": self.counters.requests,
+            "ticks": self.counters.ticks,
+            "overloaded": self.counters.overloaded,
+            "queue_depth": self.session.queue_depth,
+            "pending_requests": self._queue.qsize(),
+            "draining": self._draining,
+            "admission": self.admission.snapshot(),
+        }
+
+    # -- framing ------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                writer.write(json.dumps(response, sort_keys=True).encode() + b"\n")
+                await writer.drain()
+                if response.get("bye"):
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, object]:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {"ok": False, "error": f"bad request framing: {error}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        if op == "hello":
+            return {
+                "ok": True,
+                "service": "repro-scheduler",
+                "num_processors": self.config.num_processors,
+                "policy": self.config.policy,
+                "time_scale": self.config.time_scale,
+                "row_block": self.config.row_block,
+            }
+        if op == "shutdown":
+            # Respond first, then stop: the scheduler queue is flushed by
+            # stop(), so already-enqueued work still completes.
+            asyncio.get_running_loop().create_task(self.stop())
+            return {"ok": True, "bye": True}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request, future))
+        except asyncio.QueueFull:
+            self.counters.overloaded += 1
+            return {
+                "ok": False,
+                "error": "overloaded",
+                "pending_requests": self._queue.qsize(),
+            }
+        return await future
+
+
+class ServiceClient:
+    """Minimal line-framed client used by tests and the load generator."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=_STREAM_LIMIT
+        )
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        if self._writer is None or self._reader is None:
+            raise RuntimeError("client is not connected")
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    async def submit(
+        self,
+        jobs: Sequence[Dict[str, object]] | Dict[str, object],
+        tenant: str = "default",
+    ) -> Dict[str, object]:
+        if isinstance(jobs, dict):
+            return await self.request({"op": "submit", "tenant": tenant, "job": jobs})
+        return await self.request({"op": "submit", "tenant": tenant, "jobs": list(jobs)})
+
+    async def drain(self) -> Dict[str, object]:
+        return await self.request({"op": "drain"})
+
+    async def stats(self) -> Dict[str, object]:
+        return await self.request({"op": "stats"})
+
+    async def shutdown(self) -> Dict[str, object]:
+        return await self.request({"op": "shutdown"})
+
+
+def job_wire_from_job(job: Job) -> Dict[str, object]:
+    """Client-side helper: the wire form of a trace job (submit_time is
+    assigned by the service, so the trace's own submit time is dropped)."""
+    payload = job_to_wire(job)
+    payload.pop("submit_time", None)
+    payload.pop("user_id", None)
+    return payload

@@ -1,0 +1,214 @@
+"""Property-based tests for the service's token-bucket admission control.
+
+The invariants documented in ``repro.service.admission``: the burst cap is
+never exceeded, tokens are conserved (nothing is minted by an acquire), the
+time-varying refill is monotone between acquisitions, and tenants are
+isolated -- one tenant's arrival storm cannot spend another's tokens.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.admission import (
+    AdmissionController,
+    RefillPhase,
+    RefillSchedule,
+    TokenBucket,
+)
+
+# Finite, non-negative, modest magnitudes: admission runs on wall-clock
+# seconds, so astronomically large floats only test float rounding, not the
+# bucket logic.
+rates = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+capacities = st.floats(min_value=0.5, max_value=200.0, allow_nan=False)
+time_deltas = st.floats(min_value=0.0, max_value=120.0, allow_nan=False)
+
+
+@st.composite
+def schedules(draw) -> RefillSchedule:
+    """A valid piecewise-constant schedule: 1-4 phases, first at t=0,
+    strictly increasing starts, non-negative rates."""
+    num_phases = draw(st.integers(min_value=1, max_value=4))
+    starts = [0.0]
+    for _ in range(num_phases - 1):
+        starts.append(starts[-1] + draw(st.floats(min_value=0.5, max_value=60.0)))
+    phase_rates = [draw(rates) for _ in range(num_phases)]
+    return RefillSchedule(
+        [RefillPhase(start, rate) for start, rate in zip(starts, phase_rates)]
+    )
+
+
+@st.composite
+def arrival_storms(draw):
+    """A storm: per-event (time delta, acquire?) pairs on a monotone clock."""
+    events = draw(
+        st.lists(st.tuples(time_deltas, st.booleans()), min_size=1, max_size=60)
+    )
+    return events
+
+
+class TestBurstCap:
+    @given(capacity=capacities, schedule=schedules(), storm=arrival_storms())
+    @settings(max_examples=100, deadline=None)
+    def test_available_never_exceeds_capacity(self, capacity, schedule, storm):
+        bucket = TokenBucket(capacity=capacity, schedule=schedule)
+        now = 0.0
+        for delta, acquire in storm:
+            now += delta
+            if acquire:
+                bucket.try_acquire(now)
+            assert bucket.available(now) <= capacity + 1e-9
+
+    @given(
+        capacity=capacities,
+        # A subnormal rate like 5e-324 is positive yet cannot refill anything
+        # in bounded time; saturation only makes sense for usable rates.
+        rate=st.floats(min_value=1e-3, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_long_idle_saturates_exactly_at_capacity(self, capacity, rate):
+        bucket = TokenBucket(capacity=capacity, schedule=RefillSchedule.constant(rate))
+        bucket.try_acquire(0.0)
+        assert bucket.available(1e7) <= capacity + 1e-9
+        assert bucket.available(1e7) == pytest.approx(capacity)
+
+
+class TestTokenConservation:
+    @given(capacity=capacities, schedule=schedules(), storm=arrival_storms())
+    @settings(max_examples=100, deadline=None)
+    def test_consumed_never_exceeds_initial_plus_accrued(
+        self, capacity, schedule, storm
+    ):
+        """No acquire ever mints a token: everything consumed was either in
+        the initial fill or accrued from the schedule's integral."""
+        bucket = TokenBucket(capacity=capacity, schedule=schedule)
+        initial = bucket.tokens
+        now = 0.0
+        for delta, acquire in storm:
+            now += delta
+            if acquire:
+                bucket.try_acquire(now)
+            budget = initial + schedule.accrued(0.0, now)
+            assert bucket.consumed <= budget + 1e-6
+            # The clamp at capacity can only *discard* accrual, never add:
+            # what remains is bounded by budget minus what was consumed.
+            assert bucket.available(now) <= budget - bucket.consumed + 1e-6
+
+    @given(capacity=capacities, storm=arrival_storms())
+    @settings(max_examples=50, deadline=None)
+    def test_zero_refill_spends_down_the_initial_fill_only(self, capacity, storm):
+        bucket = TokenBucket(capacity=capacity, schedule=RefillSchedule.constant(0.0))
+        now = 0.0
+        admitted = 0
+        for delta, acquire in storm:
+            now += delta
+            if acquire and bucket.try_acquire(now):
+                admitted += 1
+        assert admitted <= math.floor(capacity + 1e-9)
+        assert bucket.consumed == pytest.approx(float(admitted))
+
+
+class TestRefillMonotonicity:
+    @given(schedule=schedules(), deltas=st.lists(time_deltas, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_available_is_nondecreasing_between_acquires(self, schedule, deltas):
+        """With no consumption, a later reading never has fewer tokens, for
+        any time-varying (non-negative-rate) schedule."""
+        bucket = TokenBucket(capacity=1000.0, schedule=schedule, initial=0.0)
+        now = 0.0
+        previous = bucket.available(now)
+        for delta in deltas:
+            now += delta
+            current = bucket.available(now)
+            assert current >= previous - 1e-9
+            previous = current
+
+    @given(schedule=schedules(), t0=time_deltas, t1=time_deltas, t2=time_deltas)
+    @settings(max_examples=100, deadline=None)
+    def test_accrual_is_additive_over_adjacent_intervals(self, schedule, t0, t1, t2):
+        a, b, c = sorted([t0, t1, t2])
+        whole = schedule.accrued(a, c)
+        split = schedule.accrued(a, b) + schedule.accrued(b, c)
+        assert whole == pytest.approx(split, abs=1e-6)
+
+    @given(schedule=schedules(), now=time_deltas, amount=st.floats(0.1, 50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_time_to_accrue_inverts_accrued(self, schedule, now, amount):
+        wait = schedule.time_to_accrue(now, amount)
+        if math.isinf(wait):
+            # Never accrues: the remaining schedule really is rate-0 forever.
+            assert schedule.accrued(now, now + 1e9) < amount
+        else:
+            assert schedule.accrued(now, now + wait) == pytest.approx(amount, abs=1e-6)
+
+
+class TestTenantIsolation:
+    @given(storm=arrival_storms(), capacity=capacities, rate=rates)
+    @settings(max_examples=100, deadline=None)
+    def test_storm_tenant_cannot_drain_a_quiet_tenant(self, storm, capacity, rate):
+        """The quiet tenant's bucket state is identical whether or not the
+        noisy tenant storms: isolation is structural, so the comparison is
+        exact, not approximate."""
+        schedule = RefillSchedule.constant(rate)
+        with_storm = AdmissionController(capacity=capacity, schedule=schedule)
+        without_storm = AdmissionController(capacity=capacity, schedule=schedule)
+        now = 0.0
+        for delta, _ in storm:
+            now += delta
+            with_storm.admit("noisy", now)
+        # One probe each at the same instant: bit-identical availability.
+        verdict_stormy = with_storm.admit("quiet", now)
+        verdict_calm = without_storm.admit("quiet", now)
+        assert verdict_stormy.admitted == verdict_calm.admitted
+        assert verdict_stormy.tokens_remaining == verdict_calm.tokens_remaining
+
+    @given(storm=arrival_storms(), capacity=capacities, rate=rates)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_tenants_get_identical_verdicts(self, storm, capacity, rate):
+        """Fairness under a synchronized storm: tenants with the same bucket
+        parameters submitting the same arrival pattern admit identically."""
+        controller = AdmissionController(
+            capacity=capacity, schedule=RefillSchedule.constant(rate)
+        )
+        now = 0.0
+        for delta, acquire in storm:
+            now += delta
+            if acquire:
+                first = controller.admit("alpha", now)
+                second = controller.admit("beta", now)
+                assert first.admitted == second.admitted
+                assert first.tokens_remaining == second.tokens_remaining
+
+    def test_per_tenant_override_applies_before_first_use(self):
+        controller = AdmissionController(capacity=4.0, schedule=2.0)
+        controller.configure_tenant("vip", capacity=100.0, schedule=50.0)
+        assert controller.admit("vip", 0.0).tokens_remaining == pytest.approx(99.0)
+        assert controller.admit("std", 0.0).tokens_remaining == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            controller.configure_tenant("vip", capacity=1.0, schedule=1.0)
+
+
+class TestScheduleValidation:
+    def test_first_phase_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            RefillSchedule([(1.0, 5.0)])
+
+    def test_phases_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            RefillSchedule([(0.0, 5.0), (10.0, 2.0), (10.0, 3.0)])
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            RefillPhase(0.0, -1.0)
+
+    def test_rate_at_steps_through_phases(self):
+        schedule = RefillSchedule([(0.0, 10.0), (60.0, 0.0), (120.0, 5.0)])
+        assert schedule.rate_at(0.0) == 10.0
+        assert schedule.rate_at(59.9) == 10.0
+        assert schedule.rate_at(60.0) == 0.0
+        assert schedule.rate_at(500.0) == 5.0

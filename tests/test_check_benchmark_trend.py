@@ -231,8 +231,142 @@ class TestScenarioReportIngestion:
         with pytest.raises(ValueError):
             trend.check(results, baseline, scenario_report=bogus)
 
-    def test_committed_baseline_has_scenario_ceiling(self):
+    def test_committed_baseline_gates_the_scenario_ratio_not_a_wall_clock(self):
+        """The committed metric must be the machine-relative suite/reference
+        ratio: an absolute wall-clock ceiling encodes one runner's speed and
+        does not transfer (the PR-5 tripwire this replaces)."""
         baseline = json.loads(trend.DEFAULT_BASELINE.read_text())
         entries = [m for m in baseline["metrics"] if m["benchmark"] == "scenario_evaluation"]
         assert len(entries) == 1
-        assert entries[0]["higher_is_better"] is False
+        entry = entries[0]
+        assert entry["higher_is_better"] is False
+        assert entry["relative_to"] == {
+            "benchmark": "scenario_evaluation",
+            "key": "reference_cell_seconds",
+        }
+
+    def test_suite_over_reference_cell_ratio_is_what_gets_checked(self, tmp_path):
+        """Same ratio, wildly different absolute speeds: both runners pass;
+        a genuine ratio regression fails on both."""
+        baseline = write_baseline(
+            tmp_path,
+            [{"benchmark": "scenario_evaluation", "stat": "mean",
+              "relative_to": {"benchmark": "scenario_evaluation",
+                              "key": "reference_cell_seconds"},
+              "baseline": 75.0, "higher_is_better": False, "tolerance": 1.0}],
+        )
+        results = write_results(tmp_path, [])
+        fast_runner = self._timing(tmp_path, wall=1.5, reference_cell_seconds=0.02)
+        assert trend.check(results, baseline, scenario_report=fast_runner) == 0
+        slow_runner = self._timing(tmp_path, wall=150.0, reference_cell_seconds=2.0)
+        assert trend.check(results, baseline, scenario_report=slow_runner) == 0
+        regressed = self._timing(tmp_path, wall=400.0, reference_cell_seconds=2.0)
+        assert trend.check(results, baseline, scenario_report=regressed) == 1
+
+    def test_timing_without_reference_cell_is_missing(self, tmp_path, capsys):
+        """Older timing documents (no reference cell) degrade to MISSING for
+        the ratio metric rather than passing or crashing."""
+        baseline = write_baseline(
+            tmp_path,
+            [{"benchmark": "scenario_evaluation", "stat": "mean",
+              "relative_to": {"benchmark": "scenario_evaluation",
+                              "key": "reference_cell_seconds"},
+              "baseline": 75.0, "higher_is_better": False}],
+        )
+        results = write_results(tmp_path, [])
+        timing = self._timing(tmp_path, wall=3.5)
+        assert trend.check(results, baseline, scenario_report=timing) == 0
+        assert "MISSING" in capsys.readouterr().out
+        assert trend.check(results, baseline, scenario_report=timing, strict=True) == 1
+
+
+class TestServiceReportIngestion:
+    def _timing(self, tmp_path, **overrides):
+        payload = {
+            "service_load_wall_seconds": 8.0,
+            "decisions": 11000,
+            "decisions_per_second": 1375.0,
+            "latency_p50_ms": 40.0,
+            "latency_p95_ms": 120.0,
+            "latency_p99_ms": 170.0,
+            "reference_forward_seconds": 250e-6,
+            "p99_latency_per_forward": 680.0,
+            "decision_throughput_x_forward": 0.34,
+            "replay": {"checked": True, "matched": True},
+        }
+        payload.update(overrides)
+        path = tmp_path / "service-timing.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    SERVICE_METRICS = [
+        {"benchmark": "service_load", "key": "p99_latency_per_forward",
+         "baseline": 700.0, "higher_is_better": False, "tolerance": 1.5},
+        {"benchmark": "service_load", "key": "decision_throughput_x_forward",
+         "baseline": 0.35, "higher_is_better": True, "tolerance": 0.7},
+        {"benchmark": "service_load", "key": "replay_matched",
+         "baseline": 1.0, "higher_is_better": True, "tolerance": 0.0},
+    ]
+
+    def test_healthy_report_passes_all_gates(self, tmp_path, capsys):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.SERVICE_METRICS)
+        timing = self._timing(tmp_path)
+        assert trend.check(results, baseline, service_report=timing) == 0
+        out = capsys.readouterr().out
+        assert "service_load:p99_latency_per_forward" in out
+        assert "service_load:replay_matched" in out
+
+    def test_latency_ratio_regression_fails(self, tmp_path):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.SERVICE_METRICS)
+        timing = self._timing(tmp_path, p99_latency_per_forward=2000.0)
+        assert trend.check(results, baseline, service_report=timing) == 1
+
+    def test_throughput_ratio_regression_fails(self, tmp_path):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.SERVICE_METRICS)
+        timing = self._timing(tmp_path, decision_throughput_x_forward=0.05)
+        assert trend.check(results, baseline, service_report=timing) == 1
+
+    def test_replay_mismatch_hard_fails(self, tmp_path, capsys):
+        """A parity violation is a zero-tolerance failure: replay_matched is
+        0.0 and the floor is exactly 1.0."""
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.SERVICE_METRICS)
+        timing = self._timing(tmp_path, replay={"checked": True, "matched": False})
+        assert trend.check(results, baseline, service_report=timing) == 1
+        assert "replay_matched" in capsys.readouterr().err
+
+    def test_without_report_metrics_are_missing_not_failing(self, tmp_path, capsys):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.SERVICE_METRICS)
+        assert trend.check(results, baseline) == 0
+        assert "MISSING" in capsys.readouterr().out
+        assert trend.check(results, baseline, strict=True) == 1
+
+    def test_rejects_non_service_document(self, tmp_path):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, [])
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"scenario_eval_wall_seconds": 3.0}))
+        with pytest.raises(ValueError):
+            trend.check(results, baseline, service_report=bogus)
+
+    def test_committed_baseline_gates_service_ratios_and_parity(self):
+        baseline = json.loads(trend.DEFAULT_BASELINE.read_text())
+        entries = {
+            m["key"]: m
+            for m in baseline["metrics"]
+            if m["benchmark"] == "service_load"
+        }
+        assert set(entries) == {
+            "p99_latency_per_forward",
+            "decision_throughput_x_forward",
+            "replay_matched",
+        }
+        assert entries["p99_latency_per_forward"]["higher_is_better"] is False
+        assert entries["decision_throughput_x_forward"]["higher_is_better"] is True
+        # Parity is not a trend: zero tolerance, floor exactly 1.0.
+        assert entries["replay_matched"]["tolerance"] == 0.0
+        assert entries["replay_matched"]["baseline"] == 1.0

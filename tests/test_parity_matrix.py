@@ -18,13 +18,16 @@ Guarantee boundary (documented in docs/simulator.md "Determinism
 contract"): no-steal pools equal the local engine bit for bit whenever each
 lane runs at most one episode (``num_trajectories <= num_envs``, any worker
 count, any depth) and at any episode count with one worker; stealing pools
-equal *each other* at any worker count, depth, and episode count.  Stealing
-is a genuine scheduling difference from the no-steal engines (a stolen
-second episode can complete -- in canonical time -- before a slow lane's
-first, changing which episodes are credited), and with stealing off and
-more episodes than lanes, restart-quota allocation differs between
-schedulers, so those pairings are excluded; per-lane streams and per-row
-floats still match everywhere.
+equal the **local work-stealing engine**
+(``VecBackfillEnv(work_stealing=True)``) -- and therefore each other -- at
+any worker count, depth, and episode count, for one fresh rollout call
+(the pool banks final-round surplus for its next call; the local engine
+discards it).  Stealing remains a genuine scheduling difference from the
+*no-steal* engines (a stolen second episode can complete -- in canonical
+time -- before a slow lane's first, changing which episodes are credited),
+and with stealing off and more episodes than lanes, restart-quota
+allocation differs between schedulers, so those pairings are excluded;
+per-lane streams and per-row floats still match everywhere.
 """
 
 import numpy as np
@@ -157,34 +160,111 @@ class TestRolloutMatrix:
 
 
 class TestStealingMatrix:
-    """With stealing on, parity extends to more episodes than lanes."""
+    """With stealing on, parity extends to more episodes than lanes.
 
-    def test_stealing_pools_identical_across_workers_and_depth(self, small_trace):
+    The reference row is no longer a pool at all: a *local* engine in
+    work-stealing mode (``VecBackfillEnv(work_stealing=True)``) -- every lane
+    always restarts, episodes credited in the pool's canonical
+    ``(lane decision clock, lane)`` order, final-round surplus discarded
+    where the pool banks it.  For one fresh rollout call that stream is
+    bit-identical to a fresh stealing pool at any worker count and pipeline
+    depth, which upgrades the old pool-vs-pool consistency check into a
+    single-process ground truth for the stealing scheduler.
+    """
+
+    LANES, EPISODES = 8, 12
+
+    @pytest.fixture(scope="class")
+    def stealing_reference(self, small_trace):
         agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=5)
-        lanes, episodes = 8, 12
+        engine = VecBackfillEnv.from_template(
+            make_training_env(small_trace), self.LANES, seed=11, work_stealing=True
+        )
+        buffer = TrajectoryBuffer()
+        infos = engine.rollout(
+            agent, self.EPISODES, buffer, rngs=lane_rngs(self.LANES)
+        )
+        assert len(infos) == self.EPISODES
+        return {
+            "agent": agent,
+            "infos": infos,
+            "arrays": buffer_arrays(buffer),
+            "stats": engine.stats(),
+        }
 
-        def collect(**kwargs):
-            pool = ProcessLanePool.from_template(
-                make_training_env(small_trace),
-                lanes,
-                seed=11,
-                work_stealing=True,
-                **kwargs,
+    def _collect_pool(self, small_trace, agent, **kwargs):
+        pool = ProcessLanePool.from_template(
+            make_training_env(small_trace),
+            self.LANES,
+            seed=11,
+            work_stealing=True,
+            **kwargs,
+        )
+        with pool:
+            buffer = TrajectoryBuffer()
+            infos = pool.rollout(
+                agent, self.EPISODES, buffer, rngs=lane_rngs(self.LANES)
             )
-            with pool:
-                buffer = TrajectoryBuffer()
-                infos = pool.rollout(agent, episodes, buffer, rngs=lane_rngs(lanes))
-                return infos, buffer_arrays(buffer)
+            return infos, buffer_arrays(buffer)
 
-        ref_infos, ref_arrays = collect(num_workers=1)
-        for label, kwargs in [
+    @pytest.mark.parametrize(
+        "label, kwargs",
+        [
+            ("w1", dict(num_workers=1)),
             ("w2", dict(num_workers=2)),
             ("w2,d2", dict(num_workers=2, pipeline_depth=2)),
             ("w3,d2", dict(num_workers=3, pipeline_depth=2)),
-        ]:
-            infos, arrays = collect(**kwargs)
-            assert infos == ref_infos, label
-            assert_bit_identical(label, arrays, ref_arrays)
+        ],
+    )
+    def test_stealing_pools_match_local_stealing_engine(
+        self, small_trace, stealing_reference, label, kwargs
+    ):
+        """trajectories > lanes, stealing on: every pool configuration must
+        reproduce the local stealing engine's credited episode stream and
+        epoch-buffer floats bit for bit."""
+        infos, arrays = self._collect_pool(
+            small_trace, stealing_reference["agent"], **kwargs
+        )
+        assert infos == stealing_reference["infos"], label
+        assert_bit_identical(label, arrays, stealing_reference["arrays"])
+
+    def test_local_stealing_credits_exactly_the_quota(self, stealing_reference):
+        """The local mode credits EPISODES episodes, never more, and reports
+        any surplus under the pool's ``steal_banked`` key."""
+        stats = stealing_reference["stats"]
+        credited = len(stealing_reference["infos"])
+        assert credited == self.EPISODES
+        assert stats["episodes"] == credited + stats["steal_banked"]
+
+    def test_stealing_flag_is_inert_for_deterministic_and_fixed_jobs(
+        self, small_trace
+    ):
+        """Stealing only applies to sampled rollouts: deterministic mode (and
+        fixed episode_jobs) must produce the exact fixed-assignment stream, so
+        evaluation paths cannot be perturbed by the flag."""
+        agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=5)
+
+        def run(work_stealing):
+            engine = VecBackfillEnv.from_template(
+                make_training_env(small_trace),
+                self.LANES,
+                seed=11,
+                work_stealing=work_stealing,
+            )
+            buffer = TrajectoryBuffer()
+            infos = engine.rollout(
+                agent,
+                self.EPISODES,
+                buffer,
+                rngs=lane_rngs(self.LANES),
+                deterministic=True,
+            )
+            return infos, buffer_arrays(buffer)
+
+        plain_infos, plain_arrays = run(False)
+        steal_infos, steal_arrays = run(True)
+        assert steal_infos == plain_infos
+        assert_bit_identical("deterministic", steal_arrays, plain_arrays)
 
 
 class TestTrainedWeightMatrix:
