@@ -40,6 +40,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.agent import RLBackfillAgent  # noqa: E402
 from repro.experiments.runner import load_or_train_agent  # noqa: E402
+from repro.obs.metrics import (  # noqa: E402
+    LATENCY_BUCKETS_S,
+    Histogram,
+    parse_prometheus_text,
+)
 from repro.service import (  # noqa: E402
     SchedulingService,
     ServiceClient,
@@ -85,6 +90,12 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     )
     parser.add_argument("--out", default=None, help="service-timing JSON path")
     parser.add_argument("--replay-out", default=None, help="replay log JSONL path")
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the service's Prometheus text exposition (the `metrics` "
+        "wire op, scraped after drain) to this path",
+    )
     parser.add_argument(
         "--min-rate",
         type=float,
@@ -138,7 +149,7 @@ async def run_client(
     args: argparse.Namespace,
     deadline: float,
     id_stride: int,
-    latencies: List[float],
+    latencies: Histogram,
     totals: Dict[str, int],
 ) -> None:
     rng = np.random.default_rng(args.seed * 1000 + index)
@@ -152,7 +163,7 @@ async def run_client(
             next_id += args.batch * id_stride
             t0 = time.perf_counter()
             response = await client.submit(jobs, tenant=f"tenant-{index}")
-            latencies.append(time.perf_counter() - t0)
+            latencies.observe(time.perf_counter() - t0)
             if not response.get("ok"):
                 if response.get("error") == "overloaded":
                     totals["overloaded"] += 1
@@ -182,10 +193,15 @@ def measure_reference_forward(service: SchedulingService, repeats: int = 2000) -
     return (time.perf_counter() - t0) / repeats
 
 
-def percentile_ms(latencies: List[float], q: float) -> float:
-    if not latencies:
-        return 0.0
-    return float(np.percentile(np.asarray(latencies), q) * 1000.0)
+def percentile_ms(latencies: Histogram, q: float) -> float:
+    """Bucket-interpolated percentile in milliseconds, ``q`` in percent.
+
+    Uses the same fixed-bucket histogram the service exposes over its
+    ``metrics`` wire op, so offline report percentiles and scraped
+    ``service_request_seconds`` quantiles share one implementation (and one
+    set of compiled-in bucket edges) instead of a separate np.percentile
+    code path."""
+    return latencies.quantile(q / 100.0) * 1000.0
 
 
 async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str, object]:
@@ -197,7 +213,9 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
         admission_refill=((0.0, 1e9 if args.admission_rate is None else args.admission_rate),),
     )
     service = SchedulingService(agent, config)
-    latencies: List[float] = []
+    # Standalone (registry-less) histogram: always records, shared by every
+    # client task (asyncio tasks interleave on one thread, so no locking).
+    latencies = Histogram("load_client_submit_seconds", LATENCY_BUCKETS_S)
     totals = {"decisions": 0, "admitted": 0, "rejected": 0, "overloaded": 0}
     async with service:
         host, port = service.address
@@ -215,6 +233,7 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
         async with ServiceClient(host, port) as client:
             drain = await client.drain()
             stats = (await client.stats())["stats"]
+            metrics_text = str((await client.metrics()).get("body", ""))
             await client.shutdown()
         await service.wait_stopped()
 
@@ -241,7 +260,7 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
         "jobs_admitted": totals["admitted"],
         "jobs_rejected": totals["rejected"],
         "overloaded_responses": totals["overloaded"],
-        "requests": len(latencies),
+        "requests": latencies.count,
         "latency_p50_ms": percentile_ms(latencies, 50.0),
         "latency_p95_ms": percentile_ms(latencies, 95.0),
         "latency_p99_ms": p99_ms,
@@ -251,6 +270,12 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
         "replay": replay,
         "drain": {k: v for k, v in drain.items() if k != "ok"},
         "service_stats": stats,
+        "service_metrics": {
+            name: value
+            for name, value in parse_prometheus_text(metrics_text).items()
+            if "_bucket" not in name
+        },
+        "metrics_text": metrics_text,
         "config": {
             "clients": args.clients,
             "batch": args.batch,
@@ -277,6 +302,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         agent = load_or_train_agent(None, scale="smoke", seed=args.seed)
 
     report = asyncio.run(run_load(args, agent))
+
+    metrics_text = str(report.pop("metrics_text", ""))
+    if args.metrics_out:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(metrics_text, encoding="utf-8")
+        print(f"wrote {metrics_path}")
 
     print(
         f"live: {report['decisions']} decisions in "

@@ -33,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import BackfillEnvironment, RLBackfillAgent, Trainer, TrainerConfig
 from repro.core.observation import ObservationConfig
+from repro.obs import enable_tracing, engine_stats_delta, get_tracer
 from repro.rl.buffer import TrajectoryBuffer
 from repro.workloads import load_trace
 
@@ -76,27 +77,18 @@ def profile(args, backend: str, pipeline_depth: int) -> dict:
         elapsed = time.perf_counter() - start
         after = trainer.vec_env.stats()
 
-    delta = {
-        key: after[key] - before[key]
-        for key, value in after.items()
-        if isinstance(value, (int, float)) and key != "worker_idle_fraction"
-    }
-    # Like every other column, the idle fraction is computed over the
-    # measured block only (the stats() value is cumulative since pool
-    # construction and would fold in the warmup).
-    workers = after.get("num_workers", 0)
-    idle_fraction = (
-        delta["worker_wait_s"] / (workers * delta["rollout_s"])
-        if workers and delta["rollout_s"] > 0
-        else 0.0
-    )
+    # engine_stats_delta recomputes worker_idle_fraction over the measured
+    # block only (the stats() value is cumulative since pool construction and
+    # would fold in the warmup) -- the same helper behind the Trainer's
+    # epoch-boundary engine log.
+    delta = engine_stats_delta(after, before)
     decisions = sum(info["episode_steps"] for info in infos)
     return {
         "label": backend if backend == "local" else f"{backend}[depth={pipeline_depth}]",
         "decisions_per_sec": decisions / elapsed,
         "wall_s": elapsed,
-        "idle_fraction": idle_fraction,
-        **delta,
+        "idle_fraction": delta.pop("worker_idle_fraction", 0.0),
+        **{key: value for key, value in delta.items() if not isinstance(value, str)},
     }
 
 
@@ -118,13 +110,31 @@ def main() -> int:
         metavar="BACKEND[:DEPTH]",
         help="configurations to profile (default: local process:1 process:2)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable span tracing and write a Chrome trace-event JSON "
+        "(chrome://tracing / Perfetto) covering every profiled rollout",
+    )
     args = parser.parse_args()
+
+    if args.trace_out:
+        enable_tracing()
 
     phases = ("encode_s", "forward_s", "step_s", "result_wait_s")
     rows = []
     for backend, depth in args.configs:
         print(f"profiling {backend} pipeline_depth={depth} ...", flush=True)
         rows.append(profile(args, backend, depth))
+
+    if args.trace_out:
+        trace_path = Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        get_tracer().export(trace_path)
+        print(
+            f"wrote {trace_path} "
+            f"({get_tracer().recorded} spans, {get_tracer().dropped} dropped)"
+        )
 
     header = (
         f"{'configuration':<18} {'dec/s':>8} {'wall':>7} "

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.agent import RLBackfillAgent
 from repro.core.environment import BackfillEnvironment
+from repro.obs import engine_stats_delta, get_tracer
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.lane_pool import make_rollout_engine
 from repro.rl.ppo import PPO, PPOConfig, PPOUpdateStats
@@ -276,40 +277,32 @@ class Trainer:
             return
         stats = stats_fn()
         previous, self._engine_stats_snapshot = self._engine_stats_snapshot, dict(stats)
+        delta = engine_stats_delta(stats, previous)
         parts = []
-        for key, value in stats.items():
+        for key, value in delta.items():
             if isinstance(value, str):
                 continue
-            if key in ("pipeline_depth", "num_workers"):
-                delta = value  # configuration, not a counter
-            elif key == "worker_idle_fraction":
-                # Cumulative-ratio stat: recompute from this epoch's deltas
-                # so the log shows the epoch's own idle fraction, not the
-                # lifetime running mean.
-                wait = stats["worker_wait_s"] - previous.get("worker_wait_s", 0.0)
-                wall = stats["rollout_s"] - previous.get("rollout_s", 0.0)
-                workers = stats.get("num_workers", 0)
-                delta = wait / (workers * wall) if workers and wall > 0 else 0.0
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.3f}")
             else:
-                delta = value - previous.get(key, 0)
-            if isinstance(delta, float):
-                parts.append(f"{key}={delta:.3f}")
-            else:
-                parts.append(f"{key}={delta}")
+                parts.append(f"{key}={value}")
         logger.info("epoch %d engine[%s]: %s", epoch, stats.get("engine", "?"), ", ".join(parts))
 
     # -- training -----------------------------------------------------------
     def train_epoch(self, epoch: int) -> EpochStats:
+        tracer = get_tracer()
         start = time.perf_counter()
         buffer = TrajectoryBuffer(gamma=self.config.ppo.gamma, lam=self.config.ppo.lam)
-        infos = self.collect_rollouts(buffer, self.config.trajectories_per_epoch)
+        with tracer.span("trainer.collect_rollouts", cat="train", args={"epoch": epoch}):
+            infos = self.collect_rollouts(buffer, self.config.trajectories_per_epoch)
         rewards: List[float] = [info["episode_reward"] for info in infos]
         bslds: List[float] = [info["bsld"] for info in infos]
         baselines: List[float] = [info["baseline_bsld"] for info in infos]
         violations: List[float] = [float(info["violations"]) for info in infos]
         steps = len(buffer)
         data = buffer.get()
-        update: PPOUpdateStats = self.ppo.update(data)
+        with tracer.span("trainer.ppo_update", cat="train", args={"epoch": epoch}):
+            update: PPOUpdateStats = self.ppo.update(data)
         stats = EpochStats(
             epoch=epoch,
             mean_episode_reward=float(np.mean(rewards)),

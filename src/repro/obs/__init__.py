@@ -1,0 +1,64 @@
+"""Unified observability: deterministic metrics registry + span tracer.
+
+See ``docs/observability.md`` for the metric naming scheme, the determinism
+rules (what may read clocks, what must stay byte-deterministic), and the
+trace-viewer workflow.  Quick tour::
+
+    from repro.obs import enable_metrics, get_metrics, enable_tracing, get_tracer
+
+    enable_metrics()                     # global switch, default off
+    ...run a rollout / serve requests...
+    print(get_metrics().to_prometheus()) # text exposition of every counter
+
+    enable_tracing()
+    ...timed work...
+    get_tracer().export("trace.json")    # load in chrome://tracing / Perfetto
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    WORKER_PUBLISHED_COUNTERS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    disable_metrics,
+    enable_metrics,
+    engine_stats_delta,
+    get_metrics,
+    metrics_enabled,
+    parse_prometheus_text,
+)
+from repro.obs.trace import (
+    SpanTracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS",
+    "WORKER_PUBLISHED_COUNTERS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "engine_stats_delta",
+    "get_metrics",
+    "metrics_enabled",
+    "enable_metrics",
+    "disable_metrics",
+    "parse_prometheus_text",
+    "SpanTracer",
+    "get_tracer",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "span",
+]

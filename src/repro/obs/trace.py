@@ -1,0 +1,210 @@
+"""Span tracer: bounded ring of timing events, Chrome-trace JSON export.
+
+:class:`SpanTracer` records *complete* events (Chrome trace phase ``"X"``:
+one record per span carrying start + duration) into a fixed-capacity ring --
+old events are overwritten, memory never grows -- and exports the Chrome
+trace-event JSON format that ``chrome://tracing`` and Perfetto load directly.
+
+Cost model mirrors the metrics registry: every recording method checks the
+tracer's ``enabled`` flag first, so a disabled tracer compiled into a hot
+loop costs a branch.  Where the call site already measured a duration for
+its own counters (the rollout engines' per-phase ``perf_counter_ns`` pairs),
+:meth:`complete` records it without any additional clock read.
+
+Determinism: spans carry wall-clock timestamps and are *diagnostic only* --
+nothing reads them back into scheduling or training computation, so tracing
+may stay enabled through bit-parity-checked runs (asserted by
+``tests/test_parity_matrix.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SpanTracer",
+    "get_tracer",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "span",
+]
+
+#: Environment variable seeding the global tracer's enable switch (same
+#: worker-propagation story as ``REPRO_OBS_METRICS``).
+TRACE_ENV = "REPRO_OBS_TRACE"
+
+_DEFAULT_CAPACITY = 65536
+
+
+class _Span:
+    """Context manager recording one complete event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_t0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str, args: Optional[Dict]):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t0 = self._t0
+        self._tracer.complete(
+            self._name, t0, time.perf_counter_ns() - t0, cat=self._cat, args=self._args
+        )
+
+
+class _NullSpan:
+    """Shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Bounded ring of Chrome trace events."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY, enabled: bool = False):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.enabled = bool(enabled)
+        self._ring: List[Optional[tuple]] = [None] * self.capacity
+        #: Total events ever recorded; ``_next % capacity`` is the write slot.
+        self._next = 0
+        self._dropped = 0
+
+    # -- switches -----------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity
+        self._next = 0
+        self._dropped = 0
+
+    # -- recording ----------------------------------------------------------
+    def _record(self, event: tuple) -> None:
+        slot = self._next % self.capacity
+        if self._ring[slot] is not None:
+            self._dropped += 1
+        self._ring[slot] = event
+        self._next += 1
+
+    def complete(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: int,
+        cat: str = "",
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record one complete ('X') event from an already-measured
+        ``(start, duration)`` pair -- no clock read of its own, so call sites
+        that time phases for their counters trace them for free."""
+        if not self.enabled:
+            return
+        self._record(("X", name, cat, start_ns, duration_ns, os.getpid(), args))
+
+    def instant(self, name: str, cat: str = "", args: Optional[Dict] = None) -> None:
+        """Record an instant ('i') event at the current time."""
+        if not self.enabled:
+            return
+        self._record(("i", name, cat, time.perf_counter_ns(), 0, os.getpid(), args))
+
+    def span(self, name: str, cat: str = "", args: Optional[Dict] = None):
+        """Context manager timing its body into one complete event."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    # -- inspection / export -------------------------------------------------
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including since-overwritten ones)."""
+        return self._next
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by ring wraparound."""
+        return self._dropped
+
+    def events(self) -> List[tuple]:
+        """Retained events, oldest first (wraparound-aware)."""
+        if self._next <= self.capacity:
+            return [e for e in self._ring[: self._next]]
+        head = self._next % self.capacity
+        return self._ring[head:] + self._ring[:head]
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The Chrome trace-event JSON document (``traceEvents`` array of
+        phase-``X``/``i`` records, timestamps in microseconds)."""
+        trace_events = []
+        for ph, name, cat, start_ns, duration_ns, pid, args in self.events():
+            event: Dict[str, object] = {
+                "name": name,
+                "cat": cat or "default",
+                "ph": ph,
+                "ts": start_ns / 1000.0,
+                "pid": pid,
+                "tid": pid,
+            }
+            if ph == "X":
+                event["dur"] = duration_ns / 1000.0
+            if args:
+                event["args"] = dict(args)
+            trace_events.append(event)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def export(self, path) -> None:
+        """Write :meth:`to_chrome` as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle)
+            handle.write("\n")
+
+
+_TRACER = SpanTracer(enabled=os.environ.get(TRACE_ENV, "") == "1")
+
+
+def get_tracer() -> SpanTracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable_tracing() -> None:
+    _TRACER.enable()
+    os.environ[TRACE_ENV] = "1"
+
+
+def disable_tracing() -> None:
+    _TRACER.disable()
+    os.environ.pop(TRACE_ENV, None)
+
+
+def span(name: str, cat: str = "", args: Optional[Dict] = None):
+    """Module-level convenience: a span on the global tracer (no-op singleton
+    while tracing is disabled -- safe to leave in hot-ish paths)."""
+    return _TRACER.span(name, cat=cat, args=args)

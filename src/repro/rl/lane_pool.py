@@ -91,6 +91,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.obs import WORKER_PUBLISHED_COUNTERS, get_metrics, get_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.env import Environment, StepResult
 from repro.rl.ipc import Field, FrameLayout, RingTimeout, ShmRing
@@ -169,6 +171,11 @@ def _result_layout(shard: int, observation_size: int, num_actions: int) -> Frame
             Field("wait_ns", (), "int64"),
             Field("step_ns", (), "int64"),
             Field("encode_ns", (), "int64"),
+            # Per-frame deltas of the worker's process-global observability
+            # counters (one int64 slot per WORKER_PUBLISHED_COUNTERS name);
+            # the parent folds them into its own registry, so global metric
+            # totals cover simulator work done inside worker processes.
+            Field("published", (len(WORKER_PUBLISHED_COUNTERS),), "int64"),
             Field("status", (shard,), "int64"),
             Field("reward", (shard,), "float64"),
             Field("info", (shard, len(_INFO_FIELDS)), "float64"),
@@ -199,6 +206,15 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
 
     shard = len(envs)
     builder = envs[0].builder
+    # Metric publication: each result frame carries this worker's deltas of
+    # the process-global counters named in WORKER_PUBLISHED_COUNTERS.  The
+    # baseline is taken at worker start so only simulator work done *inside*
+    # this process is published upstream (the parent counted its own
+    # construction-time work directly).  While the global registry is
+    # disabled (the default) every handle stays at zero and the deltas are
+    # all-zero writes into an already-mapped frame.
+    pub_handles = [get_metrics().counter(name) for name in WORKER_PUBLISHED_COUNTERS]
+    pub_last = [handle.value for handle in pub_handles]
     episode_jobs = None
     running = [False] * shard
     armed_masks: Dict[int, np.ndarray] = {}
@@ -358,6 +374,11 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                 # Sent before the result frame so the parent's follow-up
                 # recv finds it already queued.
                 pipe.send(("lane_errors", lane_errors))
+            published = np.zeros(len(WORKER_PUBLISHED_COUNTERS), dtype=np.int64)
+            for slot, handle in enumerate(pub_handles):
+                value = handle.value
+                published[slot] = value - pub_last[slot]
+                pub_last[slot] = value
             res_ring.push(
                 {
                     "kind": _RES_OK,
@@ -367,6 +388,7 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                     "wait_ns": wait_ns,
                     "step_ns": step_ns,
                     "encode_ns": encode_ns,
+                    "published": published,
                     "status": status,
                     "reward": reward,
                     "info": info,
@@ -581,21 +603,46 @@ class ProcessLanePool:
         #: rollout covers the inter-rollout gap (PPO updates, pool idle time)
         #: and must not count toward the in-rollout idle fraction.
         self._rollout_wait_credit: Optional[set] = None
-        self._counters: Dict[str, int] = {
-            "rollouts": 0,
-            "rounds": 0,
-            "decisions": 0,
-            "episodes": 0,
-            "steal_banked": 0,
-            "steal_credited": 0,
-            "presampled_resets": 0,
-            "forward_ns": 0,
-            "result_wait_ns": 0,
-            "worker_wait_ns": 0,
-            "worker_step_ns": 0,
-            "worker_encode_ns": 0,
-            "rollout_ns": 0,
+        # Engine statistics live in a pool-private, always-enabled registry:
+        # the aggregate counters back stats() (same keys and values as the
+        # old plain-int dict), while per-worker labelled counters expose the
+        # shard-level breakdown through metrics snapshots / exposition.
+        self.metrics = MetricsRegistry(enabled=True)
+        self._counters = {
+            key: self.metrics.counter(f"engine_{key}_total", engine="process")
+            for key in (
+                "rollouts",
+                "rounds",
+                "decisions",
+                "episodes",
+                "steal_banked",
+                "steal_credited",
+                "presampled_resets",
+                "forward_ns",
+                "result_wait_ns",
+                "worker_wait_ns",
+                "worker_step_ns",
+                "worker_encode_ns",
+                "rollout_ns",
+            )
         }
+        self._worker_counters = [
+            {
+                key: self.metrics.counter(
+                    f"engine_worker_{key}_total",
+                    engine="process",
+                    worker=str(worker),
+                )
+                for key in ("wait_ns", "step_ns", "encode_ns", "presampled_resets")
+            }
+            for worker in range(self.num_workers)
+        ]
+        # Parent-side handles the workers' published deltas fold into; these
+        # are the same global-registry counters the simulator increments
+        # in-process, so totals are engine-agnostic.
+        self._published_handles = tuple(
+            get_metrics().counter(name) for name in WORKER_PUBLISHED_COUNTERS
+        )
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -647,26 +694,28 @@ class ProcessLanePool:
         target: it shrinks when parent forwards overlap worker stepping.
         """
         c = self._counters
-        wall_ns = c["rollout_ns"]
-        idle = c["worker_wait_ns"] / (self.num_workers * wall_ns) if wall_ns else 0.0
+        wall_ns = c["rollout_ns"].value
+        idle = (
+            c["worker_wait_ns"].value / (self.num_workers * wall_ns) if wall_ns else 0.0
+        )
         return {
             "engine": "process",
             "pipeline_depth": self.pipeline_depth,
             "num_workers": self.num_workers,
-            "rollouts": c["rollouts"],
-            "rounds": c["rounds"],
-            "decisions": c["decisions"],
-            "episodes": c["episodes"],
-            "steal_banked": c["steal_banked"],
-            "steal_credited": c["steal_credited"],
-            "presampled_resets": c["presampled_resets"],
+            "rollouts": c["rollouts"].value,
+            "rounds": c["rounds"].value,
+            "decisions": c["decisions"].value,
+            "episodes": c["episodes"].value,
+            "steal_banked": c["steal_banked"].value,
+            "steal_credited": c["steal_credited"].value,
+            "presampled_resets": c["presampled_resets"].value,
             "worker_idle_fraction": round(idle, 4),
-            "forward_s": c["forward_ns"] / 1e9,
-            "encode_s": c["worker_encode_ns"] / 1e9,
-            "step_s": c["worker_step_ns"] / 1e9,
-            "result_wait_s": c["result_wait_ns"] / 1e9,
-            "worker_wait_s": c["worker_wait_ns"] / 1e9,
-            "rollout_s": c["rollout_ns"] / 1e9,
+            "forward_s": c["forward_ns"].value / 1e9,
+            "encode_s": c["worker_encode_ns"].value / 1e9,
+            "step_s": c["worker_step_ns"].value / 1e9,
+            "result_wait_s": c["result_wait_ns"].value / 1e9,
+            "worker_wait_s": c["worker_wait_ns"].value / 1e9,
+            "rollout_s": c["rollout_ns"].value / 1e9,
         }
 
     # -- plumbing --------------------------------------------------------------
@@ -712,21 +761,34 @@ class ProcessLanePool:
         frame = self._res_rings[worker].pop(
             timeout=self.round_timeout, liveness=self._check_alive
         )
-        self._counters["result_wait_ns"] += time.perf_counter_ns() - t0
+        self._counters["result_wait_ns"].inc(time.perf_counter_ns() - t0)
         if int(frame["kind"]) == _RES_ERROR:
             raise RuntimeError(
                 f"lane-pool worker {worker} failed" + self._drain_error(worker)
             )
+        per_worker = self._worker_counters[worker]
         if self._rollout_wait_credit is not None:
             if worker in self._rollout_wait_credit:
-                self._counters["worker_wait_ns"] += int(frame["wait_ns"])
+                wait_ns = int(frame["wait_ns"])
+                self._counters["worker_wait_ns"].inc(wait_ns)
+                per_worker["wait_ns"].inc(wait_ns)
             else:
                 # First frame of this rollout: its wait spans the
                 # inter-rollout gap, not in-rollout idling.
                 self._rollout_wait_credit.add(worker)
-        self._counters["worker_step_ns"] += int(frame["step_ns"])
-        self._counters["worker_encode_ns"] += int(frame["encode_ns"])
-        self._counters["presampled_resets"] += int(frame["presampled"])
+        step_ns = int(frame["step_ns"])
+        encode_ns = int(frame["encode_ns"])
+        presampled = int(frame["presampled"])
+        self._counters["worker_step_ns"].inc(step_ns)
+        per_worker["step_ns"].inc(step_ns)
+        self._counters["worker_encode_ns"].inc(encode_ns)
+        per_worker["encode_ns"].inc(encode_ns)
+        self._counters["presampled_resets"].inc(presampled)
+        per_worker["presampled_resets"].inc(presampled)
+        # Fold the worker's published global-counter deltas into ours.
+        for handle, delta in zip(self._published_handles, frame["published"]):
+            if delta:
+                handle.inc(int(delta))
         return frame
 
     def _raise_lane_failures(self, worker: int, frame: Dict[str, np.ndarray]) -> None:
@@ -954,7 +1016,7 @@ class ProcessLanePool:
                 info, episode_buffer = self._bank.pop(0)
                 buffer.absorb(episode_buffer)
                 infos.append(info)
-                self._counters["steal_credited"] += 1
+                self._counters["steal_credited"].inc()
             if len(infos) >= num_trajectories:
                 return infos
 
@@ -964,7 +1026,7 @@ class ProcessLanePool:
         in_flight = sum(1 for state in self._lanes if state.running)
         quota = max(0, num_trajectories - len(infos) - in_flight)
 
-        self._counters["rollouts"] += 1
+        self._counters["rollouts"].inc()
         self._rollout_wait_credit = set()
         # Fresh canonical-release state: clocks count decisions stored during
         # *this* call (resumed in-flight episodes keep their earlier steps in
@@ -999,7 +1061,20 @@ class ProcessLanePool:
             self._desynced = True
             raise
         finally:
-            self._counters["rollout_ns"] += time.perf_counter_ns() - t_rollout
+            rollout_ns = time.perf_counter_ns() - t_rollout
+            self._counters["rollout_ns"].inc(rollout_ns)
+            get_tracer().complete(
+                "engine.rollout",
+                t_rollout,
+                rollout_ns,
+                cat="engine",
+                args={
+                    "engine": "process",
+                    "lanes": self._num_envs,
+                    "workers": self.num_workers,
+                    "pipeline_depth": self.pipeline_depth,
+                },
+            )
             self._rollout_wait_credit = None
         return infos
 
@@ -1096,7 +1171,7 @@ class ProcessLanePool:
                     }
                 )
                 self._push_round(worker, frame_values)
-            self._counters["rounds"] += 1
+            self._counters["rounds"].inc()
 
             # Collect results in worker order == ascending global lane order.
             for worker, (lo, hi) in enumerate(self.shards):
@@ -1215,7 +1290,9 @@ class ProcessLanePool:
                 rngs=None if deterministic else [rngs[lane] for lane in running],
                 deterministic=deterministic,
             )
-            self._counters["forward_ns"] += time.perf_counter_ns() - t0
+            dt = time.perf_counter_ns() - t0
+            self._counters["forward_ns"].inc(dt)
+            get_tracer().complete("engine.forward", t0, dt, cat="engine")
             act_list, val_list, lp_list = acts.tolist(), vals.tolist(), lps.tolist()
             for row, lane in enumerate(running):
                 actions[lane] = act_list[row]
@@ -1295,7 +1372,7 @@ class ProcessLanePool:
                 },
             )
             workers.append(worker)
-        self._counters["rounds"] += 1
+        self._counters["rounds"].inc()
         context = {
             "workers": workers,
             "actions": actions,
@@ -1345,14 +1422,14 @@ class ProcessLanePool:
                     values[lane],
                     log_probs[lane],
                 )
-                self._counters["decisions"] += 1
+                self._counters["decisions"].inc()
                 self._release_clocks[lane] += 1
                 state.episode_reward += reward
                 state.episode_steps += 1
                 if status in (_LANE_DONE_RESTARTED, _LANE_DONE_IDLE):
                     lane_buffers[lane].finish_path(last_value=0.0)
                     info = self._terminal_info(frame["info"][local], state, lane)
-                    self._counters["episodes"] += 1
+                    self._counters["episodes"].inc()
                     episode_buffer = TrajectoryBuffer(
                         gamma=buffer.gamma, lam=buffer.lam
                     )
@@ -1425,7 +1502,7 @@ class ProcessLanePool:
                 buffer.absorb(episode_buffer)
             else:
                 self._bank.append((info, episode_buffer))
-                self._counters["steal_banked"] += 1
+                self._counters["steal_banked"].inc()
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:

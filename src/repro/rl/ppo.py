@@ -8,12 +8,14 @@ KL divergence, and Adam for both networks.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_metrics, get_tracer
 from repro.rl.autograd import Tensor, no_grad
 from repro.rl.optim import Adam
 from repro.utils.rng import SeedLike, as_rng
@@ -246,10 +248,22 @@ class PPO:
         returns = data["returns"]
         log_probs_old = data["log_probs"]
 
+        # Update timing is diagnostic only: clocks are read when collection
+        # or tracing is on, and nothing below feeds a timestamp back into the
+        # gradient math, so enabling observability cannot perturb training.
+        registry = get_metrics()
+        tracer = get_tracer()
+        observing = registry.enabled or tracer.enabled
+        if observing:
+            policy_hist = registry.histogram("ppo_policy_iteration_seconds")
+            value_hist = registry.histogram("ppo_value_iteration_seconds")
+            t_update = time.perf_counter_ns()
+
         policy_loss_value = 0.0
         last_stats = {"approximate_kl": 0.0, "entropy": 0.0, "clip_fraction": 0.0}
         iterations_run = 0
         for _ in range(cfg.policy_iterations):
+            t_iter = time.perf_counter_ns() if observing else 0
             self.policy_optimizer.zero_grad()
             loss, stats = self._policy_loss(observations, masks, actions, advantages, log_probs_old)
             last_stats = stats
@@ -264,9 +278,14 @@ class PPO:
             self.policy_optimizer.step()
             policy_loss_value = float(loss.numpy())
             iterations_run += 1
+            if observing:
+                dt = time.perf_counter_ns() - t_iter
+                policy_hist.observe(dt / 1e9)
+                tracer.complete("ppo.policy_iteration", t_iter, dt, cat="train")
 
         value_loss_value = 0.0
         for _ in range(cfg.value_iterations):
+            t_iter = time.perf_counter_ns() if observing else 0
             self.value_optimizer.zero_grad()
             value_loss = self._value_loss(observations, returns)
             value_loss.backward()
@@ -274,6 +293,22 @@ class PPO:
                 self.value_optimizer.clip_grad_norm(cfg.max_grad_norm)
             self.value_optimizer.step()
             value_loss_value = float(value_loss.numpy())
+            if observing:
+                dt = time.perf_counter_ns() - t_iter
+                value_hist.observe(dt / 1e9)
+                tracer.complete("ppo.value_iteration", t_iter, dt, cat="train")
+
+        if observing:
+            registry.counter("ppo_updates_total").inc()
+            registry.counter("ppo_policy_iterations_total").inc(iterations_run)
+            registry.counter("ppo_value_iterations_total").inc(cfg.value_iterations)
+            tracer.complete(
+                "ppo.update",
+                t_update,
+                time.perf_counter_ns() - t_update,
+                cat="train",
+                args={"policy_iterations_run": iterations_run},
+            )
 
         return PPOUpdateStats(
             policy_loss=policy_loss_value,

@@ -39,6 +39,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.env import Environment, StepResult
 from repro.rl.ppo import ActorCritic
@@ -117,16 +119,24 @@ class VecBackfillEnv:
             raise ValueError("environment lanes must be distinct instances")
         self.envs: List[Environment] = list(envs)
         self.work_stealing = bool(work_stealing)
-        self._counters: Dict[str, int] = {
-            "rollouts": 0,
-            "rounds": 0,
-            "decisions": 0,
-            "episodes": 0,
-            "steal_discarded": 0,
-            "forward_ns": 0,
-            "encode_ns": 0,
-            "step_ns": 0,
-            "rollout_ns": 0,
+        # The engine's cumulative statistics live in a private always-enabled
+        # registry (the global on/off switch gates *extra* instrumentation,
+        # never the stats() surface existing tests and tools rely on);
+        # stats() is a view over these counters.
+        self.metrics = MetricsRegistry(enabled=True)
+        self._counters: Dict[str, object] = {
+            key: self.metrics.counter(f"engine_{key}_total", engine="local")
+            for key in (
+                "rollouts",
+                "rounds",
+                "decisions",
+                "episodes",
+                "steal_discarded",
+                "forward_ns",
+                "encode_ns",
+                "step_ns",
+                "rollout_ns",
+            )
         }
 
     # -- construction --------------------------------------------------------
@@ -177,20 +187,20 @@ class VecBackfillEnv:
             "engine": "local",
             "pipeline_depth": 1,
             "num_workers": 0,
-            "rollouts": c["rollouts"],
-            "rounds": c["rounds"],
-            "decisions": c["decisions"],
-            "episodes": c["episodes"],
-            "steal_banked": c["steal_discarded"],
+            "rollouts": c["rollouts"].value,
+            "rounds": c["rounds"].value,
+            "decisions": c["decisions"].value,
+            "episodes": c["episodes"].value,
+            "steal_banked": c["steal_discarded"].value,
             "steal_credited": 0,
             "presampled_resets": 0,
             "worker_idle_fraction": 0.0,
-            "forward_s": c["forward_ns"] / 1e9,
-            "encode_s": c["encode_ns"] / 1e9,
-            "step_s": c["step_ns"] / 1e9,
+            "forward_s": c["forward_ns"].value / 1e9,
+            "encode_s": c["encode_ns"].value / 1e9,
+            "step_s": c["step_ns"].value / 1e9,
             "result_wait_s": 0.0,
             "worker_wait_s": 0.0,
-            "rollout_s": c["rollout_ns"] / 1e9,
+            "rollout_s": c["rollout_ns"].value / 1e9,
         }
 
     # -- lane access ----------------------------------------------------------
@@ -302,7 +312,8 @@ class VecBackfillEnv:
         active = list(range(started))
         encode_lanes: List[int] = []
         counters = self._counters
-        counters["rollouts"] += 1
+        counters["rollouts"].inc()
+        tracer = get_tracer()
         t_rollout = time.perf_counter_ns()
         try:
             return self._rollout_loop(
@@ -314,7 +325,12 @@ class VecBackfillEnv:
         finally:
             # Wall time must stay consistent with the per-phase counters
             # even when a recoverable error aborts the rollout mid-loop.
-            counters["rollout_ns"] += time.perf_counter_ns() - t_rollout
+            rollout_ns = time.perf_counter_ns() - t_rollout
+            counters["rollout_ns"].inc(rollout_ns)
+            tracer.complete(
+                "engine.rollout", t_rollout, rollout_ns, cat="engine",
+                args={"engine": "local", "lanes": self.num_envs},
+            )
 
     def _rollout_loop(
         self,
@@ -342,13 +358,14 @@ class VecBackfillEnv:
         account wall time in a ``finally`` (consistent counters even when a
         recoverable error aborts the rollout mid-loop)."""
         counters = self._counters
+        tracer = get_tracer()
         for lane in active:
             start_episode(lane, lane)
             if deferred:
                 encode_lanes.append(lane)
 
         while active:
-            counters["rounds"] += 1
+            counters["rounds"].inc()
             if encode_lanes:
                 # One feature-encoding pass for every lane that advanced or
                 # (re)started an episode since the previous forward pass.  In
@@ -360,7 +377,9 @@ class VecBackfillEnv:
                 )
                 for row, lane in enumerate(encode_lanes):
                     observations[lane] = encoded[row]
-                counters["encode_ns"] += time.perf_counter_ns() - t0
+                dt = time.perf_counter_ns() - t0
+                counters["encode_ns"].inc(dt)
+                tracer.complete("engine.encode", t0, dt, cat="engine")
             if encode_lanes == active and encode_lanes:
                 obs_batch = encoded
             else:
@@ -373,7 +392,9 @@ class VecBackfillEnv:
                 rngs=None if deterministic else [rngs[lane] for lane in active],
                 deterministic=deterministic,
             )
-            counters["forward_ns"] += time.perf_counter_ns() - t0
+            dt = time.perf_counter_ns() - t0
+            counters["forward_ns"].inc(dt)
+            tracer.complete("engine.forward", t0, dt, cat="engine")
             action_list = actions.tolist()
             value_list = values.tolist()
             log_prob_list = log_probs.tolist()
@@ -394,10 +415,10 @@ class VecBackfillEnv:
                 )
                 episode_rewards[lane] += result.reward
                 episode_steps[lane] += 1
-                counters["decisions"] += 1
+                counters["decisions"].inc()
                 if result.done:
                     lane_buffers[lane].finish_path(last_value=0.0)
-                    counters["episodes"] += 1
+                    counters["episodes"].inc()
                     info = dict(result.info)
                     info.update(
                         {
@@ -414,7 +435,7 @@ class VecBackfillEnv:
                             infos.append(info)
                             buffer.absorb(lane_buffers[lane])
                         else:
-                            counters["steal_discarded"] += 1
+                            counters["steal_discarded"].inc()
                             lane_buffers[lane].clear()
                         start_episode(lane, started)
                         still_active.append(lane)
@@ -442,7 +463,9 @@ class VecBackfillEnv:
                     else:
                         observations[lane] = result.observation
                     still_active.append(lane)
-            counters["step_ns"] += time.perf_counter_ns() - t_step
+            dt = time.perf_counter_ns() - t_step
+            counters["step_ns"].inc(dt)
+            tracer.complete("engine.step", t_step, dt, cat="engine")
             active = still_active
             if stealing and len(infos) >= num_trajectories:
                 # Stealing lanes never park themselves, so the quota check

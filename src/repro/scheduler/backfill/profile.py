@@ -14,9 +14,16 @@ import math
 from bisect import bisect_right
 from typing import Iterable, List, Tuple
 
+from repro.obs import get_metrics
+
 __all__ = ["ResourceProfile"]
 
 _EPS = 1e-9
+
+# Conservative backfilling rebuilds a profile per candidate per decision
+# point, which is the strategy's dominant cost; counting builds makes that
+# rebuild pressure visible (a no-op branch while collection is disabled).
+_PROFILE_BUILDS = get_metrics().counter("backfill_profile_builds_total")
 
 
 class ResourceProfile:
@@ -30,6 +37,7 @@ class ResourceProfile:
             raise ValueError(
                 f"initial_free={free0} outside [0, {total_processors}]"
             )
+        _PROFILE_BUILDS.inc()
         self.total = total_processors
         self.origin = float(origin)
         # Parallel arrays: breakpoint times and the free count from that time on.

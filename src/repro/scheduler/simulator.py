@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterable, List, Optional, Sequence
 
 from repro.cluster.machine import DowntimeWindow, Machine
+from repro.obs import get_metrics
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
 from repro.scheduler.backfill.base import BackfillStrategy
 from repro.scheduler.backfill.none import NoBackfill
@@ -45,6 +46,37 @@ __all__ = [
 ]
 
 _EPS = 1e-9
+
+# Hot-path instrumentation (docs/observability.md).  Handles are resolved
+# once at import.  The event loop tallies plain ints on _SimState (a per-call
+# Counter.inc() in the innermost loops costs ~5% of a simulator run even
+# disabled) and publishes through _flush_sim_counters at sequence end
+# (offline) or per processed event batch (OnlineSession).  These count
+# *deterministic* events -- no clocks -- so enabling collection cannot
+# perturb the bit-parity contract.  Worker processes accumulate them locally
+# and the lane pool publishes per-frame deltas to the parent through its
+# shared-memory result rings (repro.obs.WORKER_PUBLISHED_COUNTERS).
+_SCHEDULE_PASSES = get_metrics().counter("sim_schedule_passes_total")
+_DECISION_POINTS = get_metrics().counter("sim_decision_points_total")
+_BACKFILL_STARTS = get_metrics().counter("sim_backfill_starts_total")
+
+
+def _flush_sim_counters(state: "_SimState") -> None:
+    """Publish the state's not-yet-published event tallies to the global
+    counters.  Idempotent (tracks per-state high-water marks), so callers may
+    flush mid-run and again at completion."""
+    delta = state.schedule_passes - state.published_passes
+    if delta:
+        _SCHEDULE_PASSES.inc(delta)
+        state.published_passes = state.schedule_passes
+    delta = state.decision_count - state.published_decisions
+    if delta:
+        _DECISION_POINTS.inc(delta)
+        state.published_decisions = state.decision_count
+    delta = state.backfill_count - state.published_backfills
+    if delta:
+        _BACKFILL_STARTS.inc(delta)
+        state.published_backfills = state.backfill_count
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +118,13 @@ class _SimState:
     records: Dict[int, JobRecord] = field(default_factory=dict)
     decision_count: int = 0
     backfill_count: int = 0
+    schedule_passes: int = 0
+    # High-water marks of the tallies already published to the global
+    # counters (see _flush_sim_counters): flushing is idempotent and safe
+    # mid-run, which the incremental OnlineSession relies on.
+    published_passes: int = 0
+    published_decisions: int = 0
+    published_backfills: int = 0
 
 
 class Simulator:
@@ -161,24 +200,30 @@ class Simulator:
         state.machine.advance_to(state.now)
         self._admit(state)
 
-        while state.pending or state.queue or state.machine.num_running:
-            if state.queue:
-                blocked = yield from self._schedule_now(state)
-            else:
-                blocked = False
-            advanced = self._advance_time(state)
-            if not advanced and not blocked and not state.queue and not state.pending:
-                break
-            if not advanced and state.queue and not blocked:
-                # Defensive: the queue is non-empty, nothing is running and no
-                # arrivals remain, yet the head job could not start -- this
-                # means a job is wider than the machine.
-                widest = max(state.queue, key=lambda j: j.requested_processors)
-                raise RuntimeError(
-                    f"simulation deadlocked: job {widest.job_id} requests "
-                    f"{widest.requested_processors} of {self.num_processors} processors"
-                )
-        return self._finalize(state)
+        # The flush in ``finally`` publishes the run's event tallies whether
+        # the sequence completes, raises, or the caller closes the generator
+        # early (lane steals discard in-flight episodes).
+        try:
+            while state.pending or state.queue or state.machine.num_running:
+                if state.queue:
+                    blocked = yield from self._schedule_now(state)
+                else:
+                    blocked = False
+                advanced = self._advance_time(state)
+                if not advanced and not blocked and not state.queue and not state.pending:
+                    break
+                if not advanced and state.queue and not blocked:
+                    # Defensive: the queue is non-empty, nothing is running and no
+                    # arrivals remain, yet the head job could not start -- this
+                    # means a job is wider than the machine.
+                    widest = max(state.queue, key=lambda j: j.requested_processors)
+                    raise RuntimeError(
+                        f"simulation deadlocked: job {widest.job_id} requests "
+                        f"{widest.requested_processors} of {self.num_processors} processors"
+                    )
+            return self._finalize(state)
+        finally:
+            _flush_sim_counters(state)
 
     # -- internals ----------------------------------------------------------
     def _validated(self, jobs: Iterable[Job]) -> List[Job]:
@@ -229,6 +274,7 @@ class Simulator:
         reservation exists and time must advance), ``False`` if the queue was
         drained.
         """
+        state.schedule_passes += 1
         while state.queue:
             # state.queue is sorted by (submit_time, job_id), so arrival-order
             # policies (FCFS) take the head directly instead of scanning.
@@ -596,6 +642,7 @@ class OnlineSession:
             state.machine.release_completed(state.now)
             self.sim._admit(state)
             self._schedule_due = True
+        _flush_sim_counters(state)
         return served
 
     def drain(self) -> List[ServedDecision]:
@@ -628,6 +675,7 @@ class OnlineSession:
                     f"{widest.requested_processors} of {self.sim.num_processors} processors"
                 )
         self._drained = True
+        _flush_sim_counters(state)
         return served
 
     def result(self) -> SimulationResult:

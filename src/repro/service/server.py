@@ -37,6 +37,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.agent import RLBackfillAgent
 from repro.core.rlbackfill import RLBackfillPolicy
+from repro.obs import get_metrics, metrics_enabled
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.prediction.predictors import UserEstimate
 from repro.scheduler.simulator import OnlineSession, ServedDecision, Simulator
 from repro.service.admission import AdmissionController, RefillSchedule
@@ -137,6 +139,20 @@ class SchedulingService:
             bsld_threshold=self.simulator.bsld_threshold,
         )
         self.counters = _Counters()
+        # The service *is* a telemetry surface: its registry is always on and
+        # exposed through the ``metrics`` wire op (Prometheus text format).
+        # ``self.counters`` stays the public coarse view; the registry adds
+        # per-op latency histograms, admission-outcome counters, and depth
+        # gauges without changing that surface.
+        self.metrics = MetricsRegistry(enabled=True)
+        self._op_histograms: Dict[str, Histogram] = {}
+        self._queue_depth_gauge = self.metrics.gauge("service_queue_depth")
+        self._pending_gauge = self.metrics.gauge("service_pending_requests")
+        self._admission_counters = {
+            outcome: self.metrics.counter("service_admission_total", outcome=outcome)
+            for outcome in ("admitted", "throttled", "invalid")
+        }
+        self._decisions_counter = self.metrics.counter("service_decisions_total")
         self._clock = clock or time.monotonic
         self._t0: Optional[float] = None
         self._last_assigned = 0.0
@@ -230,11 +246,14 @@ class SchedulingService:
             if item is None:
                 return
             request, future = item
+            op = str(request.get("op", "unknown")) if isinstance(request, dict) else "unknown"
+            t0 = time.perf_counter_ns()
             try:
                 response = self._handle(request)
             except Exception as error:  # noqa: BLE001 - surfaced to the client
                 self.counters.errored += 1
                 response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            self._observe_request(op, (time.perf_counter_ns() - t0) / 1e9)
             if future is not None and not future.cancelled():
                 future.set_result(response)
 
@@ -256,7 +275,25 @@ class SchedulingService:
         for decision in served:
             self.replay.decision(decision)
         self.counters.decisions += len(served)
+        self._decisions_counter.inc(len(served))
         return served
+
+    _KNOWN_OPS = frozenset({"tick", "submit", "stats", "drain", "metrics"})
+
+    def _observe_request(self, op: str, seconds: float) -> None:
+        """Record one scheduler-task request into the service registry.
+
+        Unknown op strings come off the wire, so they collapse into one
+        ``other`` label rather than minting unbounded label values.
+        """
+        label = op if op in self._KNOWN_OPS else "other"
+        hist = self._op_histograms.get(label)
+        if hist is None:
+            hist = self.metrics.histogram("service_request_seconds", op=label)
+            self._op_histograms[label] = hist
+        hist.observe(seconds)
+        self._queue_depth_gauge.set(self.session.queue_depth)
+        self._pending_gauge.set(self._queue.qsize())
 
     # -- request handling ---------------------------------------------------
     def _handle(self, request: Dict[str, object]) -> Dict[str, object]:
@@ -276,9 +313,27 @@ class SchedulingService:
             return self._handle_submit(request)
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            return self._handle_metrics()
         if op == "drain":
             return self._handle_drain()
         raise ValueError(f"unknown op {op!r}")
+
+    def _handle_metrics(self) -> Dict[str, object]:
+        """The ``metrics`` wire op: Prometheus text exposition format 0.0.4.
+
+        Always includes the service's own registry; when global collection is
+        on (``REPRO_OBS_METRICS=1``) the process-wide registry -- simulator
+        counters, PPO timings -- is appended so one scrape covers both.
+        """
+        body = self.metrics.to_prometheus()
+        if metrics_enabled():
+            body += get_metrics().to_prometheus()
+        return {
+            "ok": True,
+            "content_type": "text/plain; version=0.0.4",
+            "body": body,
+        }
 
     @staticmethod
     def _decision_to_wire(decision: ServedDecision) -> Dict[str, object]:
@@ -314,6 +369,7 @@ class SchedulingService:
                 verdict = self.admission.admit(tenant, wall)
                 if not verdict.admitted:
                     self.counters.rejected += 1
+                    self._admission_counters["throttled"].inc()
                     retry = verdict.retry_after
                     self.replay.reject(tenant, wall, retry)
                     results.append(
@@ -335,6 +391,7 @@ class SchedulingService:
                 self.session.submit(job)
             except (ValueError, TypeError, KeyError) as error:
                 self.counters.errored += 1
+                self._admission_counters["invalid"].inc()
                 results.append(
                     {
                         "job_id": payload.get("job_id") if isinstance(payload, dict) else None,
@@ -345,6 +402,7 @@ class SchedulingService:
                 )
                 continue
             self.counters.admitted += 1
+            self._admission_counters["admitted"].inc()
             self.replay.submit(tenant, job)
             results.append(
                 {"job_id": job.job_id, "admitted": True, "event_time": job.submit_time}
@@ -366,6 +424,7 @@ class SchedulingService:
         for decision in served:
             self.replay.decision(decision)
         self.counters.decisions += len(served)
+        self._decisions_counter.inc(len(served))
         summary: Dict[str, object] = {
             "jobs": self.session.jobs_submitted,
             "decisions_served": len(self.session.decisions),
@@ -517,6 +576,10 @@ class ServiceClient:
 
     async def stats(self) -> Dict[str, object]:
         return await self.request({"op": "stats"})
+
+    async def metrics(self) -> Dict[str, object]:
+        """Scrape the service's Prometheus text exposition (``body`` key)."""
+        return await self.request({"op": "metrics"})
 
     async def shutdown(self) -> Dict[str, object]:
         return await self.request({"op": "shutdown"})

@@ -35,6 +35,16 @@ import pytest
 
 from repro.core import BackfillEnvironment, RLBackfillAgent, Trainer, TrainerConfig
 from repro.core.observation import ObservationConfig
+from repro.obs import (
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    get_metrics,
+    get_tracer,
+    metrics_enabled,
+    tracing_enabled,
+)
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.lane_pool import ProcessLanePool
 from repro.rl.ppo import PPOConfig
@@ -43,6 +53,42 @@ from repro.rl.vec_env import VecBackfillEnv, clone_lane_envs
 
 OBS_CONFIG = ObservationConfig(max_queue_size=16)
 LANES = 16
+
+
+@pytest.fixture(scope="module", autouse=True)
+def observability_enabled():
+    """Run the whole parity matrix with metrics AND tracing collection on.
+
+    This is the subsystem's core determinism assertion: every counter
+    increment and span record in the instrumented hot paths (simulator
+    schedule passes, profile builds, engine phases, PPO update timing,
+    worker-published shared-memory deltas) must leave trajectories, buffer
+    contents, and trained weights bit-identical -- observability may watch
+    the computation but never steer it.
+    """
+    was_metrics, was_tracing = metrics_enabled(), tracing_enabled()
+    enable_metrics()
+    enable_tracing()
+    yield
+    if not was_metrics:
+        disable_metrics()
+    if not was_tracing:
+        disable_tracing()
+    get_metrics().reset()
+    get_tracer().clear()
+
+
+def test_observability_collection_is_active(small_trace):
+    """The fixture's switches genuinely collect during the matrix: a short
+    rollout increments the global simulator counters and records spans."""
+    passes = get_metrics().counter("sim_schedule_passes_total")
+    before_passes = passes.value
+    before_spans = get_tracer().recorded
+    engine = VecBackfillEnv.from_template(make_training_env(small_trace), 2, seed=9)
+    agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=9)
+    engine.rollout(agent, 2, TrajectoryBuffer(), rngs=lane_rngs(2))
+    assert passes.value > before_passes
+    assert get_tracer().recorded > before_spans
 
 
 def make_training_env(small_trace, seed=5):

@@ -18,6 +18,7 @@ import pytest
 
 from repro.cluster.machine import DowntimeWindow
 from repro.core.agent import RLBackfillAgent
+from repro.obs import parse_prometheus_text
 from repro.core.rlbackfill import RLBackfillPolicy
 from repro.prediction.predictors import UserEstimate
 from repro.scheduler.backfill.easy import EasyBackfill
@@ -479,3 +480,83 @@ class TestServiceProtocol:
         times = [r["event_time"] for r in response["results"]]
         assert all(b > a for a, b in zip(times, times[1:]))
         assert all(b - a >= 1e-6 - 1e-12 for a, b in zip(times, times[1:]))
+
+
+class TestServiceMetrics:
+    """The `metrics` wire op and the registry behind it."""
+
+    def test_metrics_op_exposes_prometheus_text(self):
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(agent, service_config())
+            async with service:
+                host, port = service.address
+                rng = np.random.default_rng(7)
+                async with ServiceClient(host, port) as client:
+                    for burst in range(4):
+                        response = await client.submit(wire_jobs(rng, burst * 8 + 1, 8))
+                        assert response["ok"], response
+                    # one invalid job exercises the invalid-outcome counter
+                    bad = await client.submit({"job_id": 999, "runtime": -1.0,
+                                               "requested_processors": 1,
+                                               "requested_time": 1.0})
+                    await client.drain()
+                    scraped = await client.metrics()
+                    await client.shutdown()
+                await service.wait_stopped()
+            return service, bad, scraped
+
+        service, bad, scraped = run_service(scenario())
+        assert scraped["ok"]
+        assert scraped["content_type"].startswith("text/plain")
+        body = scraped["body"]
+        assert "# TYPE service_request_seconds histogram" in body
+
+        samples = parse_prometheus_text(body)
+        assert samples['service_admission_total{outcome="admitted"}'] == 32
+        assert samples['service_admission_total{outcome="invalid"}'] == 1
+        assert samples['service_admission_total{outcome="throttled"}'] == 0
+        assert not bad["results"][0]["admitted"]
+        # per-op latency histograms: one observation per submit *request*
+        # (4 batch bursts + 1 invalid single), not per job
+        assert samples['service_request_seconds_count{op="submit"}'] == 5
+        # +Inf bucket equals _count (exposition-format invariant)
+        assert (
+            samples['service_request_seconds_bucket{op="submit",le="+Inf"}']
+            == samples['service_request_seconds_count{op="submit"}']
+        )
+        # decisions counter mirrors the public coarse counter
+        assert samples["service_decisions_total"] == service.counters.decisions
+
+    def test_registry_counters_match_public_counters(self):
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(
+                agent,
+                service_config(admission_capacity=4.0, admission_refill=((0.0, 0.001),)),
+            )
+            async with service:
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    response = await client.submit(
+                        [
+                            {"job_id": k, "runtime": 10.0,
+                             "requested_processors": 1, "requested_time": 20.0}
+                            for k in range(1, 9)
+                        ]
+                    )
+                    await client.shutdown()
+                await service.wait_stopped()
+            return service, response
+
+        service, response = run_service(scenario())
+        samples = parse_prometheus_text(service.metrics.to_prometheus())
+        assert samples['service_admission_total{outcome="admitted"}'] == (
+            service.counters.admitted
+        )
+        assert samples['service_admission_total{outcome="throttled"}'] == (
+            service.counters.rejected
+        )
+        assert service.counters.rejected > 0  # the tight bucket throttled some
