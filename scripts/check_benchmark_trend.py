@@ -57,10 +57,16 @@ decision rate, tail latencies, and the machine-relative
 ``p99_latency_per_forward`` / ``decision_throughput_x_forward`` ratios in
 ``extra_info``).
 
+Chaos telemetry completes the set: ``--chaos-report TIMING.json`` ingests the
+document written by ``scripts/chaos_smoke.py --out`` as a pseudo-benchmark
+named ``chaos_smoke`` (``stats.mean`` = harness wall seconds; the
+machine-relative ``recovery_overhead_vs_clean`` ratio plus the hard
+``pool_parity_ok`` / ``service_recovery_ok`` bits in ``extra_info``).
+
 Usage:
     python scripts/check_benchmark_trend.py [--strict]
         [--scenario-report TIMING.json] [--service-report TIMING.json]
-        RESULTS.json [BASELINE.json]
+        [--chaos-report TIMING.json] RESULTS.json [BASELINE.json]
 """
 
 from __future__ import annotations
@@ -157,6 +163,37 @@ def ingest_service_report(benches: dict[str, dict], timing_path: Path) -> None:
     }
 
 
+#: Name under which an ingested chaos-smoke timing document appears.
+CHAOS_BENCH_NAME = "chaos_smoke"
+
+
+def ingest_chaos_report(benches: dict[str, dict], timing_path: Path) -> None:
+    """Fold a chaos-smoke timing JSON into the benchmark map.
+
+    The document is written by ``scripts/chaos_smoke.py --out``; its total
+    wall seconds become ``stats.mean`` and the gated quantities land in
+    ``extra_info``: ``recovery_overhead_vs_clean`` (fault-injected pool wall
+    over clean pool wall -- machine-relative, transfers across runners) plus
+    the two hard parity bits (``pool_parity_ok``, ``service_recovery_ok``).
+    """
+    timing = json.loads(timing_path.read_text())
+    wall = timing.get("chaos_wall_seconds")
+    if wall is None:
+        raise ValueError(
+            f"{timing_path}: not a chaos timing document "
+            "(missing 'chaos_wall_seconds')"
+        )
+    benches[CHAOS_BENCH_NAME] = {
+        "name": CHAOS_BENCH_NAME,
+        "stats": {"mean": float(wall)},
+        "extra_info": {
+            "recovery_overhead_vs_clean": timing.get("recovery_overhead_vs_clean"),
+            "pool_parity_ok": timing.get("pool_parity_ok"),
+            "service_recovery_ok": timing.get("service_recovery_ok"),
+        },
+    }
+
+
 def read_value(benches: dict[str, dict], spec: dict) -> tuple[float | None, str, str]:
     """Resolve one ``{benchmark, key|stat}`` reference.
 
@@ -184,6 +221,7 @@ def check(
     strict: bool = False,
     scenario_report: Path | None = None,
     service_report: Path | None = None,
+    chaos_report: Path | None = None,
 ) -> int:
     baseline = json.loads(baseline_path.read_text())
     default_tolerance = float(baseline.get("tolerance", 0.2))
@@ -192,6 +230,8 @@ def check(
         ingest_scenario_report(benches, scenario_report)
     if service_report is not None:
         ingest_service_report(benches, service_report)
+    if chaos_report is not None:
+        ingest_chaos_report(benches, chaos_report)
 
     failures: list[str] = []
     missing: list[str] = []
@@ -281,6 +321,7 @@ def main(argv: list[str]) -> int:
     strict = False
     scenario_report: Path | None = None
     service_report: Path | None = None
+    chaos_report: Path | None = None
     rest = list(argv[1:])
     while rest:
         arg = rest.pop(0)
@@ -296,6 +337,11 @@ def main(argv: list[str]) -> int:
                 print("--service-report needs a path", file=sys.stderr)
                 return 2
             service_report = Path(rest.pop(0))
+        elif arg == "--chaos-report":
+            if not rest:
+                print("--chaos-report needs a path", file=sys.stderr)
+                return 2
+            chaos_report = Path(rest.pop(0))
         else:
             args.append(arg)
     if len(args) not in (1, 2):
@@ -312,12 +358,16 @@ def main(argv: list[str]) -> int:
     if service_report is not None and not service_report.is_file():
         print(f"service timing file not found: {service_report}", file=sys.stderr)
         return 2
+    if chaos_report is not None and not chaos_report.is_file():
+        print(f"chaos timing file not found: {chaos_report}", file=sys.stderr)
+        return 2
     return check(
         results_path,
         baseline_path,
         strict=strict,
         scenario_report=scenario_report,
         service_report=service_report,
+        chaos_report=chaos_report,
     )
 
 

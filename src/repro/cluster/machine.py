@@ -78,16 +78,29 @@ class DowntimeWindow:
 
 @dataclass(frozen=True, slots=True)
 class RunningJob:
-    """A job currently executing on the machine."""
+    """A job currently executing on the machine.
+
+    ``runtime_override`` replaces the job's actual runtime for this run --
+    the checkpoint-credit restart policy uses it to run only the *remaining*
+    runtime after a preemption (see :mod:`repro.faults`).  ``None`` (the
+    default, and the only value a first start ever uses) means the job runs
+    its full actual runtime.
+    """
 
     job: Job
     start_time: float
     allocation: Allocation
+    runtime_override: Optional[float] = None
+
+    @property
+    def runtime(self) -> float:
+        """Wall time this run occupies the machine."""
+        return self.job.runtime if self.runtime_override is None else self.runtime_override
 
     @property
     def end_time(self) -> float:
-        """True completion time (start + actual runtime)."""
-        return self.start_time + self.job.runtime
+        """True completion time (start + actual runtime for this run)."""
+        return self.start_time + self.runtime
 
     def estimated_end_time(self, estimator: Callable[[Job], float]) -> float:
         """Completion time as believed by the scheduler under ``estimator``.
@@ -253,13 +266,16 @@ class Machine:
         job: Job,
         now: float,
         estimator: Callable[[Job], float] | None = None,
+        runtime: float | None = None,
     ) -> RunningJob:
         """Start ``job`` at time ``now``; raises if processors are unavailable.
 
         ``estimator`` (optional) is the scheduler's runtime estimator; when it
         is stateless and matches the active sorted release plan, the job's
         estimated release is inserted into the plan incrementally so the next
-        reservation query needs no re-sort.
+        reservation query needs no re-sort.  ``runtime`` (optional) overrides
+        the job's actual runtime for this run -- the checkpoint-credit restart
+        of a preempted job runs only its remaining runtime.
         """
         if job.job_id in self._running:
             raise RuntimeError(f"job {job.job_id} is already running")
@@ -271,7 +287,9 @@ class Machine:
                 f"({self.drained_processors()} drained by the capacity schedule)"
             )
         allocation = self.pool.allocate(job.requested_processors)
-        record = RunningJob(job=job, start_time=now, allocation=allocation)
+        record = RunningJob(
+            job=job, start_time=now, allocation=allocation, runtime_override=runtime
+        )
         self._running[job.job_id] = record
         heapq.heappush(self._completion_heap, (record.end_time, job.job_id))
         self._version += 1
@@ -372,6 +390,54 @@ class Machine:
         self._version += 1
         self._sorted_plan_remove(job_id)
         return record
+
+    # -- failures -----------------------------------------------------------
+    def add_capacity_window(self, window: DowntimeWindow) -> None:
+        """Insert ``window`` into the capacity schedule, keeping it sorted.
+
+        Injected windows are immediately visible to every availability query,
+        both backfill disciplines' profiles (via :meth:`capacity_drains`), and
+        the reservation walk -- exactly like windows known up front, except
+        the scheduler learns about them only from this instant on.
+        """
+        self.capacity_schedule = tuple(
+            sorted([*self.capacity_schedule, window], key=lambda w: (w.start, w.end))
+        )
+
+    def fail_nodes(
+        self, now: float, processors: int, repair_end: float, start: float | None = None
+    ) -> List[RunningJob]:
+        """``processors`` nodes fail; they rejoin the pool at ``repair_end``.
+
+        Unlike a graceful drain, a failure **preempts**: running jobs are
+        killed -- youngest start first, ties broken by job id, the Slurm-like
+        requeue order -- until the busy count fits the remaining in-service
+        capacity.  The failure manifests as a :class:`DowntimeWindow` over
+        ``[start, repair_end)`` appended to the capacity schedule (``start``
+        defaults to ``now``; an earlier start models a failure dated before
+        the clock caught up, e.g. before the first arrival), so repair is an
+        ordinary capacity boundary event.  A window already entirely in the
+        past preempts nothing.  Returns the preempted jobs sorted by
+        ``(start_time, job_id)``; the caller (the simulator) owns requeueing
+        them under its restart policy.
+        """
+        start = now if start is None else min(start, now)
+        if processors <= 0:
+            raise ValueError(f"node failure must take down a positive processor count, got {processors}")
+        if not repair_end > start:
+            raise ValueError(f"repair_end must lie after the failure instant, got {repair_end} <= {start}")
+        self._account(now)
+        self.add_capacity_window(
+            DowntimeWindow(start=start, end=repair_end, processors=min(processors, self.pool.total))
+        )
+        victims: List[RunningJob] = []
+        while self._running and self.pool.used > self.effective_capacity(now):
+            youngest = max(
+                self._running.values(), key=lambda r: (r.start_time, r.job.job_id)
+            )
+            victims.append(self.release(youngest.job.job_id))
+        victims.sort(key=lambda r: (r.start_time, r.job.job_id))
+        return victims
 
     # -- reservations -------------------------------------------------------
     def _estimated_releases(

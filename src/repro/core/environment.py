@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cluster.machine import DowntimeWindow
 from repro.core.observation import ObservationBuilder, ObservationConfig
+from repro.faults.plan import NodeFailure, RestartPolicy, as_restart_policy
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
 from repro.rl.env import Environment, StepResult
 from repro.scheduler.backfill.base import BackfillStrategy
@@ -83,6 +84,8 @@ class BackfillEnvironment(Environment):
         training_pool_size: int | None = None,
         min_baseline_bsld: float | None = None,
         capacity_schedule: Sequence[DowntimeWindow] | None = None,
+        node_failures: Sequence[NodeFailure] | None = None,
+        restart_policy: RestartPolicy | str | None = None,
     ):
         if sequence_length <= 0:
             raise ValueError("sequence_length must be positive")
@@ -105,6 +108,13 @@ class BackfillEnvironment(Environment):
         # free_fraction, the reservation horizon, and the extra-processor
         # features are all computed off the capacity-aware machine state.
         self.capacity_schedule = tuple(capacity_schedule or ())
+        # Injected node failures applied to every episode (agent and baseline
+        # alike); victims requeue under the restart policy.  Like downtime,
+        # the capacity loss reaches the agent through the observation -- the
+        # failure's repair window joins the machine's schedule at the failure
+        # instant, shifting free_fraction and the reservation features.
+        self.node_failures = tuple(node_failures or ())
+        self.restart_policy = as_restart_policy(restart_policy)
         self.rng = as_rng(seed)
         self.max_reset_attempts = int(max_reset_attempts)
         self.builder = ObservationBuilder(self.observation_config)
@@ -159,6 +169,8 @@ class BackfillEnvironment(Environment):
             training_pool_size=self.training_pool_size,
             min_baseline_bsld=self.min_baseline_bsld,
             capacity_schedule=self.capacity_schedule,
+            node_failures=self.node_failures,
+            restart_policy=self.restart_policy,
         )
 
     # -- Environment interface --------------------------------------------------
@@ -176,6 +188,8 @@ class BackfillEnvironment(Environment):
             policy=self.policy,
             estimator=self.estimator,
             capacity_schedule=self.capacity_schedule,
+            node_failures=self.node_failures,
+            restart_policy=self.restart_policy,
         )
 
     def _baseline_bsld(self, jobs: Sequence[Job]) -> float:
@@ -443,6 +457,8 @@ class BackfillEnvironment(Environment):
                 policy=self.policy,
                 estimator=estimator,
                 capacity_schedule=self.capacity_schedule,
+                node_failures=self.node_failures,
+                restart_policy=self.restart_policy,
             )
             results[label] = simulator.run(jobs, backfill=backfill).bsld
         return results

@@ -101,21 +101,21 @@ def _sample_evaluation_sequences(
     ]
 
 
-def _resolve_capacity_schedule(capacity_schedule, jobs: Sequence[Job]):
-    """Resolve a per-sequence capacity schedule.
+def _resolve_per_sequence(value, jobs: Sequence[Job]):
+    """Resolve a per-sequence event list (capacity schedule or node failures).
 
-    ``capacity_schedule`` may be ``None``, a concrete sequence of
-    :class:`~repro.cluster.machine.DowntimeWindow`, or a callable mapping the
-    sequence's submission span (seconds) to a window list -- the form the
-    scenario subsystem uses so fractional downtime specs scale with the
-    evaluated sequence.
+    ``value`` may be ``None``, a concrete sequence of events
+    (:class:`~repro.cluster.machine.DowntimeWindow` /
+    :class:`~repro.faults.NodeFailure`), or a callable mapping the sequence's
+    submission span (seconds) to an event list -- the form the scenario
+    subsystem uses so fractional specs scale with the evaluated sequence.
     """
-    if capacity_schedule is None:
+    if value is None:
         return None
-    if callable(capacity_schedule):
+    if callable(value):
         span = max(job.submit_time for job in jobs) - min(job.submit_time for job in jobs)
-        return capacity_schedule(span)
-    return capacity_schedule
+        return value(span)
+    return value
 
 
 def evaluate_strategy_results(
@@ -123,6 +123,8 @@ def evaluate_strategy_results(
     configuration: SchedulingConfiguration,
     sequences: Sequence[Sequence[Job]],
     capacity_schedule=None,
+    node_failures=None,
+    restart_policy=None,
 ) -> List[SimulationResult]:
     """Per-sequence :class:`SimulationResult` of ``configuration`` over ``sequences``."""
     results = []
@@ -132,7 +134,9 @@ def evaluate_strategy_results(
             policy=configuration.policy,
             backfill=configuration.backfill,
             estimator=configuration.estimator,
-            capacity_schedule=_resolve_capacity_schedule(capacity_schedule, jobs),
+            capacity_schedule=_resolve_per_sequence(capacity_schedule, jobs),
+            node_failures=_resolve_per_sequence(node_failures, jobs),
+            restart_policy=restart_policy,
         )
         results.append(simulator.run(jobs))
     return results
@@ -143,10 +147,17 @@ def evaluate_strategy(
     configuration: SchedulingConfiguration,
     sequences: Sequence[Sequence[Job]],
     capacity_schedule=None,
+    node_failures=None,
+    restart_policy=None,
 ) -> float:
     """Mean bounded slowdown of ``configuration`` over ``sequences``."""
     results = evaluate_strategy_results(
-        trace, configuration, sequences, capacity_schedule=capacity_schedule
+        trace,
+        configuration,
+        sequences,
+        capacity_schedule=capacity_schedule,
+        node_failures=node_failures,
+        restart_policy=restart_policy,
     )
     return float(np.mean([result.bsld for result in results]))
 

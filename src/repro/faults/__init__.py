@@ -1,0 +1,21 @@
+"""Failure-domain subsystem: deterministic fault injection and restart policies.
+
+See docs/resilience.md for the plan format, restart-policy semantics, and the
+recovery invariants each consumer (simulator, lane pool, service) upholds.
+"""
+
+from repro.faults.plan import (
+    FAULT_STREAM,
+    FaultPlan,
+    NodeFailure,
+    RestartPolicy,
+    as_restart_policy,
+)
+
+__all__ = [
+    "FAULT_STREAM",
+    "FaultPlan",
+    "NodeFailure",
+    "RestartPolicy",
+    "as_restart_policy",
+]

@@ -1,0 +1,250 @@
+"""Deterministic fault-injection plans (docs/resilience.md).
+
+A :class:`FaultPlan` is a *schedule of adversity*: simulated-time node
+failures for the cluster model, worker kills at rollout round boundaries for
+the process lane pool, and connection drops / torn final writes for the
+service path.  Plans are plain frozen data -- nothing here performs the
+injection; the simulator, lane pool, service tests, and the chaos harness
+each consume the part of the plan addressed to them.
+
+**Determinism.**  :meth:`FaultPlan.generate` draws every event from a child
+stream derived via :func:`repro.utils.rng.derive_seed` at a dedicated index
+(:data:`FAULT_STREAM`), the same fan-out discipline the scenario subsystem
+uses for its base trace (index 0) and transforms (index 1).  A fault plan is
+therefore reproducible from ``(seed, shape parameters)`` alone and composes
+with scenario seeds without perturbing their draws: the workload a scenario
+builds at seed *s* is bit-identical with and without a fault plan generated
+from the same *s*.
+
+**Restart semantics.**  :class:`RestartPolicy` decides what happens to a
+preempted job's already-elapsed runtime: ``"requeue"`` discards it (the job
+runs its full runtime again after its restart), ``"checkpoint"`` credits it
+(only the remaining runtime is re-run, floored so a restart is never free).
+The simulator applies the policy when a :class:`NodeFailure` kills running
+jobs; see :meth:`repro.cluster.machine.Machine.fail_nodes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple
+
+import math
+
+from repro.utils.rng import SeedLike, as_rng, derive_seed
+from repro.workloads.job import Job
+
+__all__ = [
+    "FAULT_STREAM",
+    "NodeFailure",
+    "RestartPolicy",
+    "as_restart_policy",
+    "FaultPlan",
+]
+
+#: ``derive_seed`` stream index reserved for fault plans.  Scenario builds use
+#: index 0 for the base trace and 1 for transforms; fault schedules draw from
+#: their own stream so adding one never shifts a scenario's workload.
+FAULT_STREAM = 2
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailure:
+    """``processors`` nodes fail at ``time`` and return after ``repair_duration``.
+
+    Unlike a :class:`~repro.cluster.machine.DowntimeWindow` (a *graceful*
+    drain that never touches running jobs), a node failure **preempts**: jobs
+    occupying the failed nodes are killed and requeued through the active
+    :class:`RestartPolicy`.  The repair duration must be finite and positive
+    -- the failed nodes come back, which keeps reservation walks over the
+    induced capacity window terminating.
+    """
+
+    time: float
+    processors: int
+    repair_duration: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"node failure cannot occur before t=0, got {self.time}")
+        if self.processors <= 0:
+            raise ValueError(f"node failure must take down a positive processor count, got {self.processors}")
+        if not (math.isfinite(self.repair_duration) and self.repair_duration > 0):
+            raise ValueError(
+                f"repair_duration must be finite and positive, got {self.repair_duration}"
+            )
+
+    @property
+    def repair_end(self) -> float:
+        """Instant the failed nodes rejoin the pool."""
+        return self.time + self.repair_duration
+
+
+#: Floor (seconds) on the remaining runtime a checkpoint restart re-runs, so
+#: a restart is never free even when the job was nearly done when killed.
+_MIN_REMAINING = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class RestartPolicy:
+    """What a preempted job's restart costs.
+
+    ``mode="requeue"`` restarts from scratch: the job re-runs its full
+    runtime.  ``mode="checkpoint"`` credits elapsed runtime accumulated over
+    every previous (interrupted) run: only ``runtime - credit`` remains,
+    floored at ``min_remaining`` (clamped to the job's own runtime, so tiny
+    jobs stay consistent).
+    """
+
+    mode: str = "requeue"
+    min_remaining: float = _MIN_REMAINING
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("requeue", "checkpoint"):
+            raise ValueError(f"unknown restart mode {self.mode!r} (expected 'requeue' or 'checkpoint')")
+        if self.min_remaining <= 0:
+            raise ValueError(f"min_remaining must be positive, got {self.min_remaining}")
+
+    def remaining_runtime(self, job: Job, elapsed_credit: float) -> Optional[float]:
+        """Runtime the job's next start must run, or ``None`` for the full runtime."""
+        if self.mode == "requeue":
+            return None
+        floor = min(float(job.runtime), self.min_remaining)
+        return max(float(job.runtime) - float(elapsed_credit), floor)
+
+
+def as_restart_policy(value: "RestartPolicy | str | None") -> RestartPolicy:
+    """Normalize a restart-policy argument (instance, mode name, or ``None``)."""
+    if value is None:
+        return RestartPolicy()
+    if isinstance(value, RestartPolicy):
+        return value
+    return RestartPolicy(mode=str(value))
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A reproducible schedule of injected failures across the three layers.
+
+    * ``node_failures`` -- simulated-time cluster events, consumed by
+      :class:`~repro.scheduler.simulator.Simulator`;
+    * ``worker_kills`` -- ``(round_index, worker_index)`` pairs at which the
+      lane pool kills (and deterministically respawns) a worker process,
+      consumed by :class:`~repro.rl.lane_pool.ProcessLanePool`;
+    * ``connection_drops`` -- request ordinals at which a service client
+      connection is dropped before the response arrives (exercises the
+      retry/dedup path);
+    * ``torn_final_write`` -- whether a crash test should truncate the replay
+      log mid-record (exercises torn-tail recovery).
+    """
+
+    seed: int = 0
+    node_failures: Tuple[NodeFailure, ...] = ()
+    worker_kills: Tuple[Tuple[int, int], ...] = ()
+    connection_drops: Tuple[int, ...] = ()
+    torn_final_write: bool = False
+    restart_policy: RestartPolicy = field(default_factory=RestartPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "node_failures",
+            tuple(sorted(self.node_failures, key=lambda f: (f.time, f.processors))),
+        )
+        object.__setattr__(self, "worker_kills", tuple(sorted(set(self.worker_kills))))
+        object.__setattr__(self, "connection_drops", tuple(sorted(set(self.connection_drops))))
+
+    @property
+    def has_node_failures(self) -> bool:
+        return bool(self.node_failures)
+
+    @property
+    def has_worker_kills(self) -> bool:
+        return bool(self.worker_kills)
+
+    def kills_for_round(self, round_index: int) -> Tuple[int, ...]:
+        """Worker indices to kill after completing ``round_index`` (sorted)."""
+        return tuple(w for r, w in self.worker_kills if r == round_index)
+
+    def drops_connection(self, request_index: int) -> bool:
+        return request_index in self.connection_drops
+
+    @classmethod
+    def generate(
+        cls,
+        seed: SeedLike,
+        *,
+        horizon: float = 0.0,
+        num_processors: int = 0,
+        num_node_failures: int = 0,
+        repair_fraction: float = 0.05,
+        max_failure_fraction: float = 0.5,
+        rounds: int = 0,
+        num_workers: int = 0,
+        num_worker_kills: int = 0,
+        num_requests: int = 0,
+        num_connection_drops: int = 0,
+        torn_final_write: bool = False,
+        restart_policy: "RestartPolicy | str | None" = None,
+    ) -> "FaultPlan":
+        """Draw a fault plan from the ``seed``'s dedicated child stream.
+
+        Node failures land uniformly over ``(0, horizon)`` and take down
+        between one processor and ``max_failure_fraction`` of the machine,
+        with a repair time of ``repair_fraction * horizon``.  Worker kills
+        land on distinct ``(round, worker)`` pairs; connection drops on
+        distinct request ordinals.  Identical arguments yield an identical
+        plan, and the draws never touch the caller's rng stream.
+        """
+        base = derive_seed(seed, FAULT_STREAM)
+        rng = as_rng(base)
+        failures = []
+        if num_node_failures > 0:
+            if horizon <= 0 or num_processors <= 0:
+                raise ValueError(
+                    "node-failure generation needs a positive horizon and num_processors"
+                )
+            max_down = max(int(num_processors * max_failure_fraction), 1)
+            repair = max(horizon * repair_fraction, _MIN_REMAINING)
+            times = sorted(float(t) for t in rng.uniform(0.0, horizon, size=num_node_failures))
+            sizes = rng.integers(1, max_down + 1, size=num_node_failures)
+            failures = [
+                NodeFailure(time=t, processors=int(p), repair_duration=repair)
+                for t, p in zip(times, sizes)
+            ]
+        kills: set[Tuple[int, int]] = set()
+        if num_worker_kills > 0:
+            if rounds <= 0 or num_workers <= 0:
+                raise ValueError("worker-kill generation needs positive rounds and num_workers")
+            want = min(num_worker_kills, rounds * num_workers)
+            while len(kills) < want:
+                kills.add((int(rng.integers(0, rounds)), int(rng.integers(0, num_workers))))
+        drops: set[int] = set()
+        if num_connection_drops > 0:
+            if num_requests <= 0:
+                raise ValueError("connection-drop generation needs a positive num_requests")
+            want = min(num_connection_drops, num_requests)
+            while len(drops) < want:
+                drops.add(int(rng.integers(0, num_requests)))
+        return cls(
+            seed=base,
+            node_failures=tuple(failures),
+            worker_kills=tuple(sorted(kills)),
+            connection_drops=tuple(sorted(drops)),
+            torn_final_write=torn_final_write,
+            restart_policy=as_restart_policy(restart_policy),
+        )
+
+    def describe(self) -> Mapping[str, object]:
+        """JSON-friendly summary (chaos-harness reports embed this)."""
+        return {
+            "seed": self.seed,
+            "node_failures": [
+                {"time": f.time, "processors": f.processors, "repair_duration": f.repair_duration}
+                for f in self.node_failures
+            ],
+            "worker_kills": [list(pair) for pair in self.worker_kills],
+            "connection_drops": list(self.connection_drops),
+            "torn_final_write": self.torn_final_write,
+            "restart_policy": self.restart_policy.mode,
+        }

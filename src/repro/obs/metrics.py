@@ -89,6 +89,8 @@ WORKER_PUBLISHED_COUNTERS: Tuple[str, ...] = (
     "sim_decision_points_total",
     "sim_backfill_starts_total",
     "backfill_profile_builds_total",
+    "sim_preemptions_total",
+    "sim_requeues_total",
 )
 
 

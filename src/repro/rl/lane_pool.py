@@ -91,6 +91,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan
 from repro.obs import WORKER_PUBLISHED_COUNTERS, get_metrics, get_tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.rl.buffer import TrajectoryBuffer
@@ -413,6 +414,14 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
         pipe.close()
 
 
+class _WorkerDied(RuntimeError):
+    """A worker process exited; carries the worker index for recovery."""
+
+    def __init__(self, worker: int, message: str):
+        super().__init__(message)
+        self.worker = worker
+
+
 def _shutdown_pool(processes, cmd_rings, res_rings, pipes) -> None:
     """Best-effort teardown shared by ``close()`` and the GC finalizer."""
     for process, ring in zip(processes, cmd_rings):
@@ -486,6 +495,9 @@ class ProcessLanePool:
         round_timeout: float = 120.0,
         pipeline_depth: int = 1,
         presample: bool | None = None,
+        respawn: bool = True,
+        max_respawns: int = 8,
+        fault_plan: FaultPlan | None = None,
     ):
         if not envs:
             raise ValueError("ProcessLanePool needs at least one environment lane")
@@ -533,54 +545,57 @@ class ProcessLanePool:
 
         # Double-buffering needs one in-flight frame per cohort plus headroom
         # for the cold-path RECV_JOBS frame.
-        ring_capacity = max(int(ring_capacity), self.pipeline_depth + 1)
+        self._ring_capacity = max(int(ring_capacity), self.pipeline_depth + 1)
+        self._ctx = ctx
+
+        # Crash-recovery state.  The parent retains the lane environments it
+        # handed to the workers: under fork the children get copy-on-write
+        # views and under spawn they get pickled copies, so these objects
+        # stay pristine no matter what the workers do to their shards.  A
+        # respawned worker restarts from them and replays the lane's recorded
+        # command history (resets consume the same per-lane rng draws they
+        # consumed the first time; steps replay the current episode's
+        # actions), reconstructing the dead worker's shard bit for bit.
+        self.respawn = bool(respawn)
+        self.max_respawns = int(max_respawns)
+        self.fault_plan = fault_plan
+        self._lane_envs = list(envs)
+        self._reset_history: List[List[tuple]] = [[] for _ in range(self._num_envs)]
+        self._action_history: List[List[int]] = [[] for _ in range(self._num_envs)]
+        self._pending_reset_spec: Dict[int, tuple] = {}
+        self._inflight: List[List[dict]] = [[] for _ in range(self.num_workers)]
+        self._respawn_counts = [0] * self.num_workers
+        self._rounds_completed = 0
 
         self._cmd_rings: List[ShmRing] = []
         self._res_rings: List[ShmRing] = []
         self._pipes = []
         self._processes = []
         try:
-            for worker, (lo, hi) in enumerate(self.shards):
-                shard = hi - lo
-                cmd_ring = ShmRing(_command_layout(shard), ring_capacity, ctx)
-                self._cmd_rings.append(cmd_ring)
-                res_ring = ShmRing(
-                    _result_layout(shard, self._observation_size, self._num_actions),
-                    ring_capacity,
-                    ctx,
-                )
-                self._res_rings.append(res_ring)
-                parent_pipe, child_pipe = ctx.Pipe()
-                self._pipes.append(parent_pipe)
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(list(envs[lo:hi]), cmd_ring, res_ring, child_pipe),
-                    name=f"lane-pool-worker-{worker}",
-                    daemon=True,
-                )
-                process.start()
-                child_pipe.close()
-                self._processes.append(process)
+            for worker in range(self.num_workers):
+                self._spawn_worker(worker)
         except BaseException:
             # A mid-loop failure (e.g. unpicklable environment under spawn)
             # must not leak the rings and workers already created.
             _shutdown_pool(
-                self._processes, tuple(self._cmd_rings), tuple(self._res_rings),
-                tuple(self._pipes),
+                self._processes, self._cmd_rings, self._res_rings, self._pipes
             )
             raise
 
         self._closed = False
         self._desynced = False
         # finalize() both backs close() and runs at interpreter exit / GC, so
-        # worker processes and shared-memory segments can never leak.
+        # worker processes and shared-memory segments can never leak.  The
+        # containers are the live lists (not snapshots): worker respawn
+        # replaces entries in place, and the finalizer must tear down the
+        # current generation, not the original one.
         self._finalizer = weakref.finalize(
             self,
             _shutdown_pool,
             self._processes,
-            tuple(self._cmd_rings),
-            tuple(self._res_rings),
-            tuple(self._pipes),
+            self._cmd_rings,
+            self._res_rings,
+            self._pipes,
         )
 
         # Parent-side rollout state (persists across rollout() calls so
@@ -618,6 +633,8 @@ class ProcessLanePool:
                 "steal_banked",
                 "steal_credited",
                 "presampled_resets",
+                "respawns",
+                "replayed_commands",
                 "forward_ns",
                 "result_wait_ns",
                 "worker_wait_ns",
@@ -709,6 +726,8 @@ class ProcessLanePool:
             "steal_banked": c["steal_banked"].value,
             "steal_credited": c["steal_credited"].value,
             "presampled_resets": c["presampled_resets"].value,
+            "respawns": c["respawns"].value,
+            "replayed_commands": c["replayed_commands"].value,
             "worker_idle_fraction": round(idle, 4),
             "forward_s": c["forward_ns"].value / 1e9,
             "encode_s": c["worker_encode_ns"].value / 1e9,
@@ -725,6 +744,53 @@ class ProcessLanePool:
                 return worker
         raise IndexError(f"lane {lane} outside [0, {self._num_envs})")
 
+    def _spawn_worker(self, worker: int) -> None:
+        """(Re)create ``worker``'s rings, pipe, and process from pristine envs.
+
+        Replaces the entries in the live ``_cmd_rings``/``_res_rings``/
+        ``_pipes``/``_processes`` lists (the GC finalizer holds those same
+        lists), appending during initial construction.
+        """
+        lo, hi = self.shards[worker]
+        shard = hi - lo
+        cmd_ring = ShmRing(_command_layout(shard), self._ring_capacity, self._ctx)
+        if len(self._cmd_rings) > worker:
+            self._cmd_rings[worker] = cmd_ring
+        else:
+            self._cmd_rings.append(cmd_ring)
+        res_ring = ShmRing(
+            _result_layout(shard, self._observation_size, self._num_actions),
+            self._ring_capacity,
+            self._ctx,
+        )
+        if len(self._res_rings) > worker:
+            self._res_rings[worker] = res_ring
+        else:
+            self._res_rings.append(res_ring)
+        parent_pipe, child_pipe = self._ctx.Pipe()
+        if len(self._pipes) > worker:
+            self._pipes[worker] = parent_pipe
+        else:
+            self._pipes.append(parent_pipe)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(list(self._lane_envs[lo:hi]), cmd_ring, res_ring, child_pipe),
+            name=f"lane-pool-worker-{worker}",
+            daemon=True,
+        )
+        process.start()
+        child_pipe.close()
+        if len(self._processes) > worker:
+            self._processes[worker] = process
+        else:
+            self._processes.append(process)
+
+    def _death(self, worker: int) -> _WorkerDied:
+        return _WorkerDied(
+            worker,
+            f"lane-pool worker {worker} died unexpectedly" + self._drain_error(worker),
+        )
+
     def _check_alive(self) -> None:
         if self._closed:
             raise RuntimeError("ProcessLanePool is closed")
@@ -735,10 +801,163 @@ class ProcessLanePool:
             )
         for worker, process in enumerate(self._processes):
             if not process.is_alive():
-                raise RuntimeError(
-                    f"lane-pool worker {worker} died unexpectedly"
-                    + self._drain_error(worker)
-                )
+                raise self._death(worker)
+
+    def _check_worker(self, worker: int) -> None:
+        """Liveness probe scoped to one worker (used during recovery replay)."""
+        if not self._processes[worker].is_alive():
+            raise self._death(worker)
+
+    def _ensure_alive(self) -> None:
+        """Entry-point liveness check: recover dead workers when allowed."""
+        while True:
+            try:
+                self._check_alive()
+                return
+            except _WorkerDied as exc:
+                self._handle_death(exc)
+
+    def _handle_death(self, exc: _WorkerDied) -> None:
+        """Respawn the dead worker, or re-raise when recovery is off/exhausted."""
+        if not self.respawn:
+            raise exc
+        if self._respawn_counts[exc.worker] >= self.max_respawns:
+            raise RuntimeError(
+                f"lane-pool worker {exc.worker} exceeded max_respawns="
+                f"{self.max_respawns}; giving up: {exc}"
+            )
+        self._recover_worker(exc.worker)
+
+    def _recover_worker(self, worker: int) -> None:
+        """Deterministically rebuild ``worker`` after its process died.
+
+        Fresh rings + process from the pristine lane envs, then replay each
+        shard lane's recorded reset history (consuming exactly the rng draws
+        the dead worker consumed) and the current episode's actions, re-ship
+        this rollout's fixed episode sequences if any, and finally re-push
+        every command frame that was in flight when the worker died.  The
+        replacement worker ends bit-identical to the dead one at its last
+        acknowledged state, so the interrupted round simply re-executes.
+        """
+        self._respawn_counts[worker] += 1
+        self._counters["respawns"].inc()
+        process = self._processes[worker]
+        if process.is_alive():  # pragma: no cover - raced liveness probe
+            process.terminate()
+        process.join(timeout=5.0)
+        # Old rings hold stale/partial frames; discard them wholesale.
+        self._cmd_rings[worker].close()
+        self._res_rings[worker].close()
+        try:
+            self._pipes[worker].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._spawn_worker(worker)
+        if self._rollout_wait_credit is not None:
+            # The replacement's first frame reports setup/replay wait, not
+            # in-rollout idling; re-establish its baseline like a first frame.
+            self._rollout_wait_credit.discard(worker)
+        self._replay_worker(worker)
+        jobs = self._shipped_jobs[worker]
+        if jobs is not None and not any(
+            int(entry["values"].get("kind", _KIND_ROUND)) == _KIND_RECV_JOBS
+            for entry in self._inflight[worker]
+        ):
+            self._raw_push(worker, {"kind": _KIND_RECV_JOBS})
+            self._pipes[worker].send(("jobs", jobs))
+        for entry in self._inflight[worker]:
+            self._raw_push(worker, entry["values"])
+            if entry["payload"] is not None:
+                self._pipes[worker].send(entry["payload"])
+
+    def _replay_worker(self, worker: int) -> None:
+        """Drive a fresh worker's lanes back to their last acknowledged state."""
+        lo, hi = self.shards[worker]
+        for lane in range(lo, hi):
+            for entry in self._reset_history[lane]:
+                if entry[0] == "sample":
+                    self._replay_command(lane, _CMD_RESET, _RESET_SAMPLE)
+                else:
+                    self._replay_command(
+                        lane, _CMD_RESET, _RESET_PIPE_JOBS,
+                        payload=("reset_jobs", entry[1]),
+                    )
+            for action in self._action_history[lane]:
+                self._replay_command(lane, _CMD_STEP, int(action))
+
+    def _replay_command(self, lane: int, op: int, arg: int, payload=None) -> None:
+        """Re-execute one historical command on a respawned worker's lane.
+
+        Replay frames disable pre-sampling so arming cannot consume draws the
+        history does not account for, and their result frames are popped raw:
+        published counter deltas and timing are NOT folded into the parent
+        registries, so recovery leaves global metric totals equal to an
+        unfailed run's (the original execution was already counted).
+        """
+        worker = self._worker_of(lane)
+        lo, hi = self.shards[worker]
+        cmd = np.zeros(hi - lo, dtype=np.int64)
+        args = np.zeros(hi - lo, dtype=np.int64)
+        cmd[lane - lo] = op
+        args[lane - lo] = arg
+        self._raw_push(
+            worker,
+            {
+                "kind": _KIND_ROUND,
+                "cohort": 0,
+                "presample": 0,
+                "credit_base": 0,
+                "credits": 0,
+                "cmd": cmd,
+                "arg": args,
+            },
+        )
+        if payload is not None:
+            self._pipes[worker].send(payload)
+        frame = self._raw_pop(worker)
+        self._counters["replayed_commands"].inc()
+        if int(frame["status"][lane - lo]) == _LANE_FAILED:
+            # The original command failed the same (recoverable) way; drain
+            # the detail message so the pipe stays frame-aligned.
+            pipe = self._pipes[worker]
+            if pipe.poll(5.0):
+                pipe.recv()
+
+    def _raw_push(self, worker: int, values: Dict[str, np.ndarray]) -> None:
+        self._cmd_rings[worker].push(
+            values,
+            timeout=self.round_timeout,
+            liveness=lambda: self._check_worker(worker),
+        )
+
+    def _raw_pop(self, worker: int) -> Dict[str, np.ndarray]:
+        frame = self._res_rings[worker].pop(
+            timeout=self.round_timeout,
+            liveness=lambda: self._check_worker(worker),
+        )
+        if int(frame["kind"]) == _RES_ERROR:
+            raise RuntimeError(
+                f"lane-pool worker {worker} failed" + self._drain_error(worker)
+            )
+        return frame
+
+    def _inject_kills(self) -> None:
+        """SIGKILL workers the fault plan schedules after the completed round.
+
+        Round indices count completed result-collection rounds over the
+        pool's lifetime (lockstep rounds and pipelined cohort rounds alike);
+        recovery happens lazily on the next ring operation that notices the
+        death, exercising the same path an organic crash takes.
+        """
+        if self.fault_plan is None or not self.fault_plan.has_worker_kills:
+            return
+        kills = self.fault_plan.kills_for_round(self._rounds_completed)
+        self._rounds_completed += 1
+        for index in kills:
+            process = self._processes[index % self.num_workers]
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
 
     def _drain_error(self, worker: int) -> str:
         pipe = self._pipes[worker]
@@ -751,21 +970,68 @@ class ProcessLanePool:
             pass
         return ""
 
-    def _push_round(self, worker: int, values: Dict[str, np.ndarray]) -> None:
-        self._cmd_rings[worker].push(
-            values, timeout=self.round_timeout, liveness=self._check_alive
-        )
+    def _push_round(
+        self, worker: int, values: Dict[str, np.ndarray], payload=None
+    ) -> None:
+        """Record ``values`` as in flight, then deliver it (surviving deaths).
+
+        Every pushed frame stays on the worker's in-flight list until the
+        result that answers it is popped (``_KIND_RECV_JOBS`` frames, which
+        produce no result, are dropped alongside the next answered round).
+        If the worker dies mid-delivery -- or died earlier and the ring op is
+        what notices -- recovery re-pushes the whole in-flight list onto the
+        replacement's fresh ring, this frame included.
+        """
+        entry = {"values": values, "payload": payload}
+        self._inflight[worker].append(entry)
+        while True:
+            try:
+                self._cmd_rings[worker].push(
+                    values, timeout=self.round_timeout, liveness=self._check_alive
+                )
+                break
+            except _WorkerDied as exc:
+                self._handle_death(exc)
+                if exc.worker == worker:
+                    # Recovery already delivered every in-flight frame
+                    # (payloads included) to the replacement worker.
+                    return
+        if payload is not None:
+            try:
+                self._pipes[worker].send(payload)
+            except (BrokenPipeError, EOFError, OSError):
+                # The worker died between ring push and pipe send; the next
+                # ring operation notices and recovery resends the payload.
+                if not self.respawn:
+                    raise
 
     def _pop_result(self, worker: int) -> Dict[str, np.ndarray]:
         t0 = time.perf_counter_ns()
-        frame = self._res_rings[worker].pop(
-            timeout=self.round_timeout, liveness=self._check_alive
-        )
+        while True:
+            try:
+                frame = self._res_rings[worker].pop(
+                    timeout=self.round_timeout, liveness=self._check_alive
+                )
+                break
+            except _WorkerDied as exc:
+                # Any dead worker surfaces here (the liveness probe scans the
+                # whole pool).  Recover it and retry: if it was this worker,
+                # its in-flight frames were re-pushed and the replacement is
+                # producing the result we were waiting for.
+                self._handle_death(exc)
         self._counters["result_wait_ns"].inc(time.perf_counter_ns() - t0)
         if int(frame["kind"]) == _RES_ERROR:
             raise RuntimeError(
                 f"lane-pool worker {worker} failed" + self._drain_error(worker)
             )
+        # This result answers the oldest in-flight round frame; everything up
+        # to and including it (RECV_JOBS frames produce no result and are
+        # necessarily consumed first) is now acknowledged.
+        inflight = self._inflight[worker]
+        while inflight:
+            entry = inflight.pop(0)
+            if int(entry["values"].get("kind", _KIND_ROUND)) == _KIND_ROUND:
+                break
         per_worker = self._worker_counters[worker]
         if self._rollout_wait_credit is not None:
             if worker in self._rollout_wait_credit:
@@ -820,10 +1086,11 @@ class ProcessLanePool:
         pipe by the time the send needs buffer space, so the transfer cannot
         deadlock no matter how big the episode list is.
         """
-        for worker, pipe in enumerate(self._pipes):
+        for worker in range(self.num_workers):
             if self._shipped_jobs[worker] is not episode_jobs:
-                self._push_round(worker, {"kind": _KIND_RECV_JOBS})
-                pipe.send(("jobs", episode_jobs))
+                self._push_round(
+                    worker, {"kind": _KIND_RECV_JOBS}, payload=("jobs", episode_jobs)
+                )
                 self._shipped_jobs[worker] = episode_jobs
 
     # -- lane access -----------------------------------------------------------
@@ -834,7 +1101,7 @@ class ProcessLanePool:
         pickled payload second (see :meth:`_ship_jobs` for why this ordering
         is deadlock-free).
         """
-        self._check_alive()
+        self._ensure_alive()
         worker = self._worker_of(lane)
         lo, hi = self.shards[worker]
         cmd = np.zeros(hi - lo, dtype=np.int64)
@@ -853,9 +1120,8 @@ class ProcessLanePool:
                     "cmd": cmd,
                     "arg": args,
                 },
+                payload=None if jobs is None else ("reset_jobs", jobs),
             )
-            if jobs is not None:
-                self._pipes[worker].send(("reset_jobs", jobs))
             return self._pop_result(worker), lane - lo
         except BaseException:
             # An abort between command and result frames leaves an unconsumed
@@ -865,17 +1131,34 @@ class ProcessLanePool:
             self._desynced = True
             raise
 
+    def _record_reset(self, lane: int, spec: tuple) -> None:
+        """Append an acknowledged reset to the lane's replay history.
+
+        A reset starts a new episode, so the previous episode's replayed
+        actions become irrelevant (the reset discards simulator state; only
+        the sampling rng draws persist, and those are captured by the reset
+        entries themselves).
+        """
+        self._reset_history[lane].append(spec)
+        self._action_history[lane].clear()
+
     def reset_lane(self, lane: int, **kwargs):
         """Reset one lane; returns its ``(observation, mask)``."""
         jobs = kwargs.pop("jobs", None)
         if kwargs:
             raise TypeError(f"unsupported reset_lane arguments: {sorted(kwargs)}")
         if jobs is not None:
+            jobs = list(jobs)
             frame, local = self._single_lane_round(
-                lane, _CMD_RESET, _RESET_PIPE_JOBS, jobs=list(jobs)
+                lane, _CMD_RESET, _RESET_PIPE_JOBS, jobs=jobs
             )
+            self._record_reset(lane, ("jobs", jobs))
         else:
             frame, local = self._single_lane_round(lane, _CMD_RESET, _RESET_SAMPLE)
+            # Recorded even when the reset failed: the sampling loop consumed
+            # rng draws before raising, and a respawn replay must consume the
+            # same draws (the replayed failure is tolerated).
+            self._record_reset(lane, ("sample",))
         self._raise_lane_failures(self._worker_of(lane), frame)
         if self._lane_buffers is not None:
             # The lane may hold a stolen in-flight episode's partial steps;
@@ -905,11 +1188,13 @@ class ProcessLanePool:
             )
         frame, local = self._single_lane_round(lane, _CMD_STEP, int(action))
         self._raise_lane_failures(self._worker_of(lane), frame)
+        self._action_history[lane].append(int(action))
         state = self._lanes[lane]
         reward = float(frame["reward"][local])
         state.episode_reward += reward
         state.episode_steps += 1
         if int(frame["status"][local]) == _LANE_DONE_IDLE:
+            self._action_history[lane].clear()
             info = self._terminal_info(frame["info"][local], state, lane)
             state.retire()
             return StepResult(
@@ -971,7 +1256,7 @@ class ProcessLanePool:
         letting the batch drain.
         """
         rngs = validate_rollout_args(self._num_envs, num_trajectories, rngs, episode_jobs)
-        self._check_alive()
+        self._ensure_alive()
 
         if episode_jobs is not None or deterministic:
             # Fixed sequences or deterministic evaluation: stolen stochastic
@@ -1144,9 +1429,13 @@ class ProcessLanePool:
                         resets_here += 1
                         if episode_jobs is not None:
                             arg[lane - lo] = next_index
+                            self._pending_reset_spec[lane] = (
+                                "jobs", episode_jobs[next_index],
+                            )
                             next_index += 1
                         else:
                             arg[lane - lo] = _RESET_SAMPLE
+                            self._pending_reset_spec[lane] = ("sample",)
                 frames.append({"cmd": cmd, "arg": arg})
                 step_counts.append(steps_here)
                 engaged.append(steps_here > 0 or resets_here > 0)
@@ -1182,13 +1471,18 @@ class ProcessLanePool:
                 claimed = int(frame["claimed"])
                 if not stealing:
                     quota -= claimed
+                restart_specs = self._restart_specs(
+                    worker, frame, episode_jobs, next_index
+                )
                 if episode_jobs is not None and claimed:
                     next_index += claimed
                 self._apply_result(
                     worker, frame, actions, values, log_probs, set(starts),
                     lane_buffers, buffer, infos, num_trajectories,
                     allow_restarts=True, stealing=stealing, quota=quota,
+                    restart_specs=restart_specs,
                 )
+            self._inject_kills()
 
     def _rollout_pipelined(
         self,
@@ -1244,6 +1538,7 @@ class ProcessLanePool:
                         lane_buffers, buffer, infos, num_trajectories,
                         allow_restarts=False, stealing=stealing, quota=quota,
                     )
+                self._inject_kills()
                 idle_sweeps = 0
             if len(infos) >= num_trajectories:
                 if all(entry is None for entry in outstanding):
@@ -1354,9 +1649,13 @@ class ProcessLanePool:
                     engaged = True
                     if episode_jobs is not None:
                         arg[lane - lo] = next_index
+                        self._pending_reset_spec[lane] = (
+                            "jobs", episode_jobs[next_index],
+                        )
                         next_index += 1
                     else:
                         arg[lane - lo] = _RESET_SAMPLE
+                        self._pending_reset_spec[lane] = ("sample",)
             if not engaged:
                 continue
             self._push_round(
@@ -1382,6 +1681,27 @@ class ProcessLanePool:
         }
         return context, quota, next_index
 
+    def _restart_specs(
+        self, worker: int, frame: Dict[str, np.ndarray], episode_jobs, base: int
+    ) -> Dict[int, tuple]:
+        """Reset-history specs for the worker's same-round auto-restarts.
+
+        The worker hands out claimed indices starting at the frame's credit
+        base in ascending lane order, which is exactly the order restarted
+        statuses appear in; sampled restarts need no index.
+        """
+        specs: Dict[int, tuple] = {}
+        lo, hi = self.shards[worker]
+        order = 0
+        for local in range(hi - lo):
+            if int(frame["status"][local]) == _LANE_DONE_RESTARTED:
+                if episode_jobs is not None:
+                    specs[lo + local] = ("jobs", episode_jobs[base + order])
+                    order += 1
+                else:
+                    specs[lo + local] = ("sample",)
+        return specs
+
     def _apply_result(
         self,
         worker: int,
@@ -1397,6 +1717,7 @@ class ProcessLanePool:
         allow_restarts: bool,
         stealing: bool,
         quota: int,
+        restart_specs: Optional[Dict[int, tuple]] = None,
     ) -> None:
         """Fold one worker's result frame into parent-side rollout state.
 
@@ -1424,6 +1745,7 @@ class ProcessLanePool:
                 )
                 self._counters["decisions"].inc()
                 self._release_clocks[lane] += 1
+                self._action_history[lane].append(int(actions[lane]))
                 state.episode_reward += reward
                 state.episode_steps += 1
                 if status in (_LANE_DONE_RESTARTED, _LANE_DONE_IDLE):
@@ -1439,16 +1761,24 @@ class ProcessLanePool:
                         (self._release_clocks[lane], lane, info, episode_buffer),
                     )
                     if status == _LANE_DONE_RESTARTED and allow_restarts:
+                        # The worker's same-round restart consumed either the
+                        # next fixed sequence or the lane's own sampling
+                        # draws; record it so a respawn replays it.
+                        self._record_reset(lane, (restart_specs or {})[lane])
                         state.start(
                             frame["obs"][local].copy(), frame["mask"][local].copy()
                         )
                     else:
+                        self._action_history[lane].clear()
                         state.retire()
                 else:
                     state.observation = frame["obs"][local].copy()
                     state.mask = frame["mask"][local].copy()
             elif lane in starts and status == _LANE_RUNNING:
                 self._pending_starts.discard(lane)
+                self._record_reset(
+                    lane, self._pending_reset_spec.pop(lane, ("sample",))
+                )
                 state.start(frame["obs"][local].copy(), frame["mask"][local].copy())
         self._drain_release_queue(stealing, quota, buffer, infos, num_trajectories)
 
@@ -1536,6 +1866,8 @@ def make_rollout_engine(
     start_method: str | None = None,
     pipeline_depth: int = 1,
     presample: bool | None = None,
+    respawn: bool = True,
+    fault_plan: FaultPlan | None = None,
 ):
     """Build a rollout engine over ``num_envs`` lanes cloned from a template.
 
@@ -1572,5 +1904,7 @@ def make_rollout_engine(
             start_method=start_method,
             pipeline_depth=pipeline_depth,
             presample=presample,
+            respawn=respawn,
+            fault_plan=fault_plan,
         )
     raise ValueError(f"unknown rollout backend {backend!r}; use 'local' or 'process'")

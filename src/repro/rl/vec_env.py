@@ -194,6 +194,8 @@ class VecBackfillEnv:
             "steal_banked": c["steal_discarded"].value,
             "steal_credited": 0,
             "presampled_resets": 0,
+            "respawns": 0,
+            "replayed_commands": 0,
             "worker_idle_fraction": 0.0,
             "forward_s": c["forward_ns"].value / 1e9,
             "encode_s": c["encode_ns"].value / 1e9,

@@ -74,6 +74,8 @@ METRIC_FIELDS: Tuple[str, ...] = (
     "backfilled_jobs",
     "decision_count",
     "window_utilization",
+    "preemption_count",
+    "requeue_count",
 )
 
 #: Policies available without a trained agent.
@@ -234,14 +236,22 @@ def evaluate_cell(
     for jobs in sequences:
         span = max(job.submit_time for job in jobs) - min(job.submit_time for job in jobs)
         windows = built.capacity_schedule(span)
+        failures = built.node_failures(span)
         result = evaluate_strategy_results(
-            built.trace, configuration, [jobs], capacity_schedule=windows
+            built.trace,
+            configuration,
+            [jobs],
+            capacity_schedule=windows,
+            node_failures=failures,
+            restart_policy=built.restart_policy if failures else None,
         )[0]
         metrics = result.metrics.as_dict()
         for field in METRIC_FIELDS:
             if field in metrics:
                 totals[field] += float(metrics[field])
         totals["decision_count"] += float(result.decision_count)
+        totals["preemption_count"] += float(result.preemption_count)
+        totals["requeue_count"] += float(result.requeue_count)
         if windows:
             busy, capacity = _window_utilization(
                 result.records, windows, built.trace.num_processors

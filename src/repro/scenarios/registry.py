@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.machine import DowntimeWindow
+from repro.faults.plan import NodeFailure, RestartPolicy, as_restart_policy
 from repro.scenarios.transforms import (
     ArrivalThin,
     BurstInject,
@@ -44,6 +45,7 @@ from repro.workloads.job import Trace
 
 __all__ = [
     "DowntimeSpec",
+    "FailureSpec",
     "ClusterSpec",
     "ScenarioSpec",
     "BuiltScenario",
@@ -52,6 +54,7 @@ __all__ = [
     "scenario_names",
     "suite_scenarios",
     "CORE_SUITE",
+    "FAILURE_SUITE",
 ]
 
 
@@ -117,20 +120,102 @@ class DowntimeSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class FailureSpec:
+    """One node failure, in absolute seconds or sequence-span fractions.
+
+    Exactly one of ``at`` (seconds) / ``at_fraction`` (of the sequence's
+    submission span); exactly one of ``processors`` /
+    ``fraction_of_machine``; exactly one of ``repair`` (seconds) /
+    ``repair_fraction`` (of the span).  Resolves to a
+    :class:`~repro.faults.NodeFailure` -- a *preempting* event, unlike the
+    graceful :class:`DowntimeSpec`.
+    """
+
+    at: float | None = None
+    at_fraction: float | None = None
+    processors: int | None = None
+    fraction_of_machine: float | None = None
+    repair: float | None = None
+    repair_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.at_fraction is None):
+            raise ValueError("specify exactly one of at / at_fraction")
+        if (self.processors is None) == (self.fraction_of_machine is None):
+            raise ValueError("specify exactly one of processors / fraction_of_machine")
+        if (self.repair is None) == (self.repair_fraction is None):
+            raise ValueError("specify exactly one of repair / repair_fraction")
+        if self.fraction_of_machine is not None and not 0.0 < self.fraction_of_machine <= 1.0:
+            raise ValueError("fraction_of_machine must be in (0, 1]")
+        if self.processors is not None and self.processors <= 0:
+            raise ValueError("processors must be positive")
+
+    def resolve(self, span_seconds: float, num_processors: int) -> NodeFailure:
+        """Concrete failure for a sequence spanning ``span_seconds`` of arrivals."""
+        time = float(self.at) if self.at is not None else float(self.at_fraction) * span_seconds
+        if self.processors is not None:
+            processors = int(self.processors)
+        else:
+            processors = max(1, int(round(self.fraction_of_machine * num_processors)))
+        repair = (
+            float(self.repair)
+            if self.repair is not None
+            else float(self.repair_fraction) * span_seconds
+        )
+        return NodeFailure(
+            time=time, processors=processors, repair_duration=max(repair, 1.0)
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {k: v for k, v in (
+            ("at", self.at),
+            ("at_fraction", self.at_fraction),
+            ("processors", self.processors),
+            ("fraction_of_machine", self.fraction_of_machine),
+            ("repair", self.repair),
+            ("repair_fraction", self.repair_fraction),
+        ) if v is not None}
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterSpec:
-    """Cluster-side disturbances of a scenario (scheduled downtime)."""
+    """Cluster-side disturbances: scheduled downtime and node failures.
+
+    ``downtime`` drains gracefully (never preempts); ``failures`` kill and
+    requeue running jobs through the ``restart`` policy (``"requeue"`` or
+    ``"checkpoint"``, see :class:`repro.faults.RestartPolicy`).
+    """
 
     downtime: Tuple[DowntimeSpec, ...] = ()
+    failures: Tuple[FailureSpec, ...] = ()
+    restart: str = "requeue"
+
+    def __post_init__(self) -> None:
+        as_restart_policy(self.restart)  # validates the mode name
 
     @property
     def has_downtime(self) -> bool:
         return bool(self.downtime)
 
+    @property
+    def has_failures(self) -> bool:
+        return bool(self.failures)
+
     def resolve(self, span_seconds: float, num_processors: int) -> List[DowntimeWindow]:
         return [spec.resolve(span_seconds, num_processors) for spec in self.downtime]
 
+    def resolve_failures(self, span_seconds: float, num_processors: int) -> List[NodeFailure]:
+        return [spec.resolve(span_seconds, num_processors) for spec in self.failures]
+
+    @property
+    def restart_policy(self) -> RestartPolicy:
+        return as_restart_policy(self.restart)
+
     def describe(self) -> List[Dict[str, object]]:
         return [spec.describe() for spec in self.downtime]
+
+    def describe_failures(self) -> List[Dict[str, object]]:
+        return [spec.describe() for spec in self.failures]
 
 
 @dataclass(frozen=True, slots=True)
@@ -146,11 +231,25 @@ class BuiltScenario:
     def has_downtime(self) -> bool:
         return self.cluster.has_downtime
 
+    @property
+    def has_failures(self) -> bool:
+        return self.cluster.has_failures
+
     def capacity_schedule(self, span_seconds: float) -> List[DowntimeWindow] | None:
         """Downtime windows for a job sequence spanning ``span_seconds``."""
         if not self.cluster.has_downtime:
             return None
         return self.cluster.resolve(span_seconds, self.trace.num_processors)
+
+    def node_failures(self, span_seconds: float) -> List[NodeFailure] | None:
+        """Node failures for a job sequence spanning ``span_seconds``."""
+        if not self.cluster.has_failures:
+            return None
+        return self.cluster.resolve_failures(span_seconds, self.trace.num_processors)
+
+    @property
+    def restart_policy(self) -> RestartPolicy:
+        return self.cluster.restart_policy
 
 
 @dataclass(frozen=True, slots=True)
@@ -190,12 +289,16 @@ class ScenarioSpec:
 
     def describe(self) -> Dict[str, object]:
         """JSON-serializable provenance for the evaluation report."""
-        return {
+        description = {
             "base_trace": self.base_trace,
             "description": self.description,
             "transforms": [t.describe() for t in self.transforms],
             "downtime": self.cluster.describe(),
         }
+        if self.cluster.has_failures:
+            description["failures"] = self.cluster.describe_failures()
+            description["restart"] = self.cluster.restart
+        return description
 
 
 # -- registry -----------------------------------------------------------------
@@ -232,6 +335,8 @@ def suite_scenarios(suite: str | Sequence[str]) -> List[ScenarioSpec]:
     if isinstance(suite, str):
         if suite == "core":
             names: Sequence[str] = CORE_SUITE
+        elif suite == "failures":
+            names = FAILURE_SUITE
         else:
             names = [part for part in suite.split(",") if part]
     else:
@@ -310,6 +415,46 @@ register_scenario(ScenarioSpec(
     )),
 ))
 
+register_scenario(ScenarioSpec(
+    name="node-failure-requeue",
+    base_trace="SDSC-SP2",
+    description="A quarter of the machine fails mid-sequence; victims requeue from scratch.",
+    cluster=ClusterSpec(
+        failures=(
+            FailureSpec(at_fraction=0.45, fraction_of_machine=0.25, repair_fraction=0.10),
+        ),
+        restart="requeue",
+    ),
+))
+register_scenario(ScenarioSpec(
+    name="failure-storm-checkpoint",
+    base_trace="Lublin-1",
+    description="Three staggered failures under a 1.25x surge; checkpoint credit on restart.",
+    transforms=(LoadScale(1.25),),
+    cluster=ClusterSpec(
+        failures=(
+            FailureSpec(at_fraction=0.25, fraction_of_machine=0.20, repair_fraction=0.08),
+            FailureSpec(at_fraction=0.50, fraction_of_machine=0.35, repair_fraction=0.10),
+            FailureSpec(at_fraction=0.70, fraction_of_machine=0.15, repair_fraction=0.05),
+        ),
+        restart="checkpoint",
+    ),
+))
+register_scenario(ScenarioSpec(
+    name="failure-under-maintenance",
+    base_trace="SDSC-SP2",
+    description="A node failure striking inside a scheduled half-machine drain (overlap accounting).",
+    cluster=ClusterSpec(
+        downtime=(
+            DowntimeSpec(start_fraction=0.30, duration_fraction=0.30, fraction_of_machine=0.5),
+        ),
+        failures=(
+            FailureSpec(at_fraction=0.40, fraction_of_machine=0.25, repair_fraction=0.10),
+        ),
+        restart="requeue",
+    ),
+))
+
 #: The built-in robustness suite (ordered); >= 8 scenarios by construction.
 CORE_SUITE: Tuple[str, ...] = (
     "baseline-sdsc",
@@ -322,4 +467,13 @@ CORE_SUITE: Tuple[str, ...] = (
     "thin-wide",
     "downtime-half",
     "rolling-maintenance",
+)
+
+#: The failure-domain suite (preempting node failures; docs/resilience.md).
+#: Kept separate from :data:`CORE_SUITE` so the committed
+#: suite/reference-cell wall-clock trend ratio stays comparable.
+FAILURE_SUITE: Tuple[str, ...] = (
+    "node-failure-requeue",
+    "failure-storm-checkpoint",
+    "failure-under-maintenance",
 )

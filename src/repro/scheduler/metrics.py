@@ -44,12 +44,29 @@ def bounded_slowdown(wait_time: float, runtime: float, threshold: float = BSLD_T
 
 @dataclass(frozen=True, slots=True)
 class JobRecord:
-    """Per-job outcome of one simulated schedule."""
+    """Per-job outcome of one simulated schedule.
+
+    ``start_time`` is the job's *final* start: a job preempted by a node
+    failure and requeued carries the start of the run that completed, with
+    ``restarts`` counting how many earlier runs were killed.
+    ``runtime_override`` is the wall time that final run occupied (set only
+    under the checkpoint-credit restart policy, where it is the remaining
+    runtime); metric definitions (slowdown, bsld) keep using the job's full
+    actual runtime -- the work the user asked for -- while the causality
+    check in :meth:`validate` uses the effective runtime of the final run.
+    """
 
     job: Job
     start_time: float
     end_time: float
     backfilled: bool = False
+    restarts: int = 0
+    runtime_override: float | None = None
+
+    @property
+    def effective_runtime(self) -> float:
+        """Wall time of the completing run (remaining runtime after credit)."""
+        return self.job.runtime if self.runtime_override is None else self.runtime_override
 
     @property
     def wait_time(self) -> float:
@@ -73,11 +90,11 @@ class JobRecord:
                 f"job {self.job.job_id} started at {self.start_time} before its "
                 f"submission at {self.job.submit_time}"
             )
-        expected_end = self.start_time + self.job.runtime
+        expected_end = self.start_time + self.effective_runtime
         if abs(self.end_time - expected_end) > 1e-6:
             raise ValueError(
                 f"job {self.job.job_id} end time {self.end_time} does not equal "
-                f"start + runtime = {expected_end}"
+                f"start + effective runtime = {expected_end}"
             )
 
 

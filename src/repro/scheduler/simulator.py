@@ -23,11 +23,13 @@ Simulation rules (matching the paper's setting):
 from __future__ import annotations
 
 import math
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterable, List, Optional, Sequence
 
 from repro.cluster.machine import DowntimeWindow, Machine
+from repro.faults.plan import NodeFailure, RestartPolicy, as_restart_policy
 from repro.obs import get_metrics
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
 from repro.scheduler.backfill.base import BackfillStrategy
@@ -59,6 +61,8 @@ _EPS = 1e-9
 _SCHEDULE_PASSES = get_metrics().counter("sim_schedule_passes_total")
 _DECISION_POINTS = get_metrics().counter("sim_decision_points_total")
 _BACKFILL_STARTS = get_metrics().counter("sim_backfill_starts_total")
+_PREEMPTIONS = get_metrics().counter("sim_preemptions_total")
+_REQUEUES = get_metrics().counter("sim_requeues_total")
 
 
 def _flush_sim_counters(state: "_SimState") -> None:
@@ -77,6 +81,14 @@ def _flush_sim_counters(state: "_SimState") -> None:
     if delta:
         _BACKFILL_STARTS.inc(delta)
         state.published_backfills = state.backfill_count
+    delta = state.preemption_count - state.published_preemptions
+    if delta:
+        _PREEMPTIONS.inc(delta)
+        state.published_preemptions = state.preemption_count
+    delta = state.requeue_count - state.published_requeues
+    if delta:
+        _REQUEUES.inc(delta)
+        state.published_requeues = state.requeue_count
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +100,11 @@ class SimulationResult:
     metrics: ScheduleMetrics
     decision_count: int = 0
     backfill_count: int = 0
+    #: Running jobs killed by node failures (and requeued under the restart
+    #: policy) over the sequence.  The two counts differ only if a future
+    #: policy ever discards a victim instead of requeueing it.
+    preemption_count: int = 0
+    requeue_count: int = 0
 
     @property
     def bsld(self) -> float:
@@ -119,12 +136,24 @@ class _SimState:
     decision_count: int = 0
     backfill_count: int = 0
     schedule_passes: int = 0
+    # Node-failure machinery (repro.faults): failures not yet applied, sorted
+    # by time; per-job elapsed-runtime credit accumulated across preempted
+    # runs; per-job remaining-runtime override for the next start (present
+    # only under the checkpoint restart policy); per-job preemption tallies.
+    failures: deque = field(default_factory=deque)
+    elapsed_credit: Dict[int, float] = field(default_factory=dict)
+    remaining: Dict[int, float] = field(default_factory=dict)
+    restarts: Dict[int, int] = field(default_factory=dict)
+    preemption_count: int = 0
+    requeue_count: int = 0
     # High-water marks of the tallies already published to the global
     # counters (see _flush_sim_counters): flushing is idempotent and safe
     # mid-run, which the incremental OnlineSession relies on.
     published_passes: int = 0
     published_decisions: int = 0
     published_backfills: int = 0
+    published_preemptions: int = 0
+    published_requeues: int = 0
 
 
 class Simulator:
@@ -138,6 +167,8 @@ class Simulator:
         estimator: RuntimeEstimator | None = None,
         bsld_threshold: float = BSLD_THRESHOLD,
         capacity_schedule: Sequence[DowntimeWindow] | None = None,
+        node_failures: Sequence[NodeFailure] | None = None,
+        restart_policy: RestartPolicy | str | None = None,
     ):
         if num_processors <= 0:
             raise ValueError(f"num_processors must be positive, got {num_processors}")
@@ -151,6 +182,17 @@ class Simulator:
         #: simulation events, and reservations/backfill checks see the drained
         #: availability (see :class:`repro.cluster.machine.DowntimeWindow`).
         self.capacity_schedule: tuple[DowntimeWindow, ...] = tuple(capacity_schedule or ())
+        #: Node failures injected into every simulated sequence: each kills
+        #: the running jobs on the failed nodes at its instant and requeues
+        #: them through :attr:`restart_policy` (see :mod:`repro.faults` and
+        #: :meth:`repro.cluster.machine.Machine.fail_nodes`).  Unlike the
+        #: capacity schedule, a failure's window is *not* known to the
+        #: scheduler in advance -- it is injected into the machine's schedule
+        #: at the failure instant.
+        self.node_failures: tuple[NodeFailure, ...] = tuple(
+            sorted(node_failures or (), key=lambda f: (f.time, f.processors))
+        )
+        self.restart_policy = as_restart_policy(restart_policy)
 
     # -- public API ---------------------------------------------------------
     @property
@@ -193,12 +235,16 @@ class Simulator:
         state = _SimState(
             machine=Machine(self.num_processors, capacity_schedule=self.capacity_schedule),
             pending=deque(sorted(job_list, key=lambda j: (j.submit_time, j.job_id))),
+            failures=deque(self.node_failures),
         )
         state.now = state.pending[0].submit_time if state.pending else 0.0
         # Sync the machine clock so availability queries made before the first
         # start already see the capacity windows active at the first arrival.
         state.machine.advance_to(state.now)
         self._admit(state)
+        # Failures dated at or before the first arrival hit an empty machine
+        # but still inject their repair windows before the first decision.
+        self._process_failures(state)
 
         # The flush in ``finally`` publishes the run's event tallies whether
         # the sequence completes, raises, or the caller closes the generator
@@ -247,12 +293,17 @@ class Simulator:
             state.queue.append(state.pending.popleft())
 
     def _start(self, state: _SimState, job: Job, backfilled: bool) -> None:
-        record = state.machine.start(job, state.now, estimator=self.estimator)
+        remaining = state.remaining.pop(job.job_id, None)
+        record = state.machine.start(
+            job, state.now, estimator=self.estimator, runtime=remaining
+        )
         state.records[job.job_id] = JobRecord(
             job=job,
             start_time=state.now,
             end_time=record.end_time,
             backfilled=backfilled,
+            restarts=state.restarts.get(job.job_id, 0),
+            runtime_override=remaining,
         )
         if backfilled:
             state.backfill_count += 1
@@ -344,28 +395,81 @@ class Simulator:
             self._remove(state.queue, choice.job_id)
             previous = [job for job in candidates if job.job_id != choice.job_id]
 
+    def _next_failure_time(self, state: _SimState) -> float:
+        """Time of the next node failure that can still affect the run.
+
+        With waiting or future jobs every pending failure matters (its repair
+        window constrains later starts).  Once only running jobs remain, a
+        failure dated beyond the last completion can kill nothing and inject
+        a window no future start will ever see -- treating it as an event
+        would only drag the clock (and the utilization denominator) past the
+        true end of the schedule, so it is ignored.
+        """
+        if not state.failures:
+            return math.inf
+        time = state.failures[0].time
+        if state.pending or state.queue:
+            return time
+        last_completion = state.machine.last_completion_time()
+        if last_completion is not None and time <= last_completion + _EPS:
+            return time
+        return math.inf
+
+    def _process_failures(self, state: _SimState) -> None:
+        """Apply every node failure due at or before the current instant.
+
+        Completions at the failure instant have already been released by
+        :meth:`_advance_time`, so a job finishing exactly when the nodes die
+        is never a victim.  Victims are removed from the records (their final
+        record is re-created when they restart), charged elapsed-runtime
+        credit, and requeued at their original ``(submit_time, job_id)``
+        position -- a requeued job keeps its queue priority, it does not go
+        to the back.
+        """
+        while state.failures and state.failures[0].time <= state.now + _EPS:
+            failure = state.failures.popleft()
+            victims = state.machine.fail_nodes(
+                state.now, failure.processors, failure.repair_end, start=failure.time
+            )
+            for victim in victims:
+                job = victim.job
+                elapsed = max(state.now - victim.start_time, 0.0)
+                credit = state.elapsed_credit.get(job.job_id, 0.0) + elapsed
+                state.elapsed_credit[job.job_id] = credit
+                remaining = self.restart_policy.remaining_runtime(job, credit)
+                if remaining is not None:
+                    state.remaining[job.job_id] = remaining
+                state.restarts[job.job_id] = state.restarts.get(job.job_id, 0) + 1
+                state.records.pop(job.job_id, None)
+                insort(state.queue, job, key=lambda j: (j.submit_time, j.job_id))
+            state.preemption_count += len(victims)
+            state.requeue_count += len(victims)
+
     def _advance_time(self, state: _SimState) -> bool:
         next_arrival = state.pending[0].submit_time if state.pending else math.inf
+        next_failure = self._next_failure_time(state)
         if not state.queue:
             # Fast path: with an empty waiting queue, intermediate completions
             # cannot enable any scheduling decision, so skip the event gap in
-            # one jump -- straight to the next arrival, or (when no arrivals
-            # remain) to the last completion, draining the machine.  Utilization
-            # accounting stays exact because ``release_completed`` integrates
-            # each release at its own completion instant.
-            if state.pending:
-                next_time = next_arrival
-            else:
+            # one jump -- straight to the next arrival or node failure, or
+            # (when neither remains) to the last completion, draining the
+            # machine.  Utilization accounting stays exact because
+            # ``release_completed`` integrates each release at its own
+            # completion instant.
+            next_time = min(next_arrival, next_failure)
+            if math.isinf(next_time):
                 last_completion = state.machine.last_completion_time()
                 next_time = math.inf if last_completion is None else last_completion
         else:
             next_completion = state.machine.next_completion_time()
             next_completion = math.inf if next_completion is None else next_completion
-            next_time = min(next_arrival, next_completion)
-            if self.capacity_schedule:
+            next_time = min(next_arrival, next_completion, next_failure)
+            if state.machine.capacity_schedule:
                 # A capacity boundary can unblock (window end) or further
                 # constrain (window start) the waiting queue, so it is a
-                # scheduling event whenever jobs are waiting.
+                # scheduling event whenever jobs are waiting.  The machine's
+                # schedule (not the simulator's) is consulted so the repair
+                # windows injected by earlier failures produce events too.
                 next_capacity = state.machine.next_capacity_event(state.now)
                 if next_capacity is not None:
                     next_time = min(next_time, next_capacity)
@@ -374,6 +478,7 @@ class Simulator:
         state.now = max(state.now, next_time)
         state.machine.release_completed(state.now)
         self._admit(state)
+        self._process_failures(state)
         return True
 
     def _finalize(self, state: _SimState) -> SimulationResult:
@@ -393,6 +498,8 @@ class Simulator:
             metrics=metrics,
             decision_count=state.decision_count,
             backfill_count=state.backfill_count,
+            preemption_count=state.preemption_count,
+            requeue_count=state.requeue_count,
         )
 
 
@@ -487,6 +594,7 @@ class OnlineSession:
                 simulator.num_processors, capacity_schedule=simulator.capacity_schedule
             ),
             pending=deque(),
+            failures=deque(simulator.node_failures),
         )
         self.decisions: List[ServedDecision] = []
         self._submitted_ids: set[int] = set()
@@ -564,6 +672,7 @@ class OnlineSession:
         state.now = state.pending[0].submit_time
         state.machine.advance_to(state.now)
         self.sim._admit(state)
+        self.sim._process_failures(state)
         self._started = True
         self._schedule_due = True
         return True
@@ -603,16 +712,17 @@ class OnlineSession:
         before that completion.  :meth:`drain` performs the final jump.
         """
         next_arrival = state.pending[0].submit_time if state.pending else math.inf
+        next_failure = self.sim._next_failure_time(state)
         if not state.queue:
             # Same fast path as offline: with an empty waiting queue,
             # completions cannot enable decisions, so jump straight to the
-            # next known arrival.
-            next_time = next_arrival
+            # next known arrival or node failure.
+            next_time = min(next_arrival, next_failure)
         else:
             next_completion = state.machine.next_completion_time()
             next_completion = math.inf if next_completion is None else next_completion
-            next_time = min(next_arrival, next_completion)
-            if self.sim.capacity_schedule:
+            next_time = min(next_arrival, next_completion, next_failure)
+            if state.machine.capacity_schedule:
                 next_capacity = state.machine.next_capacity_event(state.now)
                 if next_capacity is not None:
                     next_time = min(next_time, next_capacity)
@@ -641,6 +751,7 @@ class OnlineSession:
             state.now = max(state.now, next_time)
             state.machine.release_completed(state.now)
             self.sim._admit(state)
+            self.sim._process_failures(state)
             self._schedule_due = True
         _flush_sim_counters(state)
         return served
@@ -696,6 +807,8 @@ def run_schedule(
     backfill: BackfillStrategy | None = None,
     estimator: RuntimeEstimator | None = None,
     capacity_schedule: Sequence[DowntimeWindow] | None = None,
+    node_failures: Sequence[NodeFailure] | None = None,
+    restart_policy: RestartPolicy | str | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     simulator = Simulator(
@@ -704,5 +817,7 @@ def run_schedule(
         backfill=backfill,
         estimator=estimator,
         capacity_schedule=capacity_schedule,
+        node_failures=node_failures,
+        restart_policy=restart_policy,
     )
     return simulator.run(jobs)

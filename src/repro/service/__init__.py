@@ -11,6 +11,7 @@ from repro.service.admission import (
     TokenBucket,
 )
 from repro.service.replay import (
+    DURABILITY_POLICIES,
     ReplayCheck,
     ReplayLog,
     ReplayLogWriter,
@@ -20,7 +21,15 @@ from repro.service.replay import (
     read_replay_log,
     verify_replay_log,
 )
-from repro.service.server import SchedulingService, ServiceClient, ServiceConfig
+from repro.service.server import (
+    RecoveryError,
+    SchedulingService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 
 __all__ = [
     "AdmissionController",
@@ -28,6 +37,7 @@ __all__ = [
     "RefillPhase",
     "RefillSchedule",
     "TokenBucket",
+    "DURABILITY_POLICIES",
     "ReplayCheck",
     "ReplayLog",
     "ReplayLogWriter",
@@ -36,7 +46,11 @@ __all__ = [
     "job_to_wire",
     "read_replay_log",
     "verify_replay_log",
+    "RecoveryError",
     "SchedulingService",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
 ]

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, IO, List, Mapping, Optional, Sequence
+from typing import Dict, IO, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.agent import RLBackfillAgent
 from repro.core.rlbackfill import RLBackfillPolicy
@@ -43,6 +44,7 @@ from repro.workloads.job import Job
 
 __all__ = [
     "JOB_WIRE_FIELDS",
+    "DURABILITY_POLICIES",
     "job_to_wire",
     "job_from_wire",
     "ReplayLogWriter",
@@ -78,27 +80,72 @@ def job_from_wire(payload: Mapping[str, object]) -> Job:
     return Job(**{name: payload[name] for name in JOB_WIRE_FIELDS if name in payload})
 
 
+#: Writer durability policies, weakest to strongest.  A crash can tear at
+#: most the final record under ``flush``/``fsync``; ``none`` can lose every
+#: record still sitting in the userspace buffer.
+DURABILITY_POLICIES = ("none", "flush", "fsync")
+
+
 class ReplayLogWriter:
     """Appends replay records as JSONL to a file (or buffers them in memory).
 
     ``path=None`` keeps records in :attr:`records` only -- the in-process
-    test mode.  Records are written eagerly and flushed on :meth:`close` so a
-    crashed service still leaves a replayable prefix.
+    test mode.  ``durability`` decides what happens after every record:
+
+    * ``"none"`` -- buffered writes; a crash loses the buffered suffix;
+    * ``"flush"`` (default) -- flush to the OS after each record, so a
+      process crash tears at most the final line;
+    * ``"fsync"`` -- additionally ``os.fsync`` after each record, so even a
+      host crash tears at most the final line.
+
+    ``resume=True`` reopens an existing log for append instead of truncating
+    it: any torn final line (a crash mid-write) is cut back to the last
+    complete record, the surviving records are preloaded into
+    :attr:`records`, and new writes continue the same file.  This is the
+    crash-recovery mode used by ``SchedulingService.recover``.
     """
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        durability: str = "flush",
+        resume: bool = False,
+    ):
+        if durability not in DURABILITY_POLICIES:
+            raise ValueError(
+                f"unknown durability {durability!r}; choose from {DURABILITY_POLICIES}"
+            )
         self.path: Optional[Path] = None if path is None else Path(path)
+        self.durability = durability
         self.records: List[Dict[str, object]] = []
         self._handle: Optional[IO[str]] = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w", encoding="utf-8")
+            if resume and self.path.exists():
+                self._truncate_torn_tail()
+            self._handle = self.path.open("a" if resume else "w", encoding="utf-8")
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut a crashed log back to its last complete record and preload it."""
+        assert self.path is not None
+        text = self.path.read_text(encoding="utf-8")
+        records, torn_at = _parse_jsonl(text, allow_torn_tail=True, label=str(self.path))
+        self.records.extend(records)
+        if torn_at is not None:
+            with self.path.open("r+", encoding="utf-8") as handle:
+                handle.truncate(len(text[:torn_at].encode("utf-8")))
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def write(self, record: Mapping[str, object]) -> None:
         record = dict(record)
         self.records.append(record)
         if self._handle is not None:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if self.durability != "none":
+                self._handle.flush()
+                if self.durability == "fsync":
+                    os.fsync(self._handle.fileno())
 
     def header(
         self,
@@ -155,16 +202,65 @@ class ReplayLog:
     decisions: tuple[ServedDecision, ...]
     rejects: int
     summary: Optional[Dict[str, object]]
+    #: ``True`` when the source ended in a torn (unparsable) final line that
+    #: was dropped -- the signature of a crash mid-write.
+    torn_tail: bool = False
 
 
-def read_replay_log(source: str | Path | Sequence[Mapping[str, object]]) -> ReplayLog:
-    """Parse a replay log from a JSONL path or an in-memory record list."""
+def _parse_jsonl(
+    text: str, allow_torn_tail: bool, label: str
+) -> Tuple[List[Dict[str, object]], Optional[int]]:
+    """Parse JSONL text, returning ``(records, torn_offset)``.
+
+    A parse failure on the **final** non-empty line is a torn tail (the
+    write was interrupted mid-record): with ``allow_torn_tail`` the line is
+    dropped and its character offset returned, otherwise it raises.  A parse
+    failure on any earlier line is corruption, never tolerated -- a
+    single-writer append-only log cannot tear in the middle.
+    """
+    records: List[Dict[str, object]] = []
+    pending_error: Optional[Tuple[int, int, str]] = None  # (offset, lineno, detail)
+    offset = 0
+    for lineno, line in enumerate(text.splitlines(keepends=True), start=1):
+        start = offset
+        offset += len(line)
+        if not line.strip():
+            continue
+        if pending_error is not None:
+            raise ValueError(
+                f"{label}: corrupt record on line {pending_error[1]} "
+                f"(not the final line): {pending_error[2]}"
+            )
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            pending_error = (start, lineno, str(error))
+    if pending_error is None:
+        return records, None
+    if not allow_torn_tail:
+        raise ValueError(
+            f"{label}: torn final record on line {pending_error[1]} "
+            f"(crash mid-write?): {pending_error[2]}; "
+            "pass allow_torn_tail=True to drop it"
+        )
+    return records, pending_error[0]
+
+
+def read_replay_log(
+    source: str | Path | Sequence[Mapping[str, object]],
+    allow_torn_tail: bool = False,
+) -> ReplayLog:
+    """Parse a replay log from a JSONL path or an in-memory record list.
+
+    ``allow_torn_tail`` tolerates an unparsable **final** line -- the torn
+    record a crash mid-write leaves behind -- by dropping it and setting
+    :attr:`ReplayLog.torn_tail`.  Corruption anywhere else always raises.
+    """
+    torn = False
     if isinstance(source, (str, Path)):
-        records = [
-            json.loads(line)
-            for line in Path(source).read_text(encoding="utf-8").splitlines()
-            if line.strip()
-        ]
+        text = Path(source).read_text(encoding="utf-8")
+        records, torn_at = _parse_jsonl(text, allow_torn_tail, label=str(source))
+        torn = torn_at is not None
     else:
         records = [dict(record) for record in source]
     header: Optional[Dict[str, object]] = None
@@ -206,6 +302,7 @@ def read_replay_log(source: str | Path | Sequence[Mapping[str, object]]) -> Repl
         decisions=tuple(decisions),
         rejects=rejects,
         summary=summary,
+        torn_tail=torn,
     )
 
 
@@ -241,6 +338,8 @@ class ReplayCheck:
     matched: bool
     mismatches: tuple[str, ...]
     result: Optional[SimulationResult]
+    #: Whether the source log ended in a dropped torn final record.
+    torn_tail: bool = False
 
     def raise_on_mismatch(self) -> "ReplayCheck":
         if not self.matched:
@@ -254,13 +353,24 @@ class ReplayCheck:
 def verify_replay_log(
     source: str | Path | Sequence[Mapping[str, object]] | ReplayLog,
     agent: RLBackfillAgent,
+    allow_torn_tail: bool = False,
 ) -> ReplayCheck:
     """Replay a log offline and compare decision streams field by field.
 
     Equality is exact: decision count, order, reserved/chosen job ids, and
     the decision-time floats must all match the log bit for bit.
+
+    With ``allow_torn_tail`` a crashed log (torn final line) verifies
+    against its surviving prefix: the logged decisions then only need to be
+    a **prefix** of the offline replay -- the crash may have lost decision
+    records that were served but not yet durable, and a shorter-than-replay
+    log is exactly what a torn tail predicts.  Without it, decision count
+    must match exactly and a torn line raises at parse time.
     """
-    log = source if isinstance(source, ReplayLog) else read_replay_log(source)
+    log = source if isinstance(source, ReplayLog) else read_replay_log(
+        source, allow_torn_tail=allow_torn_tail
+    )
+    prefix_ok = allow_torn_tail and log.summary is None
     if not log.jobs:
         return ReplayCheck(
             jobs=0,
@@ -268,14 +378,17 @@ def verify_replay_log(
             matched=not log.decisions,
             mismatches=("log has decisions but no jobs",) if log.decisions else (),
             result=None,
+            torn_tail=log.torn_tail,
         )
     simulator = build_replay_simulator(log.header, agent)
     replayed, result = capture_decisions(simulator, log.jobs)
     mismatches: List[str] = []
     if len(replayed) != len(log.decisions):
-        mismatches.append(
-            f"decision count: log has {len(log.decisions)}, replay produced {len(replayed)}"
-        )
+        if not (prefix_ok and len(replayed) > len(log.decisions)):
+            mismatches.append(
+                f"decision count: log has {len(log.decisions)}, "
+                f"replay produced {len(replayed)}"
+            )
     for logged, fresh in zip(log.decisions, replayed):
         if logged != fresh:
             mismatches.append(f"decision {logged.index}: log {logged} != replay {fresh}")
@@ -287,4 +400,5 @@ def verify_replay_log(
         matched=not mismatches,
         mismatches=tuple(mismatches),
         result=result,
+        torn_tail=log.torn_tail,
     )

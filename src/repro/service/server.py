@@ -31,8 +31,12 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import random
 import time
-from dataclasses import dataclass, field
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.agent import RLBackfillAgent
@@ -42,10 +46,50 @@ from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.prediction.predictors import UserEstimate
 from repro.scheduler.simulator import OnlineSession, ServedDecision, Simulator
 from repro.service.admission import AdmissionController, RefillSchedule
-from repro.service.replay import ReplayLogWriter, job_from_wire, job_to_wire
+from repro.service.replay import (
+    ReplayLog,
+    ReplayLogWriter,
+    job_from_wire,
+    job_to_wire,
+    read_replay_log,
+)
 from repro.workloads.job import Job
 
-__all__ = ["ServiceConfig", "SchedulingService", "ServiceClient"]
+__all__ = [
+    "ServiceConfig",
+    "SchedulingService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
+    "RecoveryError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for typed client-side service errors.
+
+    ``retryable`` tells callers whether backing off and resending the same
+    request (with the same ``dedup_key``) can succeed.
+    """
+
+    retryable = False
+
+
+class ServiceOverloadedError(ServiceError):
+    """The scheduler queue was full; the request was refused, not executed."""
+
+    retryable = True
+
+
+class ServiceTimeoutError(ServiceError):
+    """No response within the per-op timeout; request state is unknown."""
+
+    retryable = True
+
+
+class RecoveryError(RuntimeError):
+    """Crash recovery could not reconcile the replay log with a fresh replay."""
 
 #: Margin (event seconds) added between an assigned submission time and the
 #: latest processed event.  Must exceed the simulator's admission epsilon
@@ -80,6 +124,15 @@ class ServiceConfig:
     admission_refill: Tuple[Tuple[float, float], ...] = ((0.0, 128.0),)
     #: JSONL replay log path (``None`` keeps records in memory only).
     replay_log_path: Optional[str] = None
+    #: Replay-log write durability: ``"none"`` (buffered), ``"flush"``
+    #: (crash-safe against process death, the default), or ``"fsync"``
+    #: (crash-safe against host death).  See
+    #: :class:`~repro.service.replay.ReplayLogWriter`.
+    replay_durability: str = "flush"
+    #: Bound on the idempotent-submit dedup cache (LRU-evicted).  Each
+    #: ``dedup_key``-carrying submit caches its response so a client retry
+    #: after a timeout cannot double-admit jobs.
+    dedup_cache_size: int = 4096
     #: Row block pinned on the serving policy's forward site.
     row_block: Optional[int] = 1
     #: Wall seconds between background event-loop ticks (``None`` disables;
@@ -97,6 +150,7 @@ class _Counters:
     decisions: int = 0
     overloaded: int = 0
     ticks: int = 0
+    deduplicated: int = 0
 
 
 class SchedulingService:
@@ -111,6 +165,8 @@ class SchedulingService:
         agent: RLBackfillAgent,
         config: ServiceConfig | None = None,
         clock: Callable[[], float] | None = None,
+        *,
+        _resume_log: Optional[ReplayLog] = None,
     ):
         self.config = config or ServiceConfig()
         self.strategy = RLBackfillPolicy(
@@ -130,14 +186,19 @@ class SchedulingService:
             capacity=self.config.admission_capacity,
             schedule=RefillSchedule(self.config.admission_refill),
         )
-        self.replay = ReplayLogWriter(self.config.replay_log_path)
-        self.replay.header(
-            num_processors=self.config.num_processors,
-            policy=self.config.policy,
-            time_scale=self.config.time_scale,
-            row_block=self.config.row_block,
-            bsld_threshold=self.simulator.bsld_threshold,
+        self.replay = ReplayLogWriter(
+            self.config.replay_log_path,
+            durability=self.config.replay_durability,
+            resume=_resume_log is not None,
         )
+        if _resume_log is None:
+            self.replay.header(
+                num_processors=self.config.num_processors,
+                policy=self.config.policy,
+                time_scale=self.config.time_scale,
+                row_block=self.config.row_block,
+                bsld_threshold=self.simulator.bsld_threshold,
+            )
         self.counters = _Counters()
         # The service *is* a telemetry surface: its registry is always on and
         # exposed through the ``metrics`` wire op (Prometheus text format).
@@ -159,11 +220,100 @@ class SchedulingService:
         self._tenant_ids: Dict[str, int] = {}
         self._draining = False
         self._drain_summary: Optional[Dict[str, object]] = None
+        self._dedup_cache: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.max_pending_requests)
         self._server: Optional[asyncio.base_events.Server] = None
         self._worker_task: Optional[asyncio.Task] = None
         self._ticker_task: Optional[asyncio.Task] = None
         self._stopped = asyncio.Event()
+        if _resume_log is not None:
+            self._restore_from_log(_resume_log)
+
+    # -- crash recovery -----------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        agent: RLBackfillAgent,
+        replay_log_path: str | Path,
+        config: ServiceConfig | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> "SchedulingService":
+        """Rebuild a crashed service from its replay log.
+
+        Reads the log (tolerating the torn final record a crash mid-write
+        leaves), reconstructs the :class:`~repro.scheduler.simulator.OnlineSession`
+        by resubmitting every logged job and advancing to the last logged
+        instant, and verifies the logged decisions are a prefix of the
+        rebuilt stream -- the determinism contract is what makes recovery
+        *possible*.  Decisions that were served before the crash but lost
+        from the torn tail are re-served identically and re-appended, and
+        the log file is reopened for append (torn tail truncated), so the
+        recovered service continues the same log.
+
+        ``config`` defaults to one rebuilt from the log header; when given,
+        its simulator-shaping fields must match the header (anything else
+        could not replay the logged decisions).
+        """
+        log = read_replay_log(replay_log_path, allow_torn_tail=True)
+        header = log.header
+        header_row_block = header.get("row_block")
+        if config is None:
+            config = ServiceConfig(
+                num_processors=int(header["num_processors"]),
+                policy=str(header.get("policy", "FCFS")),
+                time_scale=float(header.get("time_scale", 1000.0)),
+                row_block=None if header_row_block is None else int(header_row_block),
+                replay_log_path=str(replay_log_path),
+            )
+        else:
+            config = replace(config, replay_log_path=str(replay_log_path))
+            expected = {
+                "num_processors": int(header["num_processors"]),
+                "policy": str(header.get("policy", "FCFS")),
+                "row_block": None if header_row_block is None else int(header_row_block),
+            }
+            for key, value in expected.items():
+                if getattr(config, key) != value:
+                    raise RecoveryError(
+                        f"config.{key}={getattr(config, key)!r} does not match the "
+                        f"log header's {value!r}; the logged decisions would not replay"
+                    )
+        return cls(agent, config, clock, _resume_log=log)
+
+    def _restore_from_log(self, log: ReplayLog) -> None:
+        """Reconstruct session state by replaying the log's job stream."""
+        for tenant, job in zip(log.tenants, log.jobs):
+            self._tenant_ids.setdefault(tenant, int(job.user_id))
+            self.session.submit(job)
+            self._last_assigned = max(self._last_assigned, job.submit_time)
+        if log.jobs:
+            horizon = self._last_assigned
+            if log.decisions:
+                horizon = max(horizon, log.decisions[-1].time)
+            self.session.advance_to(horizon)
+        if log.summary is not None:
+            # The prior process completed its drain; recovery reproduces the
+            # terminal state (summary kept verbatim, not re-logged).
+            self.session.drain()
+            self._draining = True
+            self._drain_summary = dict(log.summary)
+        rebuilt = self.session.decisions
+        for index, logged in enumerate(log.decisions):
+            if index >= len(rebuilt) or rebuilt[index] != logged:
+                fresh = rebuilt[index] if index < len(rebuilt) else None
+                raise RecoveryError(
+                    f"logged decision {index} is not reproduced by the rebuilt "
+                    f"session: log {logged} != replay {fresh}"
+                )
+        # Decisions the crash served but never made durable: re-log them now
+        # (bit-identical by the prefix check above).
+        for decision in rebuilt[len(log.decisions):]:
+            self.replay.decision(decision)
+        self.counters.submitted = len(log.jobs) + log.rejects
+        self.counters.admitted = len(log.jobs)
+        self.counters.rejected = log.rejects
+        self.counters.decisions = len(rebuilt)
+        self._decisions_counter.inc(len(rebuilt))
 
     # -- clocks -------------------------------------------------------------
     def wall_now(self) -> float:
@@ -352,6 +502,17 @@ class SchedulingService:
         return user_id
 
     def _handle_submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        dedup_key = request.get("dedup_key")
+        dedup_key = None if dedup_key is None else str(dedup_key)
+        if dedup_key is not None:
+            cached = self._dedup_cache.get(dedup_key)
+            if cached is not None:
+                # Idempotent retry: the original submission already ran (or
+                # was throttled); replay its response instead of double-
+                # admitting the jobs.
+                self._dedup_cache.move_to_end(dedup_key)
+                self.counters.deduplicated += 1
+                return {**cached, "deduplicated": True}
         if self._draining:
             return {"ok": False, "error": "draining", "results": []}
         tenant = str(request.get("tenant", "default"))
@@ -408,13 +569,19 @@ class SchedulingService:
                 {"job_id": job.job_id, "admitted": True, "event_time": job.submit_time}
             )
         served = self._advance()
-        return {
+        response: Dict[str, object] = {
             "ok": True,
             "results": results,
             "decisions": [self._decision_to_wire(d) for d in served],
             "event_time": self.session.now,
             "queue_depth": self.session.queue_depth,
         }
+        if dedup_key is not None:
+            self._dedup_cache[dedup_key] = response
+            self._dedup_cache.move_to_end(dedup_key)
+            while len(self._dedup_cache) > self.config.dedup_cache_size:
+                self._dedup_cache.popitem(last=False)
+        return response
 
     def _handle_drain(self) -> Dict[str, object]:
         if self._drain_summary is not None:
@@ -460,6 +627,7 @@ class SchedulingService:
             "requests": self.counters.requests,
             "ticks": self.counters.ticks,
             "overloaded": self.counters.overloaded,
+            "deduplicated": self.counters.deduplicated,
             "queue_depth": self.session.queue_depth,
             "pending_requests": self._queue.qsize(),
             "draining": self._draining,
@@ -519,25 +687,37 @@ class SchedulingService:
             return {
                 "ok": False,
                 "error": "overloaded",
+                "retryable": True,
                 "pending_requests": self._queue.qsize(),
             }
         return await future
 
 
 class ServiceClient:
-    """Minimal line-framed client used by tests and the load generator."""
+    """Minimal line-framed client used by tests and the load generator.
 
-    def __init__(self, host: str, port: int):
+    ``timeout`` (wall seconds) bounds every request round trip; ``None``
+    waits forever.  A timed-out connection is dropped -- after an abandoned
+    round trip the stream's framing state is unknown, so the next request
+    must reconnect (:meth:`connect` is idempotent).
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
-    async def __aenter__(self) -> "ServiceClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port, limit=_STREAM_LIMIT
-        )
+    async def connect(self) -> "ServiceClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=_STREAM_LIMIT
+            )
         return self
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
 
     async def __aexit__(self, *exc) -> None:
         await self.close()
@@ -552,9 +732,8 @@ class ServiceClient:
             self._writer = None
             self._reader = None
 
-    async def request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        if self._writer is None or self._reader is None:
-            raise RuntimeError("client is not connected")
+    async def _roundtrip(self, payload: Dict[str, object]) -> Dict[str, object]:
+        assert self._writer is not None and self._reader is not None
         self._writer.write(json.dumps(payload).encode() + b"\n")
         await self._writer.drain()
         line = await self._reader.readline()
@@ -562,14 +741,99 @@ class ServiceClient:
             raise ConnectionError("service closed the connection")
         return json.loads(line)
 
+    async def request(
+        self,
+        payload: Dict[str, object],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """One request/response round trip.
+
+        ``timeout`` overrides the client default for this op; on expiry the
+        connection is closed and :class:`ServiceTimeoutError` (retryable)
+        is raised -- whether the service executed the request is unknown,
+        which is what ``dedup_key`` retries are for.
+        """
+        if self._writer is None or self._reader is None:
+            raise RuntimeError("client is not connected")
+        timeout = self.timeout if timeout is None else timeout
+        if timeout is None:
+            return await self._roundtrip(payload)
+        try:
+            return await asyncio.wait_for(self._roundtrip(payload), timeout)
+        except asyncio.TimeoutError:
+            await self.close()
+            raise ServiceTimeoutError(
+                f"no response within {timeout}s for op {payload.get('op')!r}"
+            ) from None
+
     async def submit(
         self,
         jobs: Sequence[Dict[str, object]] | Dict[str, object],
         tenant: str = "default",
+        dedup_key: Optional[str] = None,
     ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": "submit", "tenant": tenant}
+        if dedup_key is not None:
+            payload["dedup_key"] = dedup_key
         if isinstance(jobs, dict):
-            return await self.request({"op": "submit", "tenant": tenant, "job": jobs})
-        return await self.request({"op": "submit", "tenant": tenant, "jobs": list(jobs)})
+            payload["job"] = jobs
+        else:
+            payload["jobs"] = list(jobs)
+        return await self.request(payload)
+
+    async def submit_with_retry(
+        self,
+        jobs: Sequence[Dict[str, object]] | Dict[str, object],
+        tenant: str = "default",
+        *,
+        dedup_key: Optional[str] = None,
+        attempts: int = 6,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        rng: Optional[random.Random] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Submit with jittered exponential backoff on retryable failures.
+
+        Retries on ``overloaded`` responses, timeouts, and dropped
+        connections (reconnecting as needed), always resending the **same**
+        ``dedup_key`` -- the service's idempotent-submit cache guarantees a
+        retry after an ambiguous failure cannot double-admit jobs.  A key is
+        generated when the caller does not supply one.  Non-retryable error
+        responses are returned as-is; exhausting ``attempts`` raises the
+        last retryable error.
+        """
+        if dedup_key is None:
+            dedup_key = uuid.uuid4().hex
+        rng = rng if rng is not None else random.Random()
+        payload: Dict[str, object] = {
+            "op": "submit",
+            "tenant": tenant,
+            "dedup_key": dedup_key,
+        }
+        if isinstance(jobs, dict):
+            payload["job"] = jobs
+        else:
+            payload["jobs"] = list(jobs)
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = min(max_delay, base_delay * (2 ** (attempt - 1)))
+                await asyncio.sleep(delay * (0.5 + 0.5 * rng.random()))
+            try:
+                await self.connect()
+                response = await self.request(payload, timeout=timeout)
+            except (ServiceTimeoutError, ConnectionError, OSError) as error:
+                last_error = error
+                await self.close()
+                continue
+            if response.get("ok") or response.get("error") != "overloaded":
+                return response
+            last_error = ServiceOverloadedError(
+                f"service overloaded on submit attempt {attempt + 1}"
+            )
+        assert last_error is not None
+        raise last_error
 
     async def drain(self) -> Dict[str, object]:
         return await self.request({"op": "drain"})

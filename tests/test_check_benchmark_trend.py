@@ -370,3 +370,85 @@ class TestServiceReportIngestion:
         # Parity is not a trend: zero tolerance, floor exactly 1.0.
         assert entries["replay_matched"]["tolerance"] == 0.0
         assert entries["replay_matched"]["baseline"] == 1.0
+
+
+class TestChaosReportIngestion:
+    def _timing(self, tmp_path, **overrides):
+        payload = {
+            "chaos_wall_seconds": 5.0,
+            "recovery_overhead_vs_clean": 3.7,
+            "pool_parity_ok": 1.0,
+            "service_recovery_ok": 1.0,
+        }
+        payload.update(overrides)
+        path = tmp_path / "chaos-timing.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    CHAOS_METRICS = [
+        {"benchmark": "chaos_smoke", "key": "recovery_overhead_vs_clean",
+         "baseline": 4.0, "higher_is_better": False, "tolerance": 1.5},
+        {"benchmark": "chaos_smoke", "key": "pool_parity_ok",
+         "baseline": 1.0, "higher_is_better": True, "tolerance": 0.0},
+        {"benchmark": "chaos_smoke", "key": "service_recovery_ok",
+         "baseline": 1.0, "higher_is_better": True, "tolerance": 0.0},
+    ]
+
+    def test_healthy_report_passes_all_gates(self, tmp_path, capsys):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.CHAOS_METRICS)
+        timing = self._timing(tmp_path)
+        assert trend.check(results, baseline, chaos_report=timing) == 0
+        out = capsys.readouterr().out
+        assert "chaos_smoke:recovery_overhead_vs_clean" in out
+        assert "chaos_smoke:pool_parity_ok" in out
+
+    def test_pathological_recovery_overhead_fails(self, tmp_path):
+        """Recovery costing more than the ceiling (e.g. a full-rollout
+        restart instead of a shard replay) is a blocking regression."""
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.CHAOS_METRICS)
+        timing = self._timing(tmp_path, recovery_overhead_vs_clean=25.0)
+        assert trend.check(results, baseline, chaos_report=timing) == 1
+
+    def test_parity_violation_hard_fails(self, tmp_path, capsys):
+        """Fault-injected divergence is zero-tolerance: the bit is 0.0 and
+        the floor is exactly 1.0."""
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.CHAOS_METRICS)
+        timing = self._timing(tmp_path, pool_parity_ok=0.0)
+        assert trend.check(results, baseline, chaos_report=timing) == 1
+        assert "pool_parity_ok" in capsys.readouterr().err
+
+    def test_without_report_metrics_are_missing_not_failing(self, tmp_path, capsys):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, self.CHAOS_METRICS)
+        assert trend.check(results, baseline) == 0
+        assert "MISSING" in capsys.readouterr().out
+        assert trend.check(results, baseline, strict=True) == 1
+
+    def test_rejects_non_chaos_document(self, tmp_path):
+        results = write_results(tmp_path, [])
+        baseline = write_baseline(tmp_path, [])
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"service_load_wall_seconds": 3.0}))
+        with pytest.raises(ValueError):
+            trend.check(results, baseline, chaos_report=bogus)
+
+    def test_committed_baseline_gates_recovery_overhead_and_parity(self):
+        baseline = json.loads(trend.DEFAULT_BASELINE.read_text())
+        entries = {
+            m["key"]: m
+            for m in baseline["metrics"]
+            if m["benchmark"] == "chaos_smoke"
+        }
+        assert set(entries) == {
+            "recovery_overhead_vs_clean",
+            "pool_parity_ok",
+            "service_recovery_ok",
+        }
+        assert entries["recovery_overhead_vs_clean"]["higher_is_better"] is False
+        # Parity is not a trend: zero tolerance, floor exactly 1.0.
+        for key in ("pool_parity_ok", "service_recovery_ok"):
+            assert entries[key]["tolerance"] == 0.0
+            assert entries[key]["baseline"] == 1.0

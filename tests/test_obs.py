@@ -312,6 +312,8 @@ def test_worker_published_counters_is_stable():
         "sim_decision_points_total",
         "sim_backfill_starts_total",
         "backfill_profile_builds_total",
+        "sim_preemptions_total",
+        "sim_requeues_total",
     )
 
 

@@ -48,6 +48,8 @@ STATS_KEYS = {
     "steal_banked",
     "steal_credited",
     "presampled_resets",
+    "respawns",
+    "replayed_commands",
     "worker_idle_fraction",
     "forward_s",
     "encode_s",
@@ -188,7 +190,27 @@ class TestEpisodeSetParity:
 
 
 class TestFailureSemantics:
-    def test_worker_death_mid_pipeline_raises(self, small_trace):
+    def test_worker_death_mid_pipeline_raises_with_respawn_off(self, small_trace):
+        agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=5)
+        pool = ProcessLanePool.from_template(
+            make_training_env(small_trace),
+            4,
+            seed=11,
+            num_workers=2,
+            pipeline_depth=2,
+            respawn=False,
+        )
+        with pool:
+            buffer = TrajectoryBuffer()
+            pool.rollout(agent, 2, buffer, rngs=lane_rngs(4))
+            pool._processes[0].terminate()
+            pool._processes[0].join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="died unexpectedly"):
+                pool.rollout(agent, 4, TrajectoryBuffer(), rngs=lane_rngs(4))
+
+    def test_worker_death_recovers_by_default(self, small_trace):
+        """With respawn on (the default), a killed worker is rebuilt via
+        deterministic replay and the next rollout succeeds."""
         agent = RLBackfillAgent(observation_config=OBS_CONFIG, seed=5)
         pool = ProcessLanePool.from_template(
             make_training_env(small_trace),
@@ -198,12 +220,12 @@ class TestFailureSemantics:
             pipeline_depth=2,
         )
         with pool:
-            buffer = TrajectoryBuffer()
-            pool.rollout(agent, 2, buffer, rngs=lane_rngs(4))
-            pool._processes[0].terminate()
+            pool.rollout(agent, 2, TrajectoryBuffer(), rngs=lane_rngs(4))
+            pool._processes[0].kill()
             pool._processes[0].join(timeout=5.0)
-            with pytest.raises(RuntimeError, match="died unexpectedly"):
-                pool.rollout(agent, 4, TrajectoryBuffer(), rngs=lane_rngs(4))
+            infos = pool.rollout(agent, 4, TrajectoryBuffer(), rngs=lane_rngs(4))
+            assert len(infos) == 4
+            assert pool.stats()["respawns"] == 1
 
     @pytest.mark.parametrize("depth", [1, 2])
     def test_recoverable_rollout_error_poisons_pool_like_lockstep(

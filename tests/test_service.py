@@ -24,9 +24,13 @@ from repro.prediction.predictors import UserEstimate
 from repro.scheduler.backfill.easy import EasyBackfill
 from repro.scheduler.simulator import Simulator, capture_decisions
 from repro.service import (
+    RecoveryError,
+    ReplayLogWriter,
     SchedulingService,
     ServiceClient,
     ServiceConfig,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
     read_replay_log,
     verify_replay_log,
 )
@@ -480,6 +484,283 @@ class TestServiceProtocol:
         times = [r["event_time"] for r in response["results"]]
         assert all(b > a for a, b in zip(times, times[1:]))
         assert all(b - a >= 1e-6 - 1e-12 for a, b in zip(times, times[1:]))
+
+
+class TestCrashRecovery:
+    """Torn-tail log handling and service reconstruction from the replay log.
+
+    The determinism contract is what makes recovery possible: the surviving
+    log prefix fully determines the session state at the crash instant, so a
+    recovered service continues the *same* log and the combined stream still
+    verifies bit-for-bit offline.
+    """
+
+    def _run_and_crash(self, agent, path, bursts=6):
+        """Serve some jobs, then stop WITHOUT draining -- a crash leaves the
+        log with no drain record -- and tear the final line."""
+
+        async def scenario():
+            service = SchedulingService(
+                agent,
+                service_config(
+                    replay_log_path=str(path), replay_durability="fsync"
+                ),
+            )
+            async with service:
+                host, port = service.address
+                rng = np.random.default_rng(2)
+                async with ServiceClient(host, port) as client:
+                    for burst in range(bursts):
+                        response = await client.submit(wire_jobs(rng, burst * 8 + 1, 8))
+                        assert response["ok"], response
+                        await asyncio.sleep(0.003)
+            return service
+
+        service = run_service(scenario())
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "decision", "index": 9')  # torn mid-record
+        return service
+
+    def test_torn_tail_is_rejected_strictly_and_dropped_tolerantly(self, tmp_path):
+        agent = RLBackfillAgent(seed=4)
+        path = tmp_path / "replay.jsonl"
+        self._run_and_crash(agent, path)
+        with pytest.raises(ValueError, match="torn final record"):
+            read_replay_log(path)
+        log = read_replay_log(path, allow_torn_tail=True)
+        assert log.torn_tail
+        assert len(log.jobs) == 48
+        assert log.summary is None
+        # Prefix verification: logged decisions only need to be a prefix of
+        # the fresh replay when the log is a crash artifact.
+        check = verify_replay_log(path, agent, allow_torn_tail=True)
+        assert check.matched and check.torn_tail
+
+    def test_mid_file_corruption_always_raises(self, tmp_path):
+        agent = RLBackfillAgent(seed=4)
+        path = tmp_path / "replay.jsonl"
+        self._run_and_crash(agent, path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # corrupt a non-final record
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt record"):
+            read_replay_log(path, allow_torn_tail=True)
+
+    def test_recovered_service_continues_the_same_log(self, tmp_path):
+        agent = RLBackfillAgent(seed=4)
+        path = tmp_path / "replay.jsonl"
+        crashed = self._run_and_crash(agent, path)
+        pre_crash_decisions = crashed.counters.decisions
+
+        async def resume():
+            service = SchedulingService.recover(agent, path)
+            # Reconstructed state matches the crashed process.
+            assert service.counters.admitted == 48
+            assert service.counters.decisions >= 0
+            async with service:
+                host, port = service.address
+                rng = np.random.default_rng(99)
+                async with ServiceClient(host, port) as client:
+                    response = await client.submit(wire_jobs(rng, 1000, 8))
+                    assert response["ok"], response
+                    drain = await client.drain()
+                    await client.shutdown()
+                await service.wait_stopped()
+            return service, drain
+
+        service, drain = run_service(resume())
+        assert drain["jobs"] == 48 + 8
+        assert service.config.num_processors == crashed.config.num_processors
+        # The torn tail is gone from disk, every line parses, and the
+        # combined pre-crash + post-recovery log verifies end to end.
+        for line in path.read_text(encoding="utf-8").splitlines():
+            json.loads(line)
+        check = verify_replay_log(path, agent).raise_on_mismatch()
+        assert check.jobs == 56
+        assert check.decisions >= pre_crash_decisions
+
+    def test_recovery_of_a_drained_log_restores_the_terminal_state(self, tmp_path):
+        agent = RLBackfillAgent(seed=4)
+        path = tmp_path / "replay.jsonl"
+
+        async def scenario():
+            service = SchedulingService(
+                agent, service_config(replay_log_path=str(path))
+            )
+            async with service:
+                host, port = service.address
+                rng = np.random.default_rng(8)
+                async with ServiceClient(host, port) as client:
+                    await client.submit(wire_jobs(rng, 1, 16))
+                    drain = await client.drain()
+                    await client.shutdown()
+                await service.wait_stopped()
+            return drain
+
+        drain = run_service(scenario())
+        recovered = SchedulingService.recover(agent, path)
+        assert recovered._draining
+        summary = recovered._drain_summary
+        assert summary is not None and summary["jobs"] == drain["jobs"]
+        assert recovered.counters.decisions == drain["decisions_served"]
+
+    def test_recover_rejects_a_mismatched_config(self, tmp_path):
+        agent = RLBackfillAgent(seed=4)
+        path = tmp_path / "replay.jsonl"
+        self._run_and_crash(agent, path, bursts=1)
+        with pytest.raises(RecoveryError, match="num_processors"):
+            SchedulingService.recover(
+                agent, path, config=service_config(num_processors=32)
+            )
+
+    def test_writer_resume_truncates_and_preloads(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        first = ReplayLogWriter(path, durability="fsync")
+        first.write({"type": "header", "num_processors": 4})
+        first.write({"type": "submit", "tenant": "t"})
+        first.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "subm')
+        resumed = ReplayLogWriter(path, resume=True)
+        assert [r["type"] for r in resumed.records] == ["header", "submit"]
+        resumed.write({"type": "drain"})
+        resumed.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == ["header", "submit", "drain"]
+
+    def test_writer_rejects_unknown_durability(self):
+        with pytest.raises(ValueError, match="durability"):
+            ReplayLogWriter(None, durability="paranoid")
+
+
+class TestClientResilience:
+    """Per-op timeouts, typed retryable errors, and idempotent retries."""
+
+    def test_idempotent_submit_dedup_key(self):
+        """Retrying a submit with the same dedup key replays the cached
+        response instead of double-admitting the jobs."""
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(agent, service_config())
+            async with service:
+                host, port = service.address
+                rng = np.random.default_rng(5)
+                jobs = wire_jobs(rng, 1, 6)
+                async with ServiceClient(host, port) as client:
+                    first = await client.submit(jobs, dedup_key="retry-1")
+                    replayed = await client.submit(jobs, dedup_key="retry-1")
+                    fresh = await client.submit(wire_jobs(rng, 100, 2), dedup_key="retry-2")
+                    await client.shutdown()
+                await service.wait_stopped()
+            return service, first, replayed, fresh
+
+        service, first, replayed, fresh = run_service(scenario())
+        assert first["ok"] and "deduplicated" not in first
+        assert replayed["deduplicated"] is True
+        assert replayed["results"] == first["results"]
+        assert fresh["ok"] and "deduplicated" not in fresh
+        assert service.counters.deduplicated == 1
+        # The jobs were admitted exactly once: the replay log stays clean.
+        log = read_replay_log(service.replay.records)
+        assert len(log.jobs) == 8
+        verify_replay_log(log, agent).raise_on_mismatch()
+
+    def test_request_timeout_raises_typed_retryable_error(self):
+        """A server that never responds trips the per-op timeout with a
+        typed, retryable error, and the dead connection is dropped."""
+
+        async def scenario():
+            async def mute_handler(reader, writer):
+                await reader.readline()  # swallow the request, never answer
+
+            server = await asyncio.start_server(mute_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            async with ServiceClient(host, port, timeout=0.05) as client:
+                with pytest.raises(ServiceTimeoutError) as excinfo:
+                    await client.request({"op": "stats"})
+                assert excinfo.value.retryable
+                assert client._writer is None  # connection dropped
+            server.close()
+            await server.wait_closed()
+
+        run_service(scenario())
+
+    def test_submit_with_retry_backs_off_on_overload(self):
+        """Overloaded responses are retried with the SAME dedup key until the
+        service accepts; exhausting attempts raises the typed error."""
+        seen_keys = []
+        responses = [
+            {"ok": False, "error": "overloaded", "retryable": True},
+            {"ok": False, "error": "overloaded", "retryable": True},
+            {"ok": True, "results": [{"job_id": 1, "admitted": True}], "decisions": []},
+        ]
+
+        async def scenario():
+            calls = {"n": 0}
+
+            async def stub_handler(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    seen_keys.append(request.get("dedup_key"))
+                    index = min(calls["n"], len(responses) - 1)
+                    calls["n"] += 1
+                    writer.write(json.dumps(responses[index]).encode() + b"\n")
+                    await writer.drain()
+
+            server = await asyncio.start_server(stub_handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            import random as random_module
+
+            async with ServiceClient(host, port) as client:
+                response = await client.submit_with_retry(
+                    {"job_id": 1, "runtime": 10.0,
+                     "requested_processors": 1, "requested_time": 20.0},
+                    base_delay=0.001,
+                    rng=random_module.Random(0),
+                )
+            server.close()
+            await server.wait_closed()
+            return response
+
+        response = run_service(scenario())
+        assert response["ok"]
+        assert len(seen_keys) == 3
+        assert len(set(seen_keys)) == 1 and seen_keys[0] is not None
+
+    def test_submit_with_retry_exhausts_attempts(self):
+        async def scenario():
+            async def always_overloaded(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    writer.write(
+                        json.dumps({"ok": False, "error": "overloaded"}).encode() + b"\n"
+                    )
+                    await writer.drain()
+
+            server = await asyncio.start_server(always_overloaded, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            import random as random_module
+
+            async with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceOverloadedError) as excinfo:
+                    await client.submit_with_retry(
+                        [{"job_id": 1, "runtime": 10.0,
+                          "requested_processors": 1, "requested_time": 20.0}],
+                        attempts=3,
+                        base_delay=0.001,
+                        rng=random_module.Random(0),
+                    )
+                assert excinfo.value.retryable
+            server.close()
+            await server.wait_closed()
+
+        run_service(scenario())
 
 
 class TestServiceMetrics:
