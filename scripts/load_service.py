@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import random
 import sys
 import time
 from pathlib import Path
@@ -40,6 +41,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.agent import RLBackfillAgent  # noqa: E402
 from repro.experiments.runner import load_or_train_agent  # noqa: E402
+from repro.faults.plan import FaultPlan  # noqa: E402
 from repro.obs.metrics import (  # noqa: E402
     LATENCY_BUCKETS_S,
     Histogram,
@@ -103,6 +105,21 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         help="fail (exit 1) if live decisions/sec falls below this floor",
     )
     parser.add_argument(
+        "--connection-drops",
+        type=int,
+        default=0,
+        help="chaos mode: this many request ordinals per --drop-window are "
+        "dropped mid-flight (written, never read) and retried with the same "
+        "dedup_key; replay parity then proves the retries never double-admit",
+    )
+    parser.add_argument(
+        "--drop-window",
+        type=int,
+        default=64,
+        help="request-ordinal window the FaultPlan drop ordinals are drawn "
+        "over; the plan repeats every window, giving a sustained drop rate",
+    )
+    parser.add_argument(
         "--no-parity-check",
         action="store_true",
         help="skip the offline replay verification (parity is enforced by default)",
@@ -142,6 +159,26 @@ def make_batch(
     return jobs
 
 
+class ChaosClient(ServiceClient):
+    """A :class:`ServiceClient` that can abandon an in-flight submit.
+
+    ``submit_dropped`` writes the request and closes the socket without
+    reading the response -- the FaultPlan ``connection_drops`` failure mode:
+    the service may or may not have executed the request, and only an
+    idempotent ``dedup_key`` retry can safely find out.
+    """
+
+    async def submit_dropped(
+        self, jobs: List[Dict[str, object]], tenant: str, dedup_key: str
+    ) -> None:
+        await self.connect()
+        payload = {"op": "submit", "tenant": tenant, "dedup_key": dedup_key, "jobs": jobs}
+        assert self._writer is not None
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        await self.close()
+
+
 async def run_client(
     index: int,
     host: str,
@@ -151,18 +188,40 @@ async def run_client(
     id_stride: int,
     latencies: Histogram,
     totals: Dict[str, int],
+    fault_plan: Optional[FaultPlan] = None,
+    ordinals: Optional[Dict[str, int]] = None,
 ) -> None:
     rng = np.random.default_rng(args.seed * 1000 + index)
+    retry_rng = random.Random(args.seed * 1000 + index)
     next_id = index + 1
-    async with ServiceClient(host, port) as client:
+    async with ChaosClient(host, port) as client:
         while time.perf_counter() < deadline:
             jobs = make_batch(rng, next_id, args.batch, args.procs, args.wide_fraction)
             # Stride ids by client so concurrent submitters never collide.
             for offset, job in enumerate(jobs):
                 job["job_id"] = next_id + offset * id_stride
             next_id += args.batch * id_stride
+            # One global submit ordinal across all clients (asyncio tasks
+            # interleave on one thread, so the counter needs no lock); the
+            # fault plan's drop ordinals repeat every --drop-window requests.
+            drop = False
+            if fault_plan is not None and ordinals is not None:
+                ordinal = ordinals["next"]
+                ordinals["next"] = ordinal + 1
+                drop = fault_plan.drops_connection(ordinal % args.drop_window)
             t0 = time.perf_counter()
-            response = await client.submit(jobs, tenant=f"tenant-{index}")
+            if drop:
+                dedup_key = f"chaos-{index}-{next_id}"
+                await client.submit_dropped(jobs, f"tenant-{index}", dedup_key)
+                totals["dropped"] += 1
+                await client.connect()
+                response = await client.submit_with_retry(
+                    jobs, tenant=f"tenant-{index}", dedup_key=dedup_key, rng=retry_rng
+                )
+                if response.get("deduplicated"):
+                    totals["deduplicated"] += 1
+            else:
+                response = await client.submit(jobs, tenant=f"tenant-{index}")
             latencies.observe(time.perf_counter() - t0)
             if not response.get("ok"):
                 if response.get("error") == "overloaded":
@@ -216,14 +275,32 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
     # Standalone (registry-less) histogram: always records, shared by every
     # client task (asyncio tasks interleave on one thread, so no locking).
     latencies = Histogram("load_client_submit_seconds", LATENCY_BUCKETS_S)
-    totals = {"decisions": 0, "admitted": 0, "rejected": 0, "overloaded": 0}
+    totals = {
+        "decisions": 0,
+        "admitted": 0,
+        "rejected": 0,
+        "overloaded": 0,
+        "dropped": 0,
+        "deduplicated": 0,
+    }
+    fault_plan = None
+    ordinals = {"next": 0}
+    if args.connection_drops > 0:
+        fault_plan = FaultPlan.generate(
+            args.seed,
+            num_requests=args.drop_window,
+            num_connection_drops=args.connection_drops,
+        )
     async with service:
         host, port = service.address
         start = time.perf_counter()
         deadline = start + args.duration
         clients = [
             asyncio.create_task(
-                run_client(i, host, port, args, deadline, args.clients, latencies, totals)
+                run_client(
+                    i, host, port, args, deadline, args.clients, latencies, totals,
+                    fault_plan=fault_plan, ordinals=ordinals,
+                )
             )
             for i in range(args.clients)
         ]
@@ -260,6 +337,8 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
         "jobs_admitted": totals["admitted"],
         "jobs_rejected": totals["rejected"],
         "overloaded_responses": totals["overloaded"],
+        "connections_dropped": totals["dropped"],
+        "deduplicated_retries": totals["deduplicated"],
         "requests": latencies.count,
         "latency_p50_ms": percentile_ms(latencies, 50.0),
         "latency_p95_ms": percentile_ms(latencies, 95.0),
@@ -285,6 +364,8 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
             "duration": args.duration,
             "seed": args.seed,
             "quick": args.quick,
+            "connection_drops": args.connection_drops,
+            "drop_window": args.drop_window,
         },
     }
     return report
@@ -325,6 +406,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"p99/forward={report['p99_latency_per_forward']:.0f}; "
         f"throughput*forward={report['decision_throughput_x_forward']:.3f}"
     )
+    if report["connections_dropped"]:
+        print(
+            f"chaos: {report['connections_dropped']} connections dropped, "
+            f"{report['deduplicated_retries']} retries answered from the dedup cache"
+        )
     replay = report["replay"]
     if replay["checked"]:
         print(

@@ -1,6 +1,37 @@
-"""Homogeneous cluster model: processor pool, running-job registry, utilization."""
+"""Cluster model: processor pool, node groups, allocator layer, running-job registry."""
 
-from repro.cluster.resources import Allocation, ResourcePool
+from repro.cluster.resources import (
+    Allocation,
+    ClusterTopology,
+    NodeGroup,
+    ResourcePool,
+    ResourceVector,
+)
+from repro.cluster.allocator import (
+    ALLOCATOR_POLICIES,
+    Allocator,
+    BestFitAllocator,
+    FirstFitAllocator,
+    GroupAllocation,
+    job_request,
+    make_allocator,
+)
 from repro.cluster.machine import DowntimeWindow, Machine, RunningJob
 
-__all__ = ["Allocation", "ResourcePool", "DowntimeWindow", "Machine", "RunningJob"]
+__all__ = [
+    "Allocation",
+    "ResourcePool",
+    "ResourceVector",
+    "NodeGroup",
+    "ClusterTopology",
+    "Allocator",
+    "FirstFitAllocator",
+    "BestFitAllocator",
+    "GroupAllocation",
+    "job_request",
+    "make_allocator",
+    "ALLOCATOR_POLICIES",
+    "DowntimeWindow",
+    "Machine",
+    "RunningJob",
+]

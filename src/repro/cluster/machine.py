@@ -37,7 +37,13 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cluster.resources import Allocation, ResourcePool
+from repro.cluster.allocator import (
+    Allocator,
+    GroupAllocation,
+    job_request,
+    make_allocator,
+)
+from repro.cluster.resources import Allocation, ClusterTopology, NodeGroup, ResourcePool, ResourceVector
 from repro.workloads.job import Job
 
 __all__ = ["RunningJob", "Machine", "DowntimeWindow"]
@@ -53,11 +59,17 @@ class DowntimeWindow:
     size) and are interpreted in simulation time -- the same clock job submit
     times use.  A window never preempts running jobs; it only caps how many
     processors new starts may occupy while it is active.
+
+    ``group`` targets the drain at one node group of a heterogeneous machine
+    (see docs/cluster.md).  Multi-group topologies require every window to be
+    group-tagged; a one-group topology accepts untagged windows (they drain
+    the only group there is), and scalar machines reject tags outright.
     """
 
     start: float
     end: float
     processors: int
+    group: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.processors <= 0:
@@ -120,13 +132,32 @@ class Machine:
         self,
         num_processors: int,
         capacity_schedule: Sequence[DowntimeWindow] | None = None,
+        topology: ClusterTopology | None = None,
+        allocator: str | Allocator = "first_fit",
     ):
         self.pool = ResourcePool(total=num_processors)
+        #: Heterogeneous topology, or ``None`` for the scalar machine.  Every
+        #: hetero branch below is guarded on this so the scalar path performs
+        #: exactly the pre-topology arithmetic.
+        self.topology = topology
+        self._allocator: Optional[Allocator] = None
+        self._group_allocs: Dict[int, GroupAllocation] = {}
+        if topology is not None:
+            if topology.total_cpus != num_processors:
+                raise ValueError(
+                    f"topology supplies {topology.total_cpus} cpus but the machine "
+                    f"was sized at {num_processors}"
+                )
+            self._allocator = (
+                allocator if isinstance(allocator, Allocator) else make_allocator(allocator, topology)
+            )
         #: Scheduled drains, sorted by start time; empty tuple = always full
         #: capacity (the default, and the zero-overhead fast path everywhere).
         self.capacity_schedule: Tuple[DowntimeWindow, ...] = tuple(
             sorted(capacity_schedule or (), key=lambda w: (w.start, w.end))
         )
+        for window in self.capacity_schedule:
+            self._validate_window(window)
         self._running: dict[int, RunningJob] = {}
         # Utilization accounting: integral of busy processors over time.
         self._busy_area = 0.0
@@ -159,10 +190,14 @@ class Machine:
         processors minus those drained by the windows active at the machine's
         current simulated time (never negative -- a graceful drain that finds
         the machine busier than the remaining capacity simply blocks new
-        starts until jobs finish).
+        starts until jobs finish).  On heterogeneous machines the clamp is
+        per group: a deeply-drained group cannot borrow headroom from an
+        undrained one.
         """
         if not self.capacity_schedule:
             return self.pool.free
+        if self._allocator is not None:
+            return sum(vector.cpus for vector in self.hetero_free_map().values())
         return max(self.pool.free - self.drained_processors(), 0)
 
     @property
@@ -184,6 +219,9 @@ class Machine:
         return job_id in self._running
 
     def can_start(self, job: Job) -> bool:
+        if self._allocator is not None:
+            free = self.hetero_free_map() if self.capacity_schedule else None
+            return self._allocator.can_allocate(job_request(job), free=free, partition=job.partition)
         if not self.capacity_schedule:
             return self.pool.can_allocate(job.requested_processors)
         return 0 < job.requested_processors <= self.free_processors
@@ -243,6 +281,139 @@ class Machine:
             if window.end > now + _EPS
         ]
 
+    # -- heterogeneous topology ---------------------------------------------
+    @property
+    def allocator(self) -> Optional[Allocator]:
+        """The placement policy, or ``None`` on a scalar machine."""
+        return self._allocator
+
+    def _validate_window(self, window: DowntimeWindow) -> None:
+        if self.topology is None:
+            if window.group is not None:
+                raise ValueError(
+                    f"downtime window targets group {window.group!r} but the machine "
+                    f"is homogeneous (no topology)"
+                )
+            return
+        if window.group is None:
+            if len(self.topology.groups) > 1:
+                raise ValueError(
+                    "downtime windows on a multi-group topology must name a group; "
+                    f"have groups {self.topology.names}"
+                )
+            return
+        self.topology.group(window.group)  # raises KeyError on unknown names
+
+    def _window_group(self, window: DowntimeWindow) -> NodeGroup:
+        assert self.topology is not None
+        if window.group is None:
+            return self.topology.groups[0]
+        return self.topology.group(window.group)
+
+    def _window_drain_vector(self, window: DowntimeWindow) -> ResourceVector:
+        """The resource vector a window takes out of its group.
+
+        Nodes leave with their proportional share of the group's memory and
+        GPUs (floor division -- draining half a group's cpus drains at most
+        half its memory), clipped so an oversized window never exceeds the
+        group.
+        """
+        group = self._window_group(window)
+        procs = min(window.processors, group.cpus)
+        return ResourceVector(
+            cpus=procs,
+            memory=group.memory * procs // group.cpus,
+            gpus=group.gpus * procs // group.cpus,
+        )
+
+    def _group_drains(self, at: float) -> Dict[str, ResourceVector]:
+        """Drained vector per group at instant ``at`` (capped at group capacity)."""
+        assert self.topology is not None
+        drains: Dict[str, ResourceVector] = {}
+        for window in self.capacity_schedule:
+            if window.start - _EPS > at:
+                break  # schedule is sorted by start; nothing later is active
+            if not window.active_at(at):
+                continue
+            group = self._window_group(window)
+            vector = self._window_drain_vector(window)
+            drains[group.name] = drains.get(group.name, ResourceVector()) + vector
+        for name, vector in drains.items():
+            drains[name] = vector.minimum(self.topology.group(name).capacity)
+        return drains
+
+    def hetero_free_map(self, time: float | None = None) -> Dict[str, ResourceVector]:
+        """Drain-adjusted free vector per group (hetero machines only).
+
+        Each group's free vector is clipped independently: subtract the
+        group's active drains from its free resources, never going negative.
+        """
+        if self._allocator is None:
+            raise RuntimeError("hetero_free_map requires a heterogeneous machine")
+        free = self._allocator.free_map()
+        if not self.capacity_schedule:
+            return free
+        at = self._last_accounting_time if time is None else time
+        for name, drained in self._group_drains(at).items():
+            free[name] = free[name].clamped_sub(drained)
+        return free
+
+    def hetero_capacity_drains(
+        self, now: float
+    ) -> List[Tuple[float, float, str, ResourceVector]]:
+        """``(start, end, group, vector)`` of drains still (partly) ahead of ``now``.
+
+        The vector analogue of :meth:`capacity_drains`, consumed by the
+        conservative discipline's per-group reservation profiles.
+        """
+        if self.topology is None:
+            raise RuntimeError("hetero_capacity_drains requires a heterogeneous machine")
+        return [
+            (
+                max(window.start, now),
+                window.end,
+                self._window_group(window).name,
+                self._window_drain_vector(window),
+            )
+            for window in self.capacity_schedule
+            if window.end > now + _EPS
+        ]
+
+    def group_allocation(self, job_id: int) -> GroupAllocation:
+        """The vector grant held by running ``job_id`` (hetero machines only)."""
+        try:
+            return self._group_allocs[job_id]
+        except KeyError:
+            raise KeyError(f"job {job_id} holds no group allocation") from None
+
+    def placement_group(self, job: Job) -> Optional[str]:
+        """Where the allocator would place ``job`` right now, or ``None``.
+
+        Read-only what-if query: the conservative discipline uses it to pick
+        the group a backfill candidate's trial reservation debits.
+        """
+        if self._allocator is None:
+            return None
+        free = self.hetero_free_map() if self.capacity_schedule else self._allocator.free_map()
+        return self._allocator.select_group(job_request(job), free, job.partition)
+
+    def free_resource_vector(self) -> ResourceVector:
+        """Aggregate drain-adjusted free vector (scalar machines report cpus only)."""
+        if self._allocator is None:
+            return ResourceVector(cpus=self.free_processors)
+        total = ResourceVector()
+        for vector in (
+            self.hetero_free_map() if self.capacity_schedule else self._allocator.free_map()
+        ).values():
+            total = total + vector
+        return total
+
+    def total_resource_vector(self) -> ResourceVector:
+        """Aggregate nameplate capacity vector."""
+        if self.topology is None:
+            return ResourceVector(cpus=self.pool.total)
+        return self.topology.total
+
     # -- utilization accounting -------------------------------------------
     def _account(self, now: float) -> None:
         if now < self._last_accounting_time:
@@ -280,7 +451,12 @@ class Machine:
         if job.job_id in self._running:
             raise RuntimeError(f"job {job.job_id} is already running")
         self._account(now)
-        if self.capacity_schedule and job.requested_processors > self.free_processors:
+        if self._allocator is not None:
+            free = self.hetero_free_map() if self.capacity_schedule else None
+            self._group_allocs[job.job_id] = self._allocator.allocate(
+                job_request(job), free=free, partition=job.partition
+            )
+        elif self.capacity_schedule and job.requested_processors > self.free_processors:
             raise RuntimeError(
                 f"job {job.job_id} requests {job.requested_processors} processors but only "
                 f"{self.free_processors} are in service at t={now} "
@@ -373,6 +549,8 @@ class Machine:
             # e.g. released late within the same timestep, never rewinds time).
             self._account(max(min(record.end_time, now), self._last_accounting_time))
             self.pool.release(record.allocation)
+            if self._allocator is not None:
+                self._allocator.release(self._group_allocs.pop(job_id))
             del self._running[job_id]
             self._sorted_plan_remove(job_id)
             finished.append(record)
@@ -387,6 +565,8 @@ class Machine:
         if record is None:
             raise KeyError(f"job {job_id} is not running")
         self.pool.release(record.allocation)
+        if self._allocator is not None:
+            self._allocator.release(self._group_allocs.pop(job_id))
         self._version += 1
         self._sorted_plan_remove(job_id)
         return record
@@ -400,6 +580,7 @@ class Machine:
         the reservation walk -- exactly like windows known up front, except
         the scheduler learns about them only from this instant on.
         """
+        self._validate_window(window)
         self.capacity_schedule = tuple(
             sorted([*self.capacity_schedule, window], key=lambda w: (w.start, w.end))
         )
@@ -421,6 +602,11 @@ class Machine:
         ``(start_time, job_id)``; the caller (the simulator) owns requeueing
         them under its restart policy.
         """
+        if self.topology is not None:
+            raise RuntimeError(
+                "node-failure injection requires a homogeneous machine; "
+                "heterogeneous clusters model outages as group-tagged drains"
+            )
         start = now if start is None else min(start, now)
         if processors <= 0:
             raise ValueError(f"node failure must take down a positive processor count, got {processors}")
@@ -479,7 +665,13 @@ class Machine:
         *recover* at a window end, so every window boundary is an event in the
         merged timeline and the returned reservation is the earliest instant
         at which the job fits within the in-service capacity.
+
+        Heterogeneous machines delegate to :meth:`hetero_reservation` (same
+        event walk over group vectors) and return its first two components.
         """
+        if self._allocator is not None:
+            reservation_time, extra, _ = self.hetero_reservation(job, now, estimator)
+            return reservation_time, extra
         needed = job.requested_processors
         free = self.free_processors
         if needed <= free:
@@ -542,9 +734,80 @@ class Machine:
             f"enough in-service capacity (total {self.num_processors})"
         )
 
+    def hetero_reservation(
+        self, job: Job, now: float, estimator: Callable[[Job], float]
+    ) -> tuple[float, int, Dict[str, ResourceVector]]:
+        """Vector reservation walk: when and where ``job`` could start.
+
+        The heterogeneous analogue of :meth:`earliest_start_estimate`: walk
+        the merged timeline of estimated job releases and drain-window
+        boundaries, accumulating freed vectors per group, until the
+        allocator's placement policy finds a group that fits the request.
+
+        Returns ``(reservation_time, extra_processors, spare_vectors)``:
+        ``extra_processors`` is the aggregate spare cpu count at the
+        reservation instant after setting the reserved job aside (the scalar
+        EASY "extra nodes" number), and ``spare_vectors`` maps each group to
+        the vector that would remain free then -- the per-resource envelope
+        backfilled jobs may occupy without delaying the reservation
+        (:meth:`DecisionPoint.would_delay` checks candidates against it).
+        """
+        if self._allocator is None:
+            raise RuntimeError("hetero_reservation requires a heterogeneous machine")
+        request = job_request(job)
+        allocator = self._allocator
+        if not allocator.feasible(request, job.partition):
+            raise RuntimeError(
+                f"job {job.job_id} requests {request.as_dict()} (partition "
+                f"{job.partition}) but no node group can ever host it"
+            )
+        releases = sorted(
+            (max(record.estimated_end_time(estimator), now), job_id)
+            for job_id, record in self._running.items()
+        )
+        events = {now}
+        events.update(time for time, _ in releases)
+        for window in self.capacity_schedule:
+            for boundary in (window.start, window.end):
+                if boundary > now + _EPS:
+                    events.add(boundary)
+        base_free = allocator.free_map()
+        freed: Dict[str, ResourceVector] = {}
+        index = 0
+        for event_time in sorted(events):
+            while index < len(releases) and releases[index][0] <= event_time + _EPS:
+                grant = self._group_allocs[releases[index][1]]
+                freed[grant.group] = freed.get(grant.group, ResourceVector()) + grant.vector
+                index += 1
+            available: Dict[str, ResourceVector] = {}
+            drains = self._group_drains(event_time) if self.capacity_schedule else {}
+            for group in self.topology.groups:
+                vector = base_free[group.name] + freed.get(group.name, ResourceVector())
+                vector = vector.minimum(group.capacity)
+                drained = drains.get(group.name)
+                if drained is not None:
+                    vector = vector.clamped_sub(drained)
+                available[group.name] = vector
+            target = allocator.select_group(request, available, job.partition)
+            if target is None:
+                continue
+            spares = {
+                name: vector - request if name == target else vector
+                for name, vector in available.items()
+            }
+            extra = sum(vector.cpus for vector in spares.values())
+            return event_time, extra, spares
+        raise RuntimeError(
+            f"job {job.job_id} requests {request.as_dict()} but the machine never "
+            f"frees enough in-service capacity in any eligible group"
+        )
+
     def reset(self) -> None:
         self._running.clear()
         self.pool.reset()
+        if self._allocator is not None:
+            self._allocator.reset()
+            self._group_allocs.clear()
         self._busy_area = 0.0
         self._last_accounting_time = 0.0
         self._completion_heap.clear()

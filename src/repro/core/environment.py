@@ -24,6 +24,7 @@ from typing import Generator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.machine import DowntimeWindow
+from repro.cluster.resources import ClusterTopology
 from repro.core.observation import ObservationBuilder, ObservationConfig
 from repro.faults.plan import NodeFailure, RestartPolicy, as_restart_policy
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
@@ -86,6 +87,8 @@ class BackfillEnvironment(Environment):
         capacity_schedule: Sequence[DowntimeWindow] | None = None,
         node_failures: Sequence[NodeFailure] | None = None,
         restart_policy: RestartPolicy | str | None = None,
+        topology: ClusterTopology | None = None,
+        allocator: str = "first_fit",
     ):
         if sequence_length <= 0:
             raise ValueError("sequence_length must be positive")
@@ -115,6 +118,11 @@ class BackfillEnvironment(Environment):
         # instant, shifting free_fraction and the reservation features.
         self.node_failures = tuple(node_failures or ())
         self.restart_policy = as_restart_policy(restart_policy)
+        # Heterogeneous node-group layout (None = the scalar homogeneous
+        # machine).  Placement is the allocator's job; the agent keeps acting
+        # on the same queue/mask interface either way.
+        self.topology = topology
+        self.allocator = allocator
         self.rng = as_rng(seed)
         self.max_reset_attempts = int(max_reset_attempts)
         self.builder = ObservationBuilder(self.observation_config)
@@ -171,6 +179,8 @@ class BackfillEnvironment(Environment):
             capacity_schedule=self.capacity_schedule,
             node_failures=self.node_failures,
             restart_policy=self.restart_policy,
+            topology=self.topology,
+            allocator=self.allocator,
         )
 
     # -- Environment interface --------------------------------------------------
@@ -190,6 +200,8 @@ class BackfillEnvironment(Environment):
             capacity_schedule=self.capacity_schedule,
             node_failures=self.node_failures,
             restart_policy=self.restart_policy,
+            topology=self.topology,
+            allocator=self.allocator,
         )
 
     def _baseline_bsld(self, jobs: Sequence[Job]) -> float:
@@ -459,6 +471,8 @@ class BackfillEnvironment(Environment):
                 capacity_schedule=self.capacity_schedule,
                 node_failures=self.node_failures,
                 restart_policy=self.restart_policy,
+                topology=self.topology,
+                allocator=self.allocator,
             )
             results[label] = simulator.run(jobs, backfill=backfill).bsld
         return results

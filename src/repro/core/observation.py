@@ -28,13 +28,19 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.allocator import job_request
 from repro.scheduler.events import DecisionPoint
 from repro.workloads.job import Job
 
 __all__ = ["ObservationConfig", "ObservationBuilder", "JOB_FEATURES"]
 
-#: Number of features per job slot (see :meth:`ObservationBuilder._job_features`).
+#: Number of features per job slot (see :meth:`ObservationBuilder._job_features`)
+#: in the homogeneous single-resource layout; each additional resource tracked
+#: by :attr:`ObservationConfig.num_resources` appends two features per slot.
 JOB_FEATURES = 10
+
+#: Resources beyond cpus, in the order their feature pairs are appended.
+_EXTRA_RESOURCES = ("memory", "gpus")
 
 #: Normalization caps (seconds) for the logarithmic time features.  The
 #: vectorized encoder in :meth:`ObservationBuilder.build` folds the wait and
@@ -72,13 +78,28 @@ class ObservationConfig:
     #: one of them), which is the default here; the skip action is kept as an
     #: ablation switch.
     include_skip_action: bool = False
+    #: Resources visible per job slot: 1 = cpus only (the paper's layout,
+    #: byte-identical to the pre-heterogeneity encoder), 2 adds memory, 3 adds
+    #: GPUs.  Each extra resource appends ``(free_fraction_r, request_r)`` to
+    #: every slot; ``job_features`` grows by two per extra resource (and is
+    #: auto-derived when left at its default).
+    num_resources: int = 1
 
     def __post_init__(self) -> None:
         if self.max_queue_size <= 0:
             raise ValueError("max_queue_size must be positive")
-        if self.job_features != JOB_FEATURES:
+        if not 1 <= self.num_resources <= 1 + len(_EXTRA_RESOURCES):
             raise ValueError(
-                f"job_features is fixed at {JOB_FEATURES} by the encoder implementation"
+                f"num_resources must be in [1, {1 + len(_EXTRA_RESOURCES)}], "
+                f"got {self.num_resources}"
+            )
+        expected = JOB_FEATURES + 2 * (self.num_resources - 1)
+        if self.job_features == JOB_FEATURES and expected != JOB_FEATURES:
+            object.__setattr__(self, "job_features", expected)
+        elif self.job_features != expected:
+            raise ValueError(
+                f"job_features is fixed at {expected} for num_resources="
+                f"{self.num_resources} by the encoder implementation"
             )
 
     @property
@@ -129,7 +150,29 @@ class ObservationBuilder:
         features[7] = _log_norm(decision.reservation_time - decision.time, _MAX_HORIZON)
         features[8] = min(decision.extra_processors / total, 1.0) if total else 0.0
         features[9] = 1.0  # slot occupied
+        if self.config.num_resources > 1:
+            self._extra_resource_features(features, job, decision)
         return features
+
+    def _extra_resource_features(
+        self, features: np.ndarray, job: Job, decision: DecisionPoint
+    ) -> None:
+        """Fill the per-resource feature pairs beyond cpus (hetero layouts).
+
+        For each extra resource ``r``: the machine's aggregate free fraction
+        of ``r`` and the job's request as a fraction of the machine total
+        (both 0 when the machine has none of ``r`` or is absent).
+        """
+        machine = decision.machine
+        request = job_request(job)
+        free_vec = machine.free_resource_vector() if machine is not None else None
+        total_vec = machine.total_resource_vector() if machine is not None else None
+        for index, name in enumerate(_EXTRA_RESOURCES[: self.config.num_resources - 1]):
+            base = JOB_FEATURES + 2 * index
+            total = total_vec.component(name) if total_vec is not None else 0
+            if total > 0:
+                features[base] = free_vec.component(name) / total
+                features[base + 1] = min(request.component(name) / total, 1.0)
 
     def prepare(
         self, decision: DecisionPoint
@@ -253,6 +296,17 @@ class ObservationBuilder:
             features[:, 7] = rep[:, 2]
             features[:, 8] = np.minimum(rep[:, 3] / total, 1.0)
             features[:, 9] = 1.0  # slot occupied
+            if cfg.num_resources > 1:
+                # Heterogeneous layouts are off the rollout hot path; a plain
+                # per-item loop keeps the vectorized base features untouched.
+                offset = 0
+                for item, count in zip(items, counts):
+                    decision, queue = item[0], item[1]
+                    for slot, job in enumerate(queue):
+                        self._extra_resource_features(
+                            features[offset + slot], job, decision
+                        )
+                    offset += count
 
             offset = 0
             for row, count in enumerate(counts):

@@ -125,6 +125,8 @@ def evaluate_strategy_results(
     capacity_schedule=None,
     node_failures=None,
     restart_policy=None,
+    topology=None,
+    allocator="first_fit",
 ) -> List[SimulationResult]:
     """Per-sequence :class:`SimulationResult` of ``configuration`` over ``sequences``."""
     results = []
@@ -137,6 +139,8 @@ def evaluate_strategy_results(
             capacity_schedule=_resolve_per_sequence(capacity_schedule, jobs),
             node_failures=_resolve_per_sequence(node_failures, jobs),
             restart_policy=restart_policy,
+            topology=topology,
+            allocator=allocator,
         )
         results.append(simulator.run(jobs))
     return results

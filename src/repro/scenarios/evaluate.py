@@ -244,6 +244,8 @@ def evaluate_cell(
             capacity_schedule=windows,
             node_failures=failures,
             restart_policy=built.restart_policy if failures else None,
+            topology=built.topology,
+            allocator=built.allocator,
         )[0]
         metrics = result.metrics.as_dict()
         for field in METRIC_FIELDS:

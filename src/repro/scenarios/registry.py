@@ -27,10 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.cluster.allocator import ALLOCATOR_POLICIES
 from repro.cluster.machine import DowntimeWindow
+from repro.cluster.resources import ClusterTopology, NodeGroup
 from repro.faults.plan import NodeFailure, RestartPolicy, as_restart_policy
 from repro.scenarios.transforms import (
     ArrivalThin,
+    AssignResources,
     BurstInject,
     EstimateInflate,
     EstimateNoise,
@@ -46,6 +49,7 @@ from repro.workloads.job import Trace
 __all__ = [
     "DowntimeSpec",
     "FailureSpec",
+    "NodeGroupSpec",
     "ClusterSpec",
     "ScenarioSpec",
     "BuiltScenario",
@@ -55,6 +59,7 @@ __all__ = [
     "suite_scenarios",
     "CORE_SUITE",
     "FAILURE_SUITE",
+    "HETERO_SUITE",
 ]
 
 
@@ -66,6 +71,11 @@ class DowntimeSpec:
     duration_fraction)`` must be given.  ``processors`` takes an absolute
     count, ``fraction_of_machine`` a fraction of the cluster size; exactly one
     of those two as well.
+
+    ``group`` tags the drain to one named node group on heterogeneous
+    scenarios (see :class:`NodeGroupSpec`); leave it ``None`` on homogeneous
+    clusters.  Multi-group topologies require the tag -- the machine rejects
+    untagged windows there.
     """
 
     start: float | None = None
@@ -74,6 +84,7 @@ class DowntimeSpec:
     duration_fraction: float | None = None
     processors: int | None = None
     fraction_of_machine: float | None = None
+    group: str | None = None
 
     def __post_init__(self) -> None:
         absolute = self.start is not None or self.duration is not None
@@ -106,7 +117,9 @@ class DowntimeSpec:
         else:
             processors = max(1, int(round(self.fraction_of_machine * num_processors)))
         duration = max(duration, 1.0)
-        return DowntimeWindow(start=start, end=start + duration, processors=processors)
+        return DowntimeWindow(
+            start=start, end=start + duration, processors=processors, group=self.group
+        )
 
     def describe(self) -> Dict[str, object]:
         return {k: v for k, v in (
@@ -116,6 +129,7 @@ class DowntimeSpec:
             ("duration_fraction", self.duration_fraction),
             ("processors", self.processors),
             ("fraction_of_machine", self.fraction_of_machine),
+            ("group", self.group),
         ) if v is not None}
 
 
@@ -178,20 +192,85 @@ class FailureSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class NodeGroupSpec:
+    """One named node group of a heterogeneous cluster scenario.
+
+    ``cpus`` is an absolute processor count -- hetero scenarios pin a specific
+    base trace, so the group sizes are written against that trace's machine
+    and :meth:`ClusterSpec.topology` checks they sum exactly to its
+    processors.  ``memory`` is the group's aggregate memory (same per-processor
+    units the trace's jobs request in), ``gpus`` its aggregate GPU count, and
+    ``partition`` an optional SWF partition id the group claims (jobs tagged
+    with that partition are pinned to claiming groups).
+    """
+
+    name: str
+    cpus: int
+    memory: int = 0
+    gpus: int = 0
+    partition: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node group name must be non-empty")
+        if self.cpus <= 0:
+            raise ValueError("node group cpus must be positive")
+        if self.memory < 0 or self.gpus < 0:
+            raise ValueError("node group memory/gpus must be non-negative")
+
+    def resolve(self) -> NodeGroup:
+        return NodeGroup(
+            name=self.name,
+            cpus=self.cpus,
+            memory=self.memory,
+            gpus=self.gpus,
+            partition=self.partition,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        description: Dict[str, object] = {"name": self.name, "cpus": self.cpus}
+        if self.memory:
+            description["memory"] = self.memory
+        if self.gpus:
+            description["gpus"] = self.gpus
+        if self.partition >= 0:
+            description["partition"] = self.partition
+        return description
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterSpec:
-    """Cluster-side disturbances: scheduled downtime and node failures.
+    """Cluster-side shape and disturbances: node groups, downtime, failures.
 
     ``downtime`` drains gracefully (never preempts); ``failures`` kill and
     requeue running jobs through the ``restart`` policy (``"requeue"`` or
     ``"checkpoint"``, see :class:`repro.faults.RestartPolicy`).
+
+    ``node_groups`` declares a heterogeneous topology (see
+    :class:`NodeGroupSpec` and docs/cluster.md); ``allocator`` picks the
+    placement policy used to map jobs onto groups.  An empty ``node_groups``
+    keeps the scenario on the homogeneous scalar path bit-for-bit.  Node
+    failures and node groups are mutually exclusive -- hetero outages are
+    modeled as group-tagged drains instead.
     """
 
     downtime: Tuple[DowntimeSpec, ...] = ()
     failures: Tuple[FailureSpec, ...] = ()
     restart: str = "requeue"
+    node_groups: Tuple[NodeGroupSpec, ...] = ()
+    allocator: str = "first_fit"
 
     def __post_init__(self) -> None:
         as_restart_policy(self.restart)  # validates the mode name
+        if self.allocator not in ALLOCATOR_POLICIES:
+            raise ValueError(
+                f"unknown allocator {self.allocator!r}; choose from {ALLOCATOR_POLICIES}"
+            )
+        if self.node_groups and self.failures:
+            raise ValueError(
+                "node failures are not supported on heterogeneous scenarios; "
+                "use group-tagged DowntimeSpec drains instead"
+            )
 
     @property
     def has_downtime(self) -> bool:
@@ -200,6 +279,22 @@ class ClusterSpec:
     @property
     def has_failures(self) -> bool:
         return bool(self.failures)
+
+    @property
+    def has_node_groups(self) -> bool:
+        return bool(self.node_groups)
+
+    def topology(self, num_processors: int) -> ClusterTopology | None:
+        """The resolved :class:`ClusterTopology`, or ``None`` when homogeneous."""
+        if not self.node_groups:
+            return None
+        topology = ClusterTopology(tuple(spec.resolve() for spec in self.node_groups))
+        if topology.total_cpus != num_processors:
+            raise ValueError(
+                f"node groups sum to {topology.total_cpus} cpus but the trace "
+                f"machine has {num_processors}"
+            )
+        return topology
 
     def resolve(self, span_seconds: float, num_processors: int) -> List[DowntimeWindow]:
         return [spec.resolve(span_seconds, num_processors) for spec in self.downtime]
@@ -216,6 +311,9 @@ class ClusterSpec:
 
     def describe_failures(self) -> List[Dict[str, object]]:
         return [spec.describe() for spec in self.failures]
+
+    def describe_node_groups(self) -> List[Dict[str, object]]:
+        return [spec.describe() for spec in self.node_groups]
 
 
 @dataclass(frozen=True, slots=True)
@@ -250,6 +348,15 @@ class BuiltScenario:
     @property
     def restart_policy(self) -> RestartPolicy:
         return self.cluster.restart_policy
+
+    @property
+    def topology(self) -> ClusterTopology | None:
+        """Resolved heterogeneous topology, ``None`` for homogeneous scenarios."""
+        return self.cluster.topology(self.trace.num_processors)
+
+    @property
+    def allocator(self) -> str:
+        return self.cluster.allocator
 
 
 @dataclass(frozen=True, slots=True)
@@ -298,6 +405,9 @@ class ScenarioSpec:
         if self.cluster.has_failures:
             description["failures"] = self.cluster.describe_failures()
             description["restart"] = self.cluster.restart
+        if self.cluster.has_node_groups:
+            description["node_groups"] = self.cluster.describe_node_groups()
+            description["allocator"] = self.cluster.allocator
         return description
 
 
@@ -337,6 +447,8 @@ def suite_scenarios(suite: str | Sequence[str]) -> List[ScenarioSpec]:
             names: Sequence[str] = CORE_SUITE
         elif suite == "failures":
             names = FAILURE_SUITE
+        elif suite == "hetero":
+            names = HETERO_SUITE
         else:
             names = [part for part in suite.split(",") if part]
     else:
@@ -476,4 +588,96 @@ FAILURE_SUITE: Tuple[str, ...] = (
     "node-failure-requeue",
     "failure-storm-checkpoint",
     "failure-under-maintenance",
+)
+
+# -- heterogeneous suite -------------------------------------------------------
+# Multi-resource node-group scenarios (docs/cluster.md).  Group cpu counts are
+# written against each scenario's pinned base trace and must sum exactly to
+# its machine size (SDSC-SP2: 128, Lublin-1: 256); AssignResources caps job
+# widths so every dressed job fits the group hosting its resources.
+
+register_scenario(ScenarioSpec(
+    name="hetero-gpu-scarcity",
+    base_trace="SDSC-SP2",
+    description=(
+        "96 cpu-only + 32 GPU processors; a quarter of the jobs need 1-4 GPUs "
+        "and queue for the scarce group."
+    ),
+    transforms=(
+        AssignResources(
+            gpu_fraction=0.25,
+            gpus_min=1,
+            gpus_max=4,
+            max_processors=96,
+            constrained_max_processors=32,
+        ),
+    ),
+    cluster=ClusterSpec(
+        node_groups=(
+            NodeGroupSpec(name="cpu", cpus=96),
+            NodeGroupSpec(name="gpu", cpus=32, gpus=32),
+        ),
+        allocator="best_fit",
+    ),
+))
+register_scenario(ScenarioSpec(
+    name="hetero-memory-bound",
+    base_trace="SDSC-SP2",
+    description=(
+        "Standard vs big-memory groups; 30% of jobs request 4096 MB/proc and "
+        "contend for the 32-processor big-memory group."
+    ),
+    transforms=(
+        AssignResources(
+            memory_fraction=0.30,
+            memory_heavy=4096,
+            memory_light=512,
+            max_processors=96,
+            constrained_max_processors=32,
+        ),
+    ),
+    cluster=ClusterSpec(
+        node_groups=(
+            NodeGroupSpec(name="standard", cpus=96, memory=96 * 2048),
+            NodeGroupSpec(name="bigmem", cpus=32, memory=32 * 8192),
+        ),
+        allocator="best_fit",
+    ),
+))
+register_scenario(ScenarioSpec(
+    name="hetero-partition-drain",
+    base_trace="Lublin-1",
+    description=(
+        "Two Slurm-style partitions (160 + 96 processors) with pinned jobs; "
+        "the small partition drains 64 processors for the middle 30% of the "
+        "sequence."
+    ),
+    transforms=(
+        AssignResources(
+            partitions=(0, 1),
+            partition_weights=(0.65, 0.35),
+            partition_max_processors=(160, 96),
+        ),
+    ),
+    cluster=ClusterSpec(
+        node_groups=(
+            NodeGroupSpec(name="p0", cpus=160, partition=0),
+            NodeGroupSpec(name="p1", cpus=96, partition=1),
+        ),
+        downtime=(
+            DowntimeSpec(
+                start_fraction=0.35,
+                duration_fraction=0.30,
+                processors=64,
+                group="p1",
+            ),
+        ),
+    ),
+))
+
+#: The heterogeneous node-group suite (multi-resource allocator layer).
+HETERO_SUITE: Tuple[str, ...] = (
+    "hetero-gpu-scarcity",
+    "hetero-memory-bound",
+    "hetero-partition-drain",
 )

@@ -43,6 +43,7 @@ __all__ = [
     "EstimateInflate",
     "SizeFilter",
     "SizeRescale",
+    "AssignResources",
     "Compose",
     "apply_transforms",
 ]
@@ -298,6 +299,112 @@ class SizeRescale(TraceTransform):
             )
             for job in trace.jobs
         ]
+        return self._rename(trace, jobs)
+
+
+@dataclass(frozen=True, slots=True)
+class AssignResources(TraceTransform):
+    """Assign memory/GPU demands and partition bindings to a cpu-only trace.
+
+    SWF archives carry no GPU demand and the synthetic generators no memory,
+    so heterogeneous scenarios dress a base trace with seeded per-job resource
+    requirements:
+
+    * with probability ``gpu_fraction`` a job requests a uniform GPU count in
+      ``[gpus_min, gpus_max]``;
+    * with probability ``memory_fraction`` a job requests ``memory_heavy``
+      per-processor memory units, otherwise ``memory_light`` (0 = leave the
+      trace's memory untouched);
+    * jobs draw a partition id from ``partitions`` with ``partition_weights``
+      (empty = no partition binding), and their width is clipped to the
+      matching ``partition_max_processors`` entry when given;
+    * every width is clipped to ``max_processors`` (so each job fits the
+      largest node group) and resource-constrained jobs -- those that drew
+      GPUs or heavy memory -- additionally to ``constrained_max_processors``
+      (so they fit the scarce group hosting that resource).
+
+    All draws are taken up front as arrays, so the per-job assignment is a
+    pure function of (trace, seed) regardless of which features are enabled.
+    """
+
+    gpu_fraction: float = 0.0
+    gpus_min: int = 1
+    gpus_max: int = 4
+    memory_fraction: float = 0.0
+    memory_heavy: int = 4096
+    memory_light: int = 0
+    partitions: tuple[int, ...] = ()
+    partition_weights: tuple[float, ...] = ()
+    partition_max_processors: tuple[int, ...] = ()
+    max_processors: int | None = None
+    constrained_max_processors: int | None = None
+
+    def __post_init__(self) -> None:
+        check_probability(self.gpu_fraction, "gpu_fraction")
+        check_probability(self.memory_fraction, "memory_fraction")
+        if not 0 < self.gpus_min <= self.gpus_max:
+            raise ValueError("need 0 < gpus_min <= gpus_max")
+        if self.memory_heavy < 0 or self.memory_light < 0:
+            raise ValueError("memory assignments must be non-negative")
+        if self.partitions:
+            if len(self.partition_weights) != len(self.partitions):
+                raise ValueError("partition_weights must match partitions in length")
+            if abs(sum(self.partition_weights) - 1.0) > 1e-9:
+                raise ValueError("partition_weights must sum to 1")
+            if self.partition_max_processors and len(self.partition_max_processors) != len(
+                self.partitions
+            ):
+                raise ValueError("partition_max_processors must match partitions in length")
+        if self.max_processors is not None and self.max_processors <= 0:
+            raise ValueError("max_processors must be positive when given")
+        if self.constrained_max_processors is not None and self.constrained_max_processors <= 0:
+            raise ValueError("constrained_max_processors must be positive when given")
+
+    @property
+    def tag(self) -> str:
+        return "hetero"
+
+    def apply(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        n = len(trace)
+        if not n:
+            return trace
+        gpu_coin = rng.random(n)
+        gpu_counts = rng.integers(self.gpus_min, self.gpus_max + 1, size=n)
+        memory_coin = rng.random(n)
+        partition_index = (
+            rng.choice(len(self.partitions), size=n, p=list(self.partition_weights))
+            if self.partitions
+            else np.zeros(n, dtype=np.int64)
+        )
+        jobs = []
+        for i, job in enumerate(trace.jobs):
+            width = job.requested_processors
+            if self.max_processors is not None:
+                width = min(width, self.max_processors)
+            gpus = int(gpu_counts[i]) if gpu_coin[i] < self.gpu_fraction else 0
+            heavy = self.memory_fraction > 0 and memory_coin[i] < self.memory_fraction
+            memory = job.requested_memory
+            if heavy:
+                memory = self.memory_heavy
+            elif self.memory_fraction > 0 and self.memory_light > 0:
+                memory = self.memory_light
+            partition = job.partition
+            if self.partitions:
+                slot = int(partition_index[i])
+                partition = self.partitions[slot]
+                if self.partition_max_processors:
+                    width = min(width, self.partition_max_processors[slot])
+            if (gpus > 0 or heavy) and self.constrained_max_processors is not None:
+                width = min(width, self.constrained_max_processors)
+            jobs.append(
+                replace(
+                    job,
+                    requested_processors=max(width, 1),
+                    requested_gpus=gpus,
+                    requested_memory=memory,
+                    partition=partition,
+                )
+            )
         return self._rename(trace, jobs)
 
 

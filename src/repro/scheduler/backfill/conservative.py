@@ -26,9 +26,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.cluster.allocator import job_request
 from repro.prediction.predictors import RuntimeEstimator
 from repro.scheduler.backfill.base import BackfillStrategy
-from repro.scheduler.backfill.profile import ResourceProfile
+from repro.scheduler.backfill.profile import GroupReservationProfile, ResourceProfile
 from repro.scheduler.events import DecisionPoint
 from repro.workloads.job import Job
 
@@ -75,6 +76,41 @@ class ConservativeBackfill(BackfillStrategy):
         return profile
 
     @staticmethod
+    def _hetero_base_profile(
+        decision: DecisionPoint, estimator: RuntimeEstimator
+    ) -> GroupReservationProfile:
+        """Per-group vector profiles: running grants reserved where they live."""
+        machine = decision.machine
+        now = decision.time
+        profile = GroupReservationProfile(machine.topology, origin=now)
+        for record in machine.running_jobs:
+            grant = machine.group_allocation(record.job.job_id)
+            end = max(record.estimated_end_time(estimator), now + 1.0)
+            profile.reserve(grant.group, now, end - now, grant.vector)
+        for start, end, group, vector in machine.hetero_capacity_drains(now):
+            profile.drain(group, start, end - start, vector)
+        return profile
+
+    @staticmethod
+    def _hetero_plan(
+        profile: GroupReservationProfile,
+        queue: List[Job],
+        estimator: RuntimeEstimator,
+        machine,
+    ) -> Dict[int, float]:
+        """Greedy vector reservations over eligible groups; job_id -> start time."""
+        allocator = machine.allocator
+        plan: Dict[int, float] = {}
+        for job in queue:
+            request = job_request(job)
+            duration = max(float(estimator(job)), 1.0)
+            groups = [g.name for g in allocator.eligible_groups(request, job.partition)]
+            start, group = profile.earliest_start(request, duration, groups)
+            profile.reserve(group, start, duration, request)
+            plan[job.job_id] = start
+        return plan
+
+    @staticmethod
     def _plan(
         profile: ResourceProfile,
         queue: List[Job],
@@ -106,7 +142,14 @@ class ConservativeBackfill(BackfillStrategy):
             # Reservations (and thus the no-delay guarantee) cover only the
             # first N waiting jobs, like Slurm's bf_max_job_test.
             queue = queue[: self.reservation_depth]
-        baseline_plan = self._plan(self._base_profile(decision, estimator), queue, estimator)
+        machine = decision.machine
+        hetero = machine is not None and getattr(machine, "topology", None) is not None
+        if hetero:
+            baseline_plan = self._hetero_plan(
+                self._hetero_base_profile(decision, estimator), queue, estimator, machine
+            )
+        else:
+            baseline_plan = self._plan(self._base_profile(decision, estimator), queue, estimator)
 
         candidates = list(decision.candidates)
         if self.order == "sjf":
@@ -116,22 +159,36 @@ class ConservativeBackfill(BackfillStrategy):
         if self.max_candidates is not None:
             candidates = candidates[: self.max_candidates]
 
-        machine = decision.machine
         graceful = machine is not None and bool(getattr(machine, "capacity_schedule", ()))
         for candidate in candidates:
-            profile = self._base_profile(decision, estimator)
             # Pretend the candidate starts right now.  Under a capacity
             # schedule the candidate may gracefully straddle a drain window it
             # starts before (the drain never preempts), so its reservation
             # uses the clipped drain-subtraction; the planner's own
             # reservations still go through the raising ``reserve``.
-            duration = max(float(estimator(candidate)), 1.0)
-            if graceful:
-                profile.drain(decision.time, duration, candidate.requested_processors)
-            else:
-                profile.reserve(decision.time, duration, candidate.requested_processors)
             remaining = [j for j in queue if j.job_id != candidate.job_id]
-            new_plan = self._plan(profile, remaining, estimator)
+            if hetero:
+                # The trial debits the group the allocator would actually pick
+                # right now, keeping the what-if consistent with placement.
+                group = machine.placement_group(candidate)
+                if group is None:
+                    continue
+                hetero_profile = self._hetero_base_profile(decision, estimator)
+                duration = max(float(estimator(candidate)), 1.0)
+                request = job_request(candidate)
+                if graceful:
+                    hetero_profile.drain(group, decision.time, duration, request)
+                else:
+                    hetero_profile.reserve(group, decision.time, duration, request)
+                new_plan = self._hetero_plan(hetero_profile, remaining, estimator, machine)
+            else:
+                profile = self._base_profile(decision, estimator)
+                duration = max(float(estimator(candidate)), 1.0)
+                if graceful:
+                    profile.drain(decision.time, duration, candidate.requested_processors)
+                else:
+                    profile.reserve(decision.time, duration, candidate.requested_processors)
+                new_plan = self._plan(profile, remaining, estimator)
             delayed = any(
                 new_plan[j.job_id] > baseline_plan[j.job_id] + 1e-6 for j in remaining
             )

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.cluster.resources import ClusterTopology, ResourceVector, _RESOURCE_NAMES
 from repro.obs import get_metrics
 
-__all__ = ["ResourceProfile"]
+__all__ = ["ResourceProfile", "VectorProfile", "GroupReservationProfile"]
 
 _EPS = 1e-9
 
@@ -166,3 +167,138 @@ class ResourceProfile:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResourceProfile(total={self.total}, steps={len(self._times)})"
+
+
+class VectorProfile:
+    """Per-resource availability profile over one node group.
+
+    Composes one :class:`ResourceProfile` per resource the group actually has
+    (zero-capacity resources are skipped, so a cpu-only group pays exactly the
+    scalar profile's cost).  Reservations and drains apply each component to
+    its resource's profile; feasibility questions require *every* component to
+    fit simultaneously.
+    """
+
+    def __init__(self, capacity: ResourceVector, origin: float = 0.0):
+        if capacity.cpus <= 0:
+            raise ValueError("vector profile needs positive cpu capacity")
+        self.capacity = capacity
+        self.origin = float(origin)
+        self._profiles: Dict[str, ResourceProfile] = {
+            name: ResourceProfile(capacity.component(name), origin=origin)
+            for name in _RESOURCE_NAMES
+            if capacity.component(name) > 0
+        }
+
+    def reserve(self, start: float, duration: float, vector: ResourceVector) -> None:
+        """Subtract ``vector`` over ``[start, start+duration)``; raises on over-subscription."""
+        if not vector.fits_in(self.capacity):
+            raise ValueError(
+                f"reservation {vector.as_dict()} exceeds group capacity {self.capacity.as_dict()}"
+            )
+        for name, profile in self._profiles.items():
+            amount = vector.component(name)
+            if amount > 0:
+                profile.reserve(start, duration, amount)
+
+    def drain(self, start: float, duration: float, vector: ResourceVector) -> None:
+        """Subtract ``vector`` over the window, clipping each component at zero."""
+        for name, profile in self._profiles.items():
+            amount = vector.component(name)
+            if amount > 0:
+                profile.drain(start, duration, amount)
+
+    def fits_between(self, start: float, end: float, vector: ResourceVector) -> bool:
+        """Whether ``vector`` stays free over the half-open ``[start, end)``."""
+        if not vector.fits_in(self.capacity):
+            return False
+        return all(
+            profile.min_free_between(start, end) >= vector.component(name)
+            for name, profile in self._profiles.items()
+        )
+
+    def earliest_start(
+        self, vector: ResourceVector, duration: float, earliest: float | None = None
+    ) -> float:
+        """Earliest time >= ``earliest`` at which the whole vector stays free for ``duration``."""
+        if not vector.fits_in(self.capacity):
+            raise ValueError(
+                f"request {vector.as_dict()} exceeds group capacity {self.capacity.as_dict()}"
+            )
+        first = max(earliest if earliest is not None else self.origin, self.origin)
+        candidates = {first}
+        for profile in self._profiles.values():
+            candidates.update(t for t in profile._times if t > first + _EPS)
+        for start in sorted(candidates):
+            if math.isinf(duration):
+                if all(
+                    all(f >= vector.component(name) for _, f in profile.steps()[
+                        max(bisect_right(profile._times, start + _EPS) - 1, 0):
+                    ])
+                    for name, profile in self._profiles.items()
+                ):
+                    return start
+                continue
+            if self.fits_between(start, start + duration, vector):
+                return start
+        raise RuntimeError(
+            f"no feasible start found for {vector.as_dict()} x {duration}s "
+            "(group never frees enough capacity)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorProfile(capacity={self.capacity.as_dict()})"
+
+
+class GroupReservationProfile:
+    """Availability profiles for every node group of a heterogeneous machine.
+
+    The conservative discipline's planning surface: one :class:`VectorProfile`
+    per group, plus the cross-group placement question "where does this job's
+    reservation land earliest?".  Start-time ties break in the *caller's*
+    group order (the allocator's eligibility order), which keeps planning
+    deterministic and consistent with live placement.
+    """
+
+    def __init__(self, topology: ClusterTopology, origin: float = 0.0):
+        self.topology = topology
+        self.origin = float(origin)
+        self._groups: Dict[str, VectorProfile] = {
+            group.name: VectorProfile(group.capacity, origin=origin)
+            for group in topology.groups
+        }
+
+    def group(self, name: str) -> VectorProfile:
+        return self._groups[name]
+
+    def reserve(self, group: str, start: float, duration: float, vector: ResourceVector) -> None:
+        self._groups[group].reserve(start, duration, vector)
+
+    def drain(self, group: str, start: float, duration: float, vector: ResourceVector) -> None:
+        self._groups[group].drain(start, duration, vector)
+
+    def earliest_start(
+        self,
+        vector: ResourceVector,
+        duration: float,
+        groups: Sequence[str],
+        earliest: float | None = None,
+    ) -> Tuple[float, str]:
+        """Earliest ``(start, group)`` among ``groups`` hosting the vector for ``duration``."""
+        best: Optional[Tuple[float, str]] = None
+        for name in groups:
+            try:
+                start = self._groups[name].earliest_start(vector, duration, earliest)
+            except RuntimeError:
+                continue
+            if best is None or start < best[0] - _EPS:
+                best = (start, name)
+        if best is None:
+            raise RuntimeError(
+                f"no feasible start found for {vector.as_dict()} x {duration}s "
+                f"in groups {tuple(groups)}"
+            )
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroupReservationProfile(groups={self.topology.names})"

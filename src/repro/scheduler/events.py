@@ -11,12 +11,13 @@ EASY baselines use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence
 
 from repro.workloads.job import Job
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.cluster.machine import Machine
+    from repro.cluster.resources import ResourceVector
 
 __all__ = ["JobArrival", "JobCompletion", "DecisionPoint"]
 
@@ -69,6 +70,11 @@ class DecisionPoint:
         ``(submit_time, job_id)``; lets the observation encoder skip its
         defensive re-sort on the rollout hot path.  Leave ``False`` for
         hand-built decision points unless the ordering is guaranteed.
+    spare_vectors:
+        Heterogeneous clusters only: per-group resource vectors that remain
+        free at ``reservation_time`` after setting the rjob aside (from
+        :meth:`Machine.hetero_reservation`).  ``None`` on scalar machines,
+        where ``extra_processors`` carries the whole story.
     """
 
     time: float
@@ -79,6 +85,7 @@ class DecisionPoint:
     queue: List[Job] = field(default_factory=list)
     machine: Optional["Machine"] = None
     queue_sorted: bool = False
+    spare_vectors: Optional[Mapping[str, "ResourceVector"]] = None
 
     @property
     def free_processors(self) -> int:
@@ -93,7 +100,34 @@ class DecisionPoint:
 
     def would_delay(self, job: Job, estimated_runtime: float) -> bool:
         """Whether backfilling ``job`` (believed to run ``estimated_runtime``)
-        would delay the reserved job under the EASY rules."""
+        would delay the reserved job under the EASY rules.
+
+        On heterogeneous machines (``spare_vectors`` set) the "fits beside the
+        reservation" arm is per-resource: some eligible group must hold the
+        candidate's full vector both right now and within the spare envelope
+        at the reservation instant, so a long-running backfill can never eat
+        into the resources the reservation counts on.
+        """
         finishes_in_time = self.time + estimated_runtime <= self.reservation_time + 1e-9
+        if self.spare_vectors is not None and self.machine is not None:
+            if finishes_in_time:
+                return False
+            return not self._fits_beside_hetero(job)
         fits_beside_reservation = job.requested_processors <= self.extra_processors
         return not (finishes_in_time or fits_beside_reservation)
+
+    def _fits_beside_hetero(self, job: Job) -> bool:
+        from repro.cluster.allocator import job_request
+
+        allocator = self.machine.allocator
+        if allocator is None:  # pragma: no cover - defensive; spare_vectors implies hetero
+            return job.requested_processors <= self.extra_processors
+        request = job_request(job)
+        free_now = self.machine.hetero_free_map()
+        for group in allocator.eligible_groups(request, job.partition):
+            spare = self.spare_vectors.get(group.name)
+            if spare is None:
+                continue
+            if request.fits_in(spare) and request.fits_in(free_now[group.name]):
+                return True
+        return False

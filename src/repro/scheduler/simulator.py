@@ -28,7 +28,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterable, List, Optional, Sequence
 
+from repro.cluster.allocator import job_request, make_allocator
 from repro.cluster.machine import DowntimeWindow, Machine
+from repro.cluster.resources import ClusterTopology
 from repro.faults.plan import NodeFailure, RestartPolicy, as_restart_policy
 from repro.obs import get_metrics
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
@@ -169,6 +171,8 @@ class Simulator:
         capacity_schedule: Sequence[DowntimeWindow] | None = None,
         node_failures: Sequence[NodeFailure] | None = None,
         restart_policy: RestartPolicy | str | None = None,
+        topology: ClusterTopology | None = None,
+        allocator: str = "first_fit",
     ):
         if num_processors <= 0:
             raise ValueError(f"num_processors must be positive, got {num_processors}")
@@ -177,6 +181,24 @@ class Simulator:
         self.backfill = backfill if backfill is not None else NoBackfill()
         self.estimator = estimator if estimator is not None else UserEstimate()
         self.bsld_threshold = float(bsld_threshold)
+        #: Heterogeneous node-group layout, or ``None`` for the scalar
+        #: homogeneous machine (the default and the paper's setting).  The
+        #: allocator policy decides which group hosts each job; the scheduling
+        #: discipline never sees placement (docs/cluster.md).
+        self.topology = topology
+        self.allocator_policy = allocator
+        self._feasibility = None if topology is None else make_allocator(allocator, topology)
+        if topology is not None:
+            if topology.total_cpus != num_processors:
+                raise ValueError(
+                    f"topology supplies {topology.total_cpus} cpus but num_processors "
+                    f"is {num_processors}"
+                )
+            if node_failures:
+                raise ValueError(
+                    "node-failure injection is not supported on heterogeneous "
+                    "topologies; model outages as group-tagged capacity drains"
+                )
         #: Scheduled node drains honoured by every simulated sequence: new
         #: starts are capped at the in-service capacity, window boundaries are
         #: simulation events, and reservations/backfill checks see the drained
@@ -233,7 +255,12 @@ class Simulator:
         :class:`SimulationResult` when the sequence completes."""
         job_list = self._validated(jobs)
         state = _SimState(
-            machine=Machine(self.num_processors, capacity_schedule=self.capacity_schedule),
+            machine=Machine(
+                self.num_processors,
+                capacity_schedule=self.capacity_schedule,
+                topology=self.topology,
+                allocator=self.allocator_policy,
+            ),
             pending=deque(sorted(job_list, key=lambda j: (j.submit_time, j.job_id))),
             failures=deque(self.node_failures),
         )
@@ -272,17 +299,28 @@ class Simulator:
             _flush_sim_counters(state)
 
     # -- internals ----------------------------------------------------------
+    def _check_fits_machine(self, job: Job) -> None:
+        """Raise ``ValueError`` if ``job`` could never run on this machine."""
+        if job.requested_processors > self.num_processors:
+            raise ValueError(
+                f"job {job.job_id} requests {job.requested_processors} processors but the "
+                f"machine has only {self.num_processors}"
+            )
+        if self._feasibility is not None and not self._feasibility.feasible(
+            job_request(job), job.partition
+        ):
+            raise ValueError(
+                f"job {job.job_id} requests {job_request(job).as_dict()} "
+                f"(partition {job.partition}) but no node group can host it"
+            )
+
     def _validated(self, jobs: Iterable[Job]) -> List[Job]:
         job_list = list(jobs)
         if not job_list:
             raise ValueError("cannot simulate an empty job sequence")
         seen: set[int] = set()
         for job in job_list:
-            if job.requested_processors > self.num_processors:
-                raise ValueError(
-                    f"job {job.job_id} requests {job.requested_processors} processors but the "
-                    f"machine has only {self.num_processors}"
-                )
+            self._check_fits_machine(job)
             if job.job_id in seen:
                 raise ValueError(f"duplicate job id {job.job_id} in sequence")
             seen.add(job.job_id)
@@ -346,31 +384,48 @@ class Simulator:
         self, state: _SimState, rjob: Job
     ) -> Generator[DecisionPoint, Optional[Job], None]:
         rjob_id = rjob.job_id
+        hetero = self.topology is not None
         previous: Optional[List[Job]] = None
         while True:
             # ``state.queue`` is kept sorted by (submit_time, job_id) by
             # construction (jobs are admitted from the sorted pending deque),
             # so the decision-point snapshot is a plain copy and the candidate
-            # fit check is a direct comparison against the free count.
-            free = state.machine.free_processors
-            if previous is None:
+            # fit check is a direct comparison against the free count.  On a
+            # heterogeneous machine fitting is a vector/placement question, so
+            # each scan asks the machine instead.
+            if hetero:
+                pool = state.queue if previous is None else previous
                 candidates = [
                     job
-                    for job in state.queue
-                    if job.requested_processors <= free and job.job_id != rjob_id
+                    for job in pool
+                    if job.job_id != rjob_id and state.machine.can_start(job)
                 ]
             else:
-                # Same instant, fewer free processors, one job removed: the
-                # new candidate set is a filter of the previous one (queue
-                # order is preserved), so skip the full queue scan.
-                candidates = [
-                    job for job in previous if job.requested_processors <= free
-                ]
+                free = state.machine.free_processors
+                if previous is None:
+                    candidates = [
+                        job
+                        for job in state.queue
+                        if job.requested_processors <= free and job.job_id != rjob_id
+                    ]
+                else:
+                    # Same instant, fewer free processors, one job removed: the
+                    # new candidate set is a filter of the previous one (queue
+                    # order is preserved), so skip the full queue scan.
+                    candidates = [
+                        job for job in previous if job.requested_processors <= free
+                    ]
             if not candidates:
                 return
-            reservation_time, extra = state.machine.earliest_start_estimate(
-                rjob, state.now, self.estimator
-            )
+            spares = None
+            if hetero:
+                reservation_time, extra, spares = state.machine.hetero_reservation(
+                    rjob, state.now, self.estimator
+                )
+            else:
+                reservation_time, extra = state.machine.earliest_start_estimate(
+                    rjob, state.now, self.estimator
+                )
             decision = DecisionPoint(
                 time=state.now,
                 reserved_job=rjob,
@@ -380,6 +435,7 @@ class Simulator:
                 queue=list(state.queue),
                 machine=state.machine,
                 queue_sorted=True,
+                spare_vectors=spares,
             )
             state.decision_count += 1
             choice = yield decision
@@ -591,7 +647,10 @@ class OnlineSession:
         self.sim = simulator
         self.state = _SimState(
             machine=Machine(
-                simulator.num_processors, capacity_schedule=simulator.capacity_schedule
+                simulator.num_processors,
+                capacity_schedule=simulator.capacity_schedule,
+                topology=simulator.topology,
+                allocator=simulator.allocator_policy,
             ),
             pending=deque(),
             failures=deque(simulator.node_failures),
@@ -633,11 +692,7 @@ class OnlineSession:
         """
         if self._drained:
             raise RuntimeError("session is drained; no further submissions")
-        if job.requested_processors > self.sim.num_processors:
-            raise ValueError(
-                f"job {job.job_id} requests {job.requested_processors} processors but the "
-                f"machine has only {self.sim.num_processors}"
-            )
+        self.sim._check_fits_machine(job)
         if job.job_id in self._submitted_ids:
             raise ValueError(f"duplicate job id {job.job_id} in session")
         if self._started and job.submit_time <= self.state.now:
@@ -809,6 +864,8 @@ def run_schedule(
     capacity_schedule: Sequence[DowntimeWindow] | None = None,
     node_failures: Sequence[NodeFailure] | None = None,
     restart_policy: RestartPolicy | str | None = None,
+    topology: ClusterTopology | None = None,
+    allocator: str = "first_fit",
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     simulator = Simulator(
@@ -819,5 +876,7 @@ def run_schedule(
         capacity_schedule=capacity_schedule,
         node_failures=node_failures,
         restart_policy=restart_policy,
+        topology=topology,
+        allocator=allocator,
     )
     return simulator.run(jobs)

@@ -69,6 +69,9 @@ JOB_WIRE_FIELDS = (
     "queue",
     "partition",
     "status",
+    "used_memory",
+    "requested_memory",
+    "requested_gpus",
 )
 
 

@@ -43,6 +43,7 @@ from repro.core.agent import RLBackfillAgent
 from repro.core.rlbackfill import RLBackfillPolicy
 from repro.obs import get_metrics, metrics_enabled
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import get_tracer, span
 from repro.prediction.predictors import UserEstimate
 from repro.scheduler.simulator import OnlineSession, ServedDecision, Simulator
 from repro.service.admission import AdmissionController, RefillSchedule
@@ -391,27 +392,45 @@ class SchedulingService:
 
     # -- scheduler task -----------------------------------------------------
     async def _worker(self) -> None:
+        tracer = get_tracer()
         while True:
             item = await self._queue.get()
             if item is None:
                 return
-            request, future = item
+            request, future, enqueue_ns = item
             op = str(request.get("op", "unknown")) if isinstance(request, dict) else "unknown"
             t0 = time.perf_counter_ns()
+            if tracer.enabled:
+                # The request already measured its queue wait (enqueue at
+                # dispatch, dequeue here), so trace it as a complete span.
+                tracer.complete(
+                    "service.queue_wait", enqueue_ns, t0 - enqueue_ns,
+                    cat="service", args={"op": op},
+                )
             try:
                 response = self._handle(request)
             except Exception as error:  # noqa: BLE001 - surfaced to the client
                 self.counters.errored += 1
                 response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
-            self._observe_request(op, (time.perf_counter_ns() - t0) / 1e9)
+            handled = time.perf_counter_ns()
+            self._observe_request(op, (handled - t0) / 1e9)
+            if tracer.enabled:
+                tracer.complete(
+                    "service.handle", t0, handled - t0, cat="service", args={"op": op}
+                )
             if future is not None and not future.cancelled():
                 future.set_result(response)
+            if tracer.enabled:
+                tracer.complete(
+                    "service.respond", handled, time.perf_counter_ns() - handled,
+                    cat="service", args={"op": op},
+                )
 
     async def _ticker(self) -> None:
         while True:
             await asyncio.sleep(self.config.tick_interval)
             try:
-                self._queue.put_nowait(({"op": "tick"}, None))
+                self._queue.put_nowait(({"op": "tick"}, None, time.perf_counter_ns()))
             except asyncio.QueueFull:
                 # The scheduler is saturated with client work; it advances
                 # event time on every submit anyway, so a dropped tick is
@@ -421,7 +440,8 @@ class SchedulingService:
     def _advance(self, horizon: Optional[float] = None) -> List[ServedDecision]:
         if horizon is None:
             horizon = max(self.event_now(), self._last_assigned)
-        served = self.session.advance_to(horizon)
+        with span("service.advance", cat="service"):
+            served = self.session.advance_to(horizon)
         for decision in served:
             self.replay.decision(decision)
         self.counters.decisions += len(served)
@@ -524,6 +544,7 @@ class SchedulingService:
             return {"ok": False, "error": "submit needs 'job' or a non-empty 'jobs' list"}
         results: List[Dict[str, object]] = []
         wall = self.wall_now()
+        admission_t0 = time.perf_counter_ns()
         for payload in payloads:
             self.counters.submitted += 1
             try:
@@ -568,6 +589,13 @@ class SchedulingService:
             results.append(
                 {"job_id": job.job_id, "admitted": True, "event_time": job.submit_time}
             )
+        get_tracer().complete(
+            "service.admission",
+            admission_t0,
+            time.perf_counter_ns() - admission_t0,
+            cat="service",
+            args={"jobs": len(payloads)},
+        )
         served = self._advance()
         response: Dict[str, object] = {
             "ok": True,
@@ -681,7 +709,7 @@ class SchedulingService:
             return {"ok": True, "bye": True}
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait((request, future))
+            self._queue.put_nowait((request, future, time.perf_counter_ns()))
         except asyncio.QueueFull:
             self.counters.overloaded += 1
             return {

@@ -37,7 +37,18 @@ class Job:
         bound used by EASY backfilling; ``-1`` in the archive means missing
         and is normalized to ``runtime`` at construction time by the parsers.
     user_id, group_id, executable, queue, partition, status:
-        Optional SWF metadata kept for completeness; unused by the scheduler.
+        Optional SWF metadata kept for completeness; ``partition`` binds the
+        job to a node group on heterogeneous clusters (see docs/cluster.md),
+        the rest is unused by the scheduler.
+    used_memory, requested_memory:
+        Per-processor memory in the trace's unit (SWF fields 7 and 10, KB in
+        the archives); ``-1`` is the archive's "missing" sentinel.  The
+        allocator layer turns these into a per-job memory requirement
+        (:func:`repro.cluster.allocator.job_request`).
+    requested_gpus:
+        GPUs the job occupies while running.  SWF has no GPU field; scenario
+        transforms assign this (default 0 -- no GPU demand, the homogeneous
+        case).
     """
 
     job_id: int
@@ -51,6 +62,9 @@ class Job:
     queue: int = -1
     partition: int = -1
     status: int = 1
+    used_memory: int = -1
+    requested_memory: int = -1
+    requested_gpus: int = 0
 
     def __post_init__(self) -> None:
         if self.requested_processors <= 0:
@@ -67,6 +81,16 @@ class Job:
         if self.submit_time < 0:
             raise ValueError(
                 f"job {self.job_id}: submit_time must be non-negative, got {self.submit_time}"
+            )
+        if self.used_memory < -1 or self.requested_memory < -1:
+            raise ValueError(
+                f"job {self.job_id}: memory fields must be >= -1 (-1 = missing), "
+                f"got used={self.used_memory}, requested={self.requested_memory}"
+            )
+        if self.requested_gpus < 0:
+            raise ValueError(
+                f"job {self.job_id}: requested_gpus must be non-negative, "
+                f"got {self.requested_gpus}"
             )
 
     @property

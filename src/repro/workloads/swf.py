@@ -25,8 +25,10 @@ _F_SUBMIT = 1
 _F_WAIT = 2
 _F_RUNTIME = 3
 _F_ALLOC_PROCS = 4
+_F_USED_MEM = 6
 _F_REQ_PROCS = 7
 _F_REQ_TIME = 8
+_F_REQ_MEM = 9
 _F_STATUS = 10
 _F_USER = 11
 _F_GROUP = 12
@@ -46,6 +48,21 @@ def _parse_header_max_procs(line: str) -> int | None:
             except ValueError:
                 return None
     return None
+
+
+def _parse_memory(token: str) -> int:
+    """Parse an SWF memory field (per-processor KB) to an int, ``-1`` if unusable.
+
+    The archives write ``-1`` for "unknown"; some traces carry malformed
+    tokens (empty placeholders, stray text) in these optional columns.  Either
+    way the job itself is still valid, so a bad memory token degrades to the
+    missing sentinel instead of skipping the record.
+    """
+    try:
+        value = int(float(token))
+    except ValueError:
+        return -1
+    return value if value >= 0 else -1
 
 
 def parse_swf_lines(
@@ -110,6 +127,8 @@ def parse_swf_lines(
                 queue=int(float(fields[_F_QUEUE])),
                 partition=int(float(fields[_F_PARTITION])),
                 status=int(float(fields[_F_STATUS])),
+                used_memory=_parse_memory(fields[_F_USED_MEM]),
+                requested_memory=_parse_memory(fields[_F_REQ_MEM]),
             )
         )
     procs = num_processors or header_procs or max_seen_procs
@@ -133,10 +152,10 @@ def _format_job(job: Job, wait_time: float = -1.0) -> str:
     fields[_F_RUNTIME] = int(round(job.runtime))
     fields[_F_ALLOC_PROCS] = job.requested_processors
     fields[5] = -1  # average CPU time
-    fields[6] = -1  # used memory
+    fields[_F_USED_MEM] = job.used_memory
     fields[_F_REQ_PROCS] = job.requested_processors
     fields[_F_REQ_TIME] = int(round(job.requested_time))
-    fields[9] = -1  # requested memory
+    fields[_F_REQ_MEM] = job.requested_memory
     fields[_F_STATUS] = job.status
     fields[_F_USER] = job.user_id
     fields[_F_GROUP] = job.group_id

@@ -60,6 +60,54 @@ class TestParse:
         assert len(parse_swf_lines(lines)) == 1
 
 
+class TestMemoryFields:
+    """SWF fields 9/10 (used/requested memory, 0-based 6/9) land on the Job."""
+
+    def _line_with_memory(self, used_mem, req_mem, partition=2):
+        fields = [
+            7, 0, 10, 100, 4, -1, used_mem, 4, 300, req_mem, 1, 3, 2, 1, 1, partition, -1, -1,
+        ]
+        return " ".join(str(f) for f in fields)
+
+    def test_memory_fields_parsed(self):
+        trace = parse_swf_lines([self._line_with_memory(2048, 4096)])
+        assert trace[0].used_memory == 2048
+        assert trace[0].requested_memory == 4096
+
+    def test_partition_kept(self):
+        trace = parse_swf_lines([self._line_with_memory(-1, -1, partition=5)])
+        assert trace[0].partition == 5
+
+    def test_missing_sentinel_stays_minus_one(self):
+        trace = parse_swf_lines([self._line_with_memory(-1, -1)])
+        assert trace[0].used_memory == -1
+        assert trace[0].requested_memory == -1
+
+    def test_negative_memory_normalizes_to_sentinel(self):
+        trace = parse_swf_lines([self._line_with_memory(-37, -2)])
+        assert trace[0].used_memory == -1
+        assert trace[0].requested_memory == -1
+
+    def test_float_memory_truncates(self):
+        trace = parse_swf_lines([self._line_with_memory("1024.7", "512.2")])
+        assert trace[0].used_memory == 1024
+        assert trace[0].requested_memory == 512
+
+    def test_malformed_memory_token_is_sentinel(self):
+        trace = parse_swf_lines([self._line_with_memory("garbage", "NaN-ish")])
+        assert trace[0].used_memory == -1
+        assert trace[0].requested_memory == -1
+
+    def test_memory_round_trips_through_write(self, tmp_path):
+        trace = parse_swf_lines([self._line_with_memory(2048, 4096, partition=3)])
+        path = tmp_path / "mem.swf"
+        write_swf(trace, path)
+        loaded = read_swf(path)
+        assert loaded[0].used_memory == 2048
+        assert loaded[0].requested_memory == 4096
+        assert loaded[0].partition == 3
+
+
 class TestRoundTrip:
     def test_write_read_round_trip(self, tmp_path, tiny_trace):
         path = tmp_path / "trace.swf"
