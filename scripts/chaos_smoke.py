@@ -28,7 +28,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -41,6 +43,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core import BackfillEnvironment, RLBackfillAgent  # noqa: E402
 from repro.core.observation import ObservationConfig  # noqa: E402
 from repro.faults import FaultPlan  # noqa: E402
+from repro.obs import (  # noqa: E402
+    enable_tracing,
+    export_chrome_trace,
+    set_trace_spool_dir,
+)
 from repro.rl.buffer import TrajectoryBuffer  # noqa: E402
 from repro.rl.lane_pool import ProcessLanePool  # noqa: E402
 from repro.rl.vec_env import VecBackfillEnv  # noqa: E402
@@ -66,6 +73,13 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         "--kills", type=int, default=3, help="worker kills drawn into the fault plan"
     )
     parser.add_argument("--out", default=None, help="chaos timing JSON path")
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable span tracing and write the merged Chrome trace-event "
+        "JSON (parent + surviving worker rings; respawned workers' replay "
+        "rounds are tagged args.replay=true; view in ui.perfetto.dev)",
+    )
     return parser.parse_args(argv)
 
 
@@ -263,11 +277,31 @@ def service_chaos(args: argparse.Namespace, log_path: Path) -> Dict[str, object]
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = parse_args(argv)
+    spool_dir = None
+    if args.trace_out:
+        enable_tracing()
+        # Workers drain their span rings here at pool close; SIGKILLed
+        # workers never get the chance (their rings are lost by design),
+        # but their respawned replacements export generation-tagged rings
+        # whose recovery-replay spans carry args.replay=true.
+        spool_dir = tempfile.mkdtemp(prefix="repro-chaos-spans-")
+        set_trace_spool_dir(spool_dir)
     t0 = time.perf_counter()
     pool = pool_chaos(args)
     log_path = Path(args.out).parent if args.out else Path(".")
     service = service_chaos(args, log_path / "chaos-replay.jsonl")
     wall = time.perf_counter() - t0
+
+    if args.trace_out:
+        trace_path = Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        summary = export_chrome_trace(trace_path, spool_dir=spool_dir)
+        print(
+            f"wrote {trace_path} ({summary['events']} spans merged from "
+            f"{len(summary['sources'])} ring(s))"
+        )
+        set_trace_spool_dir(None)
+        shutil.rmtree(spool_dir, ignore_errors=True)
 
     report: Dict[str, object] = {
         "chaos_wall_seconds": wall,

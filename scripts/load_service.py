@@ -27,12 +27,13 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import http.client
 import json
 import random
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +43,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.agent import RLBackfillAgent  # noqa: E402
 from repro.experiments.runner import load_or_train_agent  # noqa: E402
 from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.obs import enable_tracing, export_chrome_trace  # noqa: E402
 from repro.obs.metrics import (  # noqa: E402
     LATENCY_BUCKETS_S,
     Histogram,
@@ -97,6 +99,21 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         default=None,
         help="write the service's Prometheus text exposition (the `metrics` "
         "wire op, scraped after drain) to this path",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve GET /metrics + /healthz over plain HTTP on this "
+        "port (0 = ephemeral) and verify the scrape body matches the "
+        "`metrics` wire op byte for byte",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable span tracing and write the merged Chrome trace-event "
+        "JSON (request-correlated service spans with flow events; view in "
+        "ui.perfetto.dev)",
     )
     parser.add_argument(
         "--min-rate",
@@ -252,6 +269,49 @@ def measure_reference_forward(service: SchedulingService, repeats: int = 2000) -
     return (time.perf_counter() - t0) / repeats
 
 
+async def _http_get(host: str, port: int, path: str) -> Tuple[int, str]:
+    """One stdlib-HTTP GET, run in the default executor: the service's loop
+    must stay free to render the scrape body for the handler thread."""
+
+    def fetch() -> Tuple[int, str]:
+        conn = http.client.HTTPConnection(host, port, timeout=10.0)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    return await asyncio.get_running_loop().run_in_executor(None, fetch)
+
+
+async def check_http_scrape(
+    service: SchedulingService, client: ServiceClient
+) -> Dict[str, object]:
+    """Verify ``GET /metrics`` equals the ``metrics`` wire op byte for byte.
+
+    A background tick can observe into the registry between the two scrapes,
+    so a transient mismatch is retried; a persistent one is a real failure
+    (the report's ``matched_wire_body`` goes false and main() exits 1).
+    """
+    mhost, mport = service.metrics_address
+    health_status, _ = await _http_get(mhost, mport, "/healthz")
+    matched = False
+    attempts = 0
+    for attempts in range(1, 31):
+        status, http_body = await _http_get(mhost, mport, "/metrics")
+        wire_body = str((await client.metrics()).get("body", ""))
+        if status == 200 and http_body == wire_body:
+            matched = True
+            break
+    return {
+        "port": mport,
+        "healthz_status": health_status,
+        "matched_wire_body": matched,
+        "attempts": attempts,
+    }
+
+
 def percentile_ms(latencies: Histogram, q: float) -> float:
     """Bucket-interpolated percentile in milliseconds, ``q`` in percent.
 
@@ -270,6 +330,7 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
         replay_log_path=args.replay_out,
         admission_capacity=1e9 if args.admission_rate is None else 4 * args.admission_rate,
         admission_refill=((0.0, 1e9 if args.admission_rate is None else args.admission_rate),),
+        metrics_port=args.metrics_port,
     )
     service = SchedulingService(agent, config)
     # Standalone (registry-less) histogram: always records, shared by every
@@ -311,6 +372,9 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
             drain = await client.drain()
             stats = (await client.stats())["stats"]
             metrics_text = str((await client.metrics()).get("body", ""))
+            http_check = None
+            if args.metrics_port is not None:
+                http_check = await check_http_scrape(service, client)
             await client.shutdown()
         await service.wait_stopped()
 
@@ -355,6 +419,7 @@ async def run_load(args: argparse.Namespace, agent: RLBackfillAgent) -> Dict[str
             if "_bucket" not in name
         },
         "metrics_text": metrics_text,
+        "metrics_http": http_check,
         "config": {
             "clients": args.clients,
             "batch": args.batch,
@@ -382,7 +447,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         agent = load_or_train_agent(None, scale="smoke", seed=args.seed)
 
+    if args.trace_out:
+        enable_tracing()
+
     report = asyncio.run(run_load(args, agent))
+
+    if args.trace_out:
+        trace_path = Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        # The service runs in-process (no workers), so the merged export is
+        # just the parent ring -- queue_wait/handle/respond spans connected
+        # per request id by flow events.
+        summary = export_chrome_trace(trace_path)
+        print(f"wrote {trace_path} ({summary['events']} spans)")
 
     metrics_text = str(report.pop("metrics_text", ""))
     if args.metrics_out:
@@ -417,6 +494,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"replay: {replay['jobs']} jobs, {replay['decisions']} decisions, "
             f"matched={replay['matched']}"
         )
+    http_check = report.get("metrics_http")
+    if http_check is not None:
+        print(
+            f"http scrape: port={http_check['port']} "
+            f"healthz={http_check['healthz_status']} "
+            f"matched_wire_body={http_check['matched_wire_body']} "
+            f"(attempt {http_check['attempts']})"
+        )
 
     if args.out:
         out = Path(args.out)
@@ -435,6 +520,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"FAIL: {report['decisions_per_second']:.0f} decisions/s is below the "
             f"--min-rate floor of {args.min_rate:.0f}"
         )
+        failed = True
+    if http_check is not None and not (
+        http_check["matched_wire_body"] and http_check["healthz_status"] == 200
+    ):
+        print("FAIL: HTTP /metrics scrape did not match the metrics wire op")
         failed = True
     return 1 if failed else 0
 

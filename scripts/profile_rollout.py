@@ -25,7 +25,9 @@ Usage:
 """
 
 import argparse
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -33,7 +35,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import BackfillEnvironment, RLBackfillAgent, Trainer, TrainerConfig
 from repro.core.observation import ObservationConfig
-from repro.obs import enable_tracing, engine_stats_delta, get_tracer
+from repro.obs import (
+    enable_tracing,
+    engine_stats_delta,
+    export_chrome_trace,
+    get_tracer,
+    set_trace_spool_dir,
+)
 from repro.rl.buffer import TrajectoryBuffer
 from repro.workloads import load_trace
 
@@ -118,8 +126,15 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    spool_dir = None
     if args.trace_out:
         enable_tracing()
+        # Process-backend workers drain their span rings into sidecar files
+        # here at pool shutdown; the export below merges them with the parent
+        # ring so the trace is no longer parent-only (mostly empty) for
+        # process configurations.
+        spool_dir = tempfile.mkdtemp(prefix="repro-spans-")
+        set_trace_spool_dir(spool_dir)
 
     phases = ("encode_s", "forward_s", "step_s", "result_wait_s")
     rows = []
@@ -130,11 +145,18 @@ def main() -> int:
     if args.trace_out:
         trace_path = Path(args.trace_out)
         trace_path.parent.mkdir(parents=True, exist_ok=True)
-        get_tracer().export(trace_path)
+        summary = export_chrome_trace(trace_path, spool_dir=spool_dir)
         print(
-            f"wrote {trace_path} "
-            f"({get_tracer().recorded} spans, {get_tracer().dropped} dropped)"
+            f"wrote {trace_path} ({summary['events']} spans merged from "
+            f"{len(summary['sources'])} ring(s))"
         )
+        for label in summary["overflowed"]:
+            print(
+                f"WARNING: span ring overflowed in {label}; "
+                "its oldest spans are missing from the merged trace"
+            )
+        set_trace_spool_dir(None)
+        shutil.rmtree(spool_dir, ignore_errors=True)
 
     header = (
         f"{'configuration':<18} {'dec/s':>8} {'wall':>7} "

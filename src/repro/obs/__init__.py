@@ -31,12 +31,21 @@ from repro.obs.metrics import (
     metrics_enabled,
     parse_prometheus_text,
 )
+from repro.obs.collect import (
+    collect_sources,
+    export_chrome_trace,
+    merge_chrome_trace,
+    read_sidecar,
+    write_sidecar,
+)
 from repro.obs.trace import (
     SpanTracer,
     disable_tracing,
     enable_tracing,
     get_tracer,
+    set_trace_spool_dir,
     span,
+    trace_spool_dir,
     tracing_enabled,
 )
 
@@ -61,4 +70,11 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "span",
+    "trace_spool_dir",
+    "set_trace_spool_dir",
+    "collect_sources",
+    "merge_chrome_trace",
+    "export_chrome_trace",
+    "read_sidecar",
+    "write_sidecar",
 ]

@@ -1,0 +1,219 @@
+"""Cross-process span collection: worker sidecars, merged Chrome traces.
+
+:class:`~repro.obs.trace.SpanTracer` rings are strictly per-process --
+lane-pool workers record spans into their own rings, invisible to the
+parent.  This module moves those rings across the process boundary:
+
+* **Sidecar export** -- a worker drains its ring into one JSON *sidecar*
+  file at shutdown (:func:`write_sidecar`).  The spool directory travels
+  through the ``REPRO_OBS_TRACE_DIR`` environment variable (see
+  :func:`repro.obs.trace.set_trace_spool_dir`), so both ``fork`` and
+  ``spawn`` children find it without any ring-protocol change.  Writes go
+  through a temp file + ``os.replace`` so a collector never reads a torn
+  sidecar.
+
+* **Deterministic merge** -- :func:`merge_chrome_trace` folds the parent
+  ring plus every sidecar into one Chrome trace-event document.  Each
+  process keeps its own pid/tid lane; ``M``-phase metadata events name the
+  lanes from the sidecar labels.  Event order is a pure function of the
+  event *set* (sorted by timestamp, then lane, then phase/name/args), never
+  of file enumeration order or of how events were chunked across sidecars,
+  so merged bytes are reproducible across worker counts and re-reads.
+
+* **Overflow accounting** -- rings are bounded, so a long run can overwrite
+  its oldest spans.  The merge summary reports per-source ``dropped``
+  counts and the list of overflowed sources; callers surface the warning
+  (``profile_rollout.py`` prints it) instead of silently exporting a trace
+  with a hole in it.
+
+Respawn awareness: a worker that replaced a killed one exports under a
+generation-tagged label (``worker-3.r1``) and its replayed catch-up rounds
+carry ``args={"replay": true}`` on their spans, so recovery work is
+distinguishable from first-run work in the merged timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import SpanTracer, chrome_event, get_tracer, trace_spool_dir
+
+__all__ = [
+    "write_sidecar",
+    "read_sidecar",
+    "sidecar_path",
+    "sidecar_paths",
+    "collect_sources",
+    "merge_chrome_trace",
+    "export_chrome_trace",
+]
+
+_SIDECAR_VERSION = 1
+_SIDECAR_SUFFIX = ".spans.json"
+
+
+def write_sidecar(path, tracer: Optional[SpanTracer] = None, label: Optional[str] = None) -> Path:
+    """Drain ``tracer``'s ring (default: the process-global tracer) into a
+    sidecar JSON file at ``path``; returns the path written."""
+    tracer = get_tracer() if tracer is None else tracer
+    doc = {
+        "version": _SIDECAR_VERSION,
+        "pid": os.getpid(),
+        "label": label or f"pid-{os.getpid()}",
+        "recorded": tracer.recorded,
+        "dropped": tracer.dropped,
+        "events": [list(event) for event in tracer.events()],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_sidecar(path) -> Dict[str, object]:
+    """Load one sidecar file back into a source dict (events as tuples)."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = doc.get("version")
+    if version != _SIDECAR_VERSION:
+        raise ValueError(f"unsupported sidecar version {version!r} in {path}")
+    return {
+        "pid": int(doc["pid"]),
+        "label": str(doc["label"]),
+        "recorded": int(doc.get("recorded", len(doc["events"]))),
+        "dropped": int(doc.get("dropped", 0)),
+        "events": [tuple(event) for event in doc["events"]],
+    }
+
+
+def sidecar_paths(spool_dir) -> List[Path]:
+    """Sidecar files under ``spool_dir`` (sorted; empty when missing)."""
+    root = Path(spool_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob(f"*{_SIDECAR_SUFFIX}"))
+
+
+def sidecar_path(spool_dir, label: str) -> Path:
+    """Canonical sidecar filename for ``label`` (pid-suffixed so a respawned
+    worker never clobbers its predecessor's file)."""
+    safe = "".join(ch if (ch.isalnum() or ch in "-._") else "-" for ch in label)
+    return Path(spool_dir) / f"{safe}-p{os.getpid()}{_SIDECAR_SUFFIX}"
+
+
+def _source_from_tracer(tracer: SpanTracer, label: str) -> Dict[str, object]:
+    return {
+        "pid": os.getpid(),
+        "label": label,
+        "recorded": tracer.recorded,
+        "dropped": tracer.dropped,
+        "events": list(tracer.events()),
+    }
+
+
+def _sort_key(record: Dict[str, object]) -> tuple:
+    args = record.get("args")
+    return (
+        record["ts"],
+        record["pid"],
+        record["tid"],
+        record["ph"],
+        record["name"],
+        json.dumps(args, sort_keys=True) if args else "",
+    )
+
+
+def merge_chrome_trace(
+    sources: Sequence[Dict[str, object]],
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Merge source dicts (``pid``/``label``/``events``/``dropped``) into one
+    Chrome trace document plus a collection summary.
+
+    Returns ``(doc, summary)``.  ``doc`` is ``{"traceEvents": [...],
+    "displayTimeUnit": "ms"}`` with ``M``-phase ``process_name`` metadata
+    first (one per pid, labels deduplicated and joined when several sources
+    share a pid) followed by all span/flow events in deterministic order.
+    ``summary`` carries per-source ring accounting and the ``overflowed``
+    label list.
+    """
+    lane_labels: Dict[int, set] = {}
+    span_events: List[Dict[str, object]] = []
+    for source in sources:
+        pid = int(source["pid"])
+        lane_labels.setdefault(pid, set()).add(str(source["label"]))
+        for event in source["events"]:
+            span_events.append(chrome_event(tuple(event)))
+    span_events.sort(key=_sort_key)
+
+    trace_events: List[Dict[str, object]] = []
+    for pid in sorted(lane_labels):
+        name = "+".join(sorted(lane_labels[pid]))
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": name},
+            }
+        )
+    trace_events.extend(span_events)
+
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    source_rows = sorted(
+        (
+            {
+                "label": str(source["label"]),
+                "pid": int(source["pid"]),
+                "recorded": int(source["recorded"]),
+                "dropped": int(source["dropped"]),
+            }
+            for source in sources
+        ),
+        key=lambda row: (row["label"], row["pid"]),
+    )
+    summary = {
+        "sources": source_rows,
+        "events": len(span_events),
+        "overflowed": [row["label"] for row in source_rows if row["dropped"] > 0],
+    }
+    return doc, summary
+
+
+def collect_sources(
+    spool_dir=None,
+    parent: Optional[SpanTracer] = None,
+    parent_label: str = "parent",
+) -> List[Dict[str, object]]:
+    """The parent tracer (default: global) plus every sidecar in
+    ``spool_dir`` (default: the ``REPRO_OBS_TRACE_DIR`` spool), as merge
+    sources."""
+    parent = get_tracer() if parent is None else parent
+    sources = [_source_from_tracer(parent, parent_label)]
+    spool_dir = trace_spool_dir() if spool_dir is None else spool_dir
+    if spool_dir is not None:
+        for path in sidecar_paths(spool_dir):
+            sources.append(read_sidecar(path))
+    return sources
+
+
+def export_chrome_trace(
+    path,
+    spool_dir=None,
+    parent: Optional[SpanTracer] = None,
+    parent_label: str = "parent",
+) -> Dict[str, object]:
+    """Merge parent ring + spooled sidecars and write the Chrome trace to
+    ``path`` with deterministic bytes; returns the collection summary."""
+    doc, summary = merge_chrome_trace(
+        collect_sources(spool_dir=spool_dir, parent=parent, parent_label=parent_label)
+    )
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.write("\n")
+    return summary

@@ -31,11 +31,19 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "span",
+    "chrome_event",
+    "trace_spool_dir",
+    "set_trace_spool_dir",
 ]
 
 #: Environment variable seeding the global tracer's enable switch (same
 #: worker-propagation story as ``REPRO_OBS_METRICS``).
 TRACE_ENV = "REPRO_OBS_TRACE"
+
+#: Directory worker processes drain their span rings into as sidecar files
+#: (see :mod:`repro.obs.collect`).  An environment variable so both ``fork``
+#: and ``spawn`` children inherit it without any ring-protocol change.
+TRACE_DIR_ENV = "REPRO_OBS_TRACE_DIR"
 
 _DEFAULT_CAPACITY = 65536
 
@@ -123,13 +131,60 @@ class SpanTracer:
         that time phases for their counters trace them for free."""
         if not self.enabled:
             return
-        self._record(("X", name, cat, start_ns, duration_ns, os.getpid(), args))
+        self._record(("X", name, cat, start_ns, duration_ns, os.getpid(), args, None))
 
     def instant(self, name: str, cat: str = "", args: Optional[Dict] = None) -> None:
         """Record an instant ('i') event at the current time."""
         if not self.enabled:
             return
-        self._record(("i", name, cat, time.perf_counter_ns(), 0, os.getpid(), args))
+        self._record(("i", name, cat, time.perf_counter_ns(), 0, os.getpid(), args, None))
+
+    def flow_start(
+        self,
+        name: str,
+        flow_id: int,
+        ts_ns: int,
+        cat: str = "",
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record a flow-start ('s') event at ``ts_ns``.
+
+        Perfetto binds a flow event to whichever slice encloses its timestamp
+        on the same pid/tid lane, so place ``ts_ns`` inside the span the arrow
+        should leave from (its start timestamp works).  All events of one flow
+        share ``name`` and ``flow_id``.
+        """
+        if not self.enabled:
+            return
+        self._record(("s", name, cat, ts_ns, 0, os.getpid(), args, int(flow_id)))
+
+    def flow_step(
+        self,
+        name: str,
+        flow_id: int,
+        ts_ns: int,
+        cat: str = "",
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record a flow-step ('t') event: an intermediate hop of the arrow
+        chain started by :meth:`flow_start`."""
+        if not self.enabled:
+            return
+        self._record(("t", name, cat, ts_ns, 0, os.getpid(), args, int(flow_id)))
+
+    def flow_end(
+        self,
+        name: str,
+        flow_id: int,
+        ts_ns: int,
+        cat: str = "",
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record a flow-end ('f') event terminating the arrow chain (exported
+        with binding point ``"e"`` so it attaches to the enclosing slice)."""
+        if not self.enabled:
+            return
+        self._record(("f", name, cat, ts_ns, 0, os.getpid(), args, int(flow_id)))
 
     def span(self, name: str, cat: str = "", args: Optional[Dict] = None):
         """Context manager timing its body into one complete event."""
@@ -157,22 +212,8 @@ class SpanTracer:
 
     def to_chrome(self) -> Dict[str, object]:
         """The Chrome trace-event JSON document (``traceEvents`` array of
-        phase-``X``/``i`` records, timestamps in microseconds)."""
-        trace_events = []
-        for ph, name, cat, start_ns, duration_ns, pid, args in self.events():
-            event: Dict[str, object] = {
-                "name": name,
-                "cat": cat or "default",
-                "ph": ph,
-                "ts": start_ns / 1000.0,
-                "pid": pid,
-                "tid": pid,
-            }
-            if ph == "X":
-                event["dur"] = duration_ns / 1000.0
-            if args:
-                event["args"] = dict(args)
-            trace_events.append(event)
+        phase-``X``/``i``/flow records, timestamps in microseconds)."""
+        trace_events = [chrome_event(event) for event in self.events()]
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def export(self, path) -> None:
@@ -180,6 +221,34 @@ class SpanTracer:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_chrome(), handle)
             handle.write("\n")
+
+
+def chrome_event(event: tuple) -> Dict[str, object]:
+    """Convert one ring record to its Chrome trace-event JSON dict.
+
+    Shared by :meth:`SpanTracer.to_chrome` and the cross-process merge in
+    :mod:`repro.obs.collect` so both render identically.
+    """
+    ph, name, cat, start_ns, duration_ns, pid, args, flow_id = event
+    record: Dict[str, object] = {
+        "name": name,
+        "cat": cat or "default",
+        "ph": ph,
+        "ts": start_ns / 1000.0,
+        "pid": pid,
+        "tid": pid,
+    }
+    if ph == "X":
+        record["dur"] = duration_ns / 1000.0
+    if flow_id is not None:
+        record["id"] = int(flow_id)
+    if ph == "f":
+        # Bind the flow terminus to the enclosing slice rather than the next
+        # slice to begin -- matches how the arrows should read in Perfetto.
+        record["bp"] = "e"
+    if args:
+        record["args"] = dict(args)
+    return record
 
 
 _TRACER = SpanTracer(enabled=os.environ.get(TRACE_ENV, "") == "1")
@@ -208,3 +277,22 @@ def span(name: str, cat: str = "", args: Optional[Dict] = None):
     """Module-level convenience: a span on the global tracer (no-op singleton
     while tracing is disabled -- safe to leave in hot-ish paths)."""
     return _TRACER.span(name, cat=cat, args=args)
+
+
+def trace_spool_dir() -> Optional[str]:
+    """Directory worker processes should drain their span rings into, or
+    ``None`` when cross-process collection is off."""
+    value = os.environ.get(TRACE_DIR_ENV, "")
+    return value or None
+
+
+def set_trace_spool_dir(path) -> None:
+    """Point workers at a sidecar spool directory (``None`` clears it).
+
+    Stored in the environment so ``fork`` and ``spawn`` children both inherit
+    it; call before constructing a lane pool.
+    """
+    if path is None:
+        os.environ.pop(TRACE_DIR_ENV, None)
+    else:
+        os.environ[TRACE_DIR_ENV] = str(path)

@@ -188,7 +188,15 @@ class ShmRing:
             raise RingTimeout(f"no free slot in ring {self.name} after {timeout}s")
         frame = self._frame(self._write_idx)
         for key, value in values.items():
-            frame[key][...] = value
+            try:
+                frame[key][...] = value
+            except KeyError:
+                # A producer built against a different layout generation --
+                # name the mismatch instead of surfacing a bare KeyError.
+                raise KeyError(
+                    f"unknown frame field {key!r}; ring {self.name} layout has "
+                    f"{[field.name for field in self.layout.fields]}"
+                ) from None
         self._write_idx += 1
         self._full.release()
 

@@ -93,7 +93,9 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan
 from repro.obs import WORKER_PUBLISHED_COUNTERS, get_metrics, get_tracer
+from repro.obs.collect import sidecar_path, write_sidecar
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace_spool_dir
 from repro.rl.buffer import TrajectoryBuffer
 from repro.rl.env import Environment, StepResult
 from repro.rl.ipc import Field, FrameLayout, RingTimeout, ShmRing
@@ -156,6 +158,11 @@ def _command_layout(shard: int) -> FrameLayout:
             Field("presample", (), "int64"),
             Field("credit_base", (), "int64"),
             Field("credits", (), "int64"),
+            # 1 on frames re-issued from the recovery history (so a respawned
+            # worker's catch-up spans are tagged in the merged trace), 0 on
+            # first-run rounds.  Every ROUND push site writes it explicitly:
+            # ShmRing.push leaves unwritten fields holding stale slot bytes.
+            Field("replay", (), "int64"),
             Field("cmd", (shard,), "int64"),
             Field("arg", (shard,), "int64"),
         ]
@@ -187,7 +194,14 @@ def _result_layout(shard: int, observation_size: int, num_actions: int) -> Frame
 
 
 # -- worker process ------------------------------------------------------------
-def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
+def _worker_main(
+    envs,
+    cmd_ring: ShmRing,
+    res_ring: ShmRing,
+    pipe,
+    worker_index: int = 0,
+    generation: int = 0,
+) -> None:
     """Host a shard of lane environments; loop over command frames forever.
 
     Lanes are processed in ascending (local == global) order, mirroring the
@@ -216,6 +230,14 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
     # all-zero writes into an already-mapped frame.
     pub_handles = [get_metrics().counter(name) for name in WORKER_PUBLISHED_COUNTERS]
     pub_last = [handle.value for handle in pub_handles]
+    # Span collection: this worker's tracer ring (enabled through the
+    # REPRO_OBS_TRACE environment variable under spawn, or inherited live
+    # under fork) records per-round step/encode spans and drains into a
+    # sidecar file at shutdown when a spool directory is configured -- see
+    # repro.obs.collect for the merge side.  generation > 0 marks a respawn.
+    tracer = get_tracer()
+    span_args = {"worker": worker_index}
+    replay_span_args = {"worker": worker_index, "replay": True}
     episode_jobs = None
     running = [False] * shard
     armed_masks: Dict[int, np.ndarray] = {}
@@ -271,6 +293,7 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                 continue
             cohort = int(frame["cohort"])
             presample_enabled = bool(int(frame["presample"]))
+            replay_round = bool(int(frame["replay"]))
             credits = int(frame["credits"])
             next_index = int(frame["credit_base"])
             claimed = 0
@@ -360,6 +383,16 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                     status[lane] = _LANE_RUNNING
                     encode_lanes.append(lane)
             step_ns = time.monotonic_ns() - t_step
+            if tracer.enabled:
+                # Re-uses the timestamps already taken for the result frame's
+                # step_ns/encode_ns counters: zero extra clock reads.
+                tracer.complete(
+                    "worker.step",
+                    t_step,
+                    step_ns,
+                    cat="worker",
+                    args=replay_span_args if replay_round else span_args,
+                )
 
             encode_ns = 0
             if encode_lanes:
@@ -370,6 +403,14 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
                 for row, lane in enumerate(encode_lanes):
                     obs[lane] = encoded[row]
                 encode_ns = time.monotonic_ns() - t_encode
+                if tracer.enabled:
+                    tracer.complete(
+                        "worker.encode",
+                        t_encode,
+                        encode_ns,
+                        cat="worker",
+                        args=replay_span_args if replay_round else span_args,
+                    )
 
             if lane_errors:
                 # Sent before the result frame so the parent's follow-up
@@ -409,6 +450,20 @@ def _worker_main(envs, cmd_ring: ShmRing, res_ring: ShmRing, pipe) -> None:
         except Exception:
             pass
     finally:
+        spool = trace_spool_dir()
+        if spool is not None and tracer.recorded > 0:
+            # Drain this worker's span ring into its sidecar file for the
+            # parent-side merge.  Best-effort: a failed export must never
+            # mask the real teardown (or error) path.  A SIGKILLed worker
+            # skips this entirely -- its ring is simply lost; the respawned
+            # replacement exports under a generation-tagged label instead.
+            label = f"lane-pool-worker-{worker_index}"
+            if generation:
+                label = f"{label}.r{generation}"
+            try:
+                write_sidecar(sidecar_path(spool, label), tracer, label=label)
+            except Exception:  # pragma: no cover - defensive
+                pass
         cmd_ring.detach()
         res_ring.detach()
         pipe.close()
@@ -774,7 +829,17 @@ class ProcessLanePool:
             self._pipes.append(parent_pipe)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(list(self._lane_envs[lo:hi]), cmd_ring, res_ring, child_pipe),
+            # The respawn count doubles as the span-export generation tag: a
+            # replacement worker's sidecar is labelled ``...-N.rG`` so its
+            # recovery-replay spans are distinguishable in the merged trace.
+            args=(
+                list(self._lane_envs[lo:hi]),
+                cmd_ring,
+                res_ring,
+                child_pipe,
+                worker,
+                self._respawn_counts[worker],
+            ),
             name=f"lane-pool-worker-{worker}",
             daemon=True,
         )
@@ -908,6 +973,7 @@ class ProcessLanePool:
                 "presample": 0,
                 "credit_base": 0,
                 "credits": 0,
+                "replay": 1,
                 "cmd": cmd,
                 "arg": args,
             },
@@ -1117,6 +1183,7 @@ class ProcessLanePool:
                     "presample": 0,
                     "credit_base": 0,
                     "credits": 0,
+                    "replay": 0,
                     "cmd": cmd,
                     "arg": args,
                 },
@@ -1457,6 +1524,7 @@ class ProcessLanePool:
                         "presample": presample_flag,
                         "credit_base": next_index,
                         "credits": credits,
+                        "replay": 0,
                     }
                 )
                 self._push_round(worker, frame_values)
@@ -1666,6 +1734,7 @@ class ProcessLanePool:
                     "presample": presample_flag,
                     "credit_base": 0,
                     "credits": 0,  # pipelined rounds never auto-restart
+                    "replay": 0,
                     "cmd": cmd,
                     "arg": arg,
                 },

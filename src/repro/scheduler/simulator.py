@@ -32,7 +32,7 @@ from repro.cluster.allocator import job_request, make_allocator
 from repro.cluster.machine import DowntimeWindow, Machine
 from repro.cluster.resources import ClusterTopology
 from repro.faults.plan import NodeFailure, RestartPolicy, as_restart_policy
-from repro.obs import get_metrics
+from repro.obs import get_metrics, metrics_enabled
 from repro.prediction.predictors import RuntimeEstimator, UserEstimate
 from repro.scheduler.backfill.base import BackfillStrategy
 from repro.scheduler.backfill.none import NoBackfill
@@ -91,6 +91,17 @@ def _flush_sim_counters(state: "_SimState") -> None:
     if delta:
         _REQUEUES.inc(delta)
         state.published_requeues = state.requeue_count
+    if metrics_enabled() and state.machine.topology is not None:
+        # Per-node-group free-capacity gauges for heterogeneous clusters.
+        # Gauges are deterministic snapshots of simulator state (no clocks),
+        # so publishing them keeps the bit-parity contract; the gauge lookup
+        # is dict-keyed and cheap relative to the flush's counter work.
+        registry = get_metrics()
+        for group, vector in state.machine.hetero_free_map().items():
+            for resource, value in vector.as_dict().items():
+                registry.gauge(
+                    "cluster_group_free", group=group, resource=resource
+                ).set(value)
 
 
 @dataclass(frozen=True, slots=True)

@@ -157,17 +157,21 @@ class ReplayLogWriter:
         time_scale: float,
         row_block: Optional[int],
         bsld_threshold: float,
+        node_groups=None,
     ) -> None:
-        self.write(
-            {
-                "type": "header",
-                "num_processors": num_processors,
-                "policy": policy,
-                "time_scale": time_scale,
-                "row_block": row_block,
-                "bsld_threshold": bsld_threshold,
-            }
-        )
+        record = {
+            "type": "header",
+            "num_processors": num_processors,
+            "policy": policy,
+            "time_scale": time_scale,
+            "row_block": row_block,
+            "bsld_threshold": bsld_threshold,
+        }
+        if node_groups is not None:
+            # Heterogeneous cluster shape as (name, cpus, memory, gpus) rows;
+            # replay must rebuild the same topology to reproduce decisions.
+            record["node_groups"] = [list(group) for group in node_groups]
+        self.write(record)
 
     def submit(self, tenant: str, job: Job) -> None:
         self.write({"type": "submit", "tenant": tenant, "job": job_to_wire(job)})
@@ -316,6 +320,8 @@ def build_replay_simulator(header: Mapping[str, object], agent: RLBackfillAgent)
     (``deterministic=True`` and the header's ``row_block``), so the policy
     forward runs through the same kernel path bit for bit.
     """
+    from repro.service.server import topology_from_node_groups
+
     row_block = header.get("row_block")
     strategy = RLBackfillPolicy(
         agent,
@@ -329,6 +335,7 @@ def build_replay_simulator(header: Mapping[str, object], agent: RLBackfillAgent)
         backfill=strategy,
         estimator=UserEstimate(),
         bsld_threshold=float(header.get("bsld_threshold", 10.0)),
+        topology=topology_from_node_groups(header.get("node_groups")),
     )
 
 

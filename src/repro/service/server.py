@@ -32,17 +32,20 @@ import asyncio
 import json
 import math
 import random
+import threading
 import time
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.resources import ClusterTopology, NodeGroup
 from repro.core.agent import RLBackfillAgent
 from repro.core.rlbackfill import RLBackfillPolicy
 from repro.obs import get_metrics, metrics_enabled
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.trace import get_tracer, span
 from repro.prediction.predictors import UserEstimate
 from repro.scheduler.simulator import OnlineSession, ServedDecision, Simulator
@@ -103,6 +106,11 @@ _TIME_MARGIN = 1e-6
 #: under this; anything larger is a framing error, not a workload.
 _STREAM_LIMIT = 1 << 20
 
+#: Distinct tenant strings that may mint their own ``tenant`` label value on
+#: ``service_admission_total`` before further tenants collapse into
+#: ``other`` -- tenant names come off the wire with unknown cardinality.
+_MAX_TENANT_LABELS = 8
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -139,6 +147,40 @@ class ServiceConfig:
     #: Wall seconds between background event-loop ticks (``None`` disables;
     #: decisions are then only served on submit/tick requests).
     tick_interval: Optional[float] = 0.05
+    #: Second listener for plain-HTTP observability (``GET /metrics`` serving
+    #: the same Prometheus text as the ``metrics`` wire op, ``GET /healthz``).
+    #: ``None`` disables; ``0`` binds an ephemeral port (see
+    #: :attr:`SchedulingService.metrics_address`).
+    metrics_port: Optional[int] = None
+    #: Heterogeneous cluster shape as ``(name, cpus, memory, gpus)`` tuples
+    #: (summing to ``num_processors`` cpus); ``None`` serves the homogeneous
+    #: cluster.  Recorded in the replay-log header so offline replay rebuilds
+    #: the same topology, and surfaced as ``cluster_group_free`` gauges.
+    node_groups: Optional[Tuple[Tuple[str, int, int, int], ...]] = None
+
+
+def _normalize_node_groups(groups) -> Optional[Tuple[Tuple[str, int, int, int], ...]]:
+    """Canonical ``(name, cpus, memory, gpus)`` tuples (JSON round-trips as
+    lists, so normalize before comparing or constructing)."""
+    if not groups:
+        return None
+    return tuple(
+        (str(name), int(cpus), int(memory), int(gpus))
+        for name, cpus, memory, gpus in groups
+    )
+
+
+def topology_from_node_groups(groups) -> Optional[ClusterTopology]:
+    """Build the :class:`ClusterTopology` a ``node_groups`` spec describes."""
+    normalized = _normalize_node_groups(groups)
+    if normalized is None:
+        return None
+    return ClusterTopology(
+        tuple(
+            NodeGroup(name=name, cpus=cpus, memory=memory, gpus=gpus)
+            for name, cpus, memory, gpus in normalized
+        )
+    )
 
 
 @dataclass
@@ -181,6 +223,7 @@ class SchedulingService:
             policy=self.config.policy,
             backfill=self.strategy,
             estimator=UserEstimate(),
+            topology=topology_from_node_groups(self.config.node_groups),
         )
         self.session: OnlineSession = self.simulator.open_session()
         self.admission = AdmissionController(
@@ -199,6 +242,7 @@ class SchedulingService:
                 time_scale=self.config.time_scale,
                 row_block=self.config.row_block,
                 bsld_threshold=self.simulator.bsld_threshold,
+                node_groups=_normalize_node_groups(self.config.node_groups),
             )
         self.counters = _Counters()
         # The service *is* a telemetry surface: its registry is always on and
@@ -210,10 +254,16 @@ class SchedulingService:
         self._op_histograms: Dict[str, Histogram] = {}
         self._queue_depth_gauge = self.metrics.gauge("service_queue_depth")
         self._pending_gauge = self.metrics.gauge("service_pending_requests")
-        self._admission_counters = {
-            outcome: self.metrics.counter("service_admission_total", outcome=outcome)
-            for outcome in ("admitted", "throttled", "invalid")
-        }
+        # Admission counters carry a capped ``tenant`` label: tenant strings
+        # come off the wire with unknown cardinality, so only the first
+        # _MAX_TENANT_LABELS distinct tenants mint their own label value and
+        # the rest collapse into ``other`` (same discipline as the per-op
+        # histograms).  The three outcomes are pre-registered for the default
+        # tenant so a scrape always shows them, even at zero.
+        self._admission_counters: Dict[Tuple[str, str], Counter] = {}
+        self._tenant_labels: set = set()
+        for outcome in ("admitted", "throttled", "invalid"):
+            self._admission_counter(outcome, "default")
         self._decisions_counter = self.metrics.counter("service_decisions_total")
         self._clock = clock or time.monotonic
         self._t0: Optional[float] = None
@@ -227,6 +277,13 @@ class SchedulingService:
         self._worker_task: Optional[asyncio.Task] = None
         self._ticker_task: Optional[asyncio.Task] = None
         self._stopped = asyncio.Event()
+        #: Monotonic per-request correlation id, minted at accept time and
+        #: threaded through every span of the request as ``args.request_id``.
+        self._next_request_id = 0
+        self._current_request_id: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._metrics_httpd: Optional[ThreadingHTTPServer] = None
+        self._metrics_thread: Optional[threading.Thread] = None
         if _resume_log is not None:
             self._restore_from_log(_resume_log)
 
@@ -258,6 +315,7 @@ class SchedulingService:
         log = read_replay_log(replay_log_path, allow_torn_tail=True)
         header = log.header
         header_row_block = header.get("row_block")
+        header_groups = _normalize_node_groups(header.get("node_groups"))
         if config is None:
             config = ServiceConfig(
                 num_processors=int(header["num_processors"]),
@@ -265,6 +323,7 @@ class SchedulingService:
                 time_scale=float(header.get("time_scale", 1000.0)),
                 row_block=None if header_row_block is None else int(header_row_block),
                 replay_log_path=str(replay_log_path),
+                node_groups=header_groups,
             )
         else:
             config = replace(config, replay_log_path=str(replay_log_path))
@@ -279,6 +338,12 @@ class SchedulingService:
                         f"config.{key}={getattr(config, key)!r} does not match the "
                         f"log header's {value!r}; the logged decisions would not replay"
                     )
+            if _normalize_node_groups(config.node_groups) != header_groups:
+                raise RecoveryError(
+                    f"config.node_groups={config.node_groups!r} does not match the "
+                    f"log header's {header_groups!r}; the logged decisions would "
+                    "not replay"
+                )
         return cls(agent, config, clock, _resume_log=log)
 
     def _restore_from_log(self, log: ReplayLog) -> None:
@@ -344,11 +409,20 @@ class SchedulingService:
         host, port = sock.getsockname()[:2]
         return host, port
 
+    @property
+    def metrics_address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)`` of the HTTP scrape listener."""
+        if self._metrics_httpd is None:
+            raise RuntimeError("metrics endpoint is not started (set metrics_port)")
+        host, port = self._metrics_httpd.server_address[:2]
+        return host, port
+
     async def start(self) -> Tuple[str, int]:
         """Bind the listener and start the scheduler/ticker tasks."""
         if self._server is not None:
             raise RuntimeError("service already started")
         self._t0 = self._clock()
+        self._loop = asyncio.get_running_loop()
         self._worker_task = asyncio.create_task(self._worker(), name="service-scheduler")
         if self.config.tick_interval is not None:
             self._ticker_task = asyncio.create_task(self._ticker(), name="service-ticker")
@@ -358,10 +432,78 @@ class SchedulingService:
             port=self.config.port,
             limit=_STREAM_LIMIT,
         )
+        if self.config.metrics_port is not None:
+            self._start_metrics_http()
         return self.address
+
+    def _start_metrics_http(self) -> None:
+        """The plain-HTTP observability listener (``--metrics-port``).
+
+        Runs a stdlib :class:`ThreadingHTTPServer` on its own thread so a
+        stock Prometheus can scrape ``GET /metrics`` without speaking the
+        JSONL wire protocol.  Handlers never touch service state directly:
+        the registry render is scheduled onto the event loop
+        (``run_coroutine_threadsafe``), so every registry access stays on the
+        loop thread and the HTTP body is byte-identical to the ``metrics``
+        wire op's ``body`` field by construction.
+        """
+        service = self
+        loop = self._loop
+
+        class _MetricsHandler(BaseHTTPRequestHandler):
+            def _send(self, status: int, body: bytes, content_type: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):  # noqa: N802 - stdlib handler naming
+                if self.path == "/metrics":
+                    try:
+                        future = asyncio.run_coroutine_threadsafe(
+                            service._render_metrics_body(), loop
+                        )
+                        body = future.result(timeout=10.0).encode("utf-8")
+                    except Exception as error:  # pragma: no cover - shutdown race
+                        self.send_error(503, explain=f"{type(error).__name__}: {error}")
+                        return
+                    self._send(200, body, "text/plain; version=0.0.4")
+                elif self.path == "/healthz":
+                    self._send(200, b"ok\n", "text/plain")
+                else:
+                    self.send_error(404)
+
+            def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+                pass
+
+        httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.metrics_port), _MetricsHandler
+        )
+        httpd.daemon_threads = True
+        self._metrics_httpd = httpd
+        self._metrics_thread = threading.Thread(
+            target=httpd.serve_forever, name="service-metrics-http", daemon=True
+        )
+        self._metrics_thread.start()
+
+    async def _render_metrics_body(self) -> str:
+        """Loop-thread trampoline for the HTTP handler threads."""
+        return self._metrics_body()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, flush the queue, close the log."""
+        if self._metrics_httpd is not None:
+            httpd = self._metrics_httpd
+            thread = self._metrics_thread
+            self._metrics_httpd = None
+            self._metrics_thread = None
+            # serve_forever's poll loop exits within its poll interval;
+            # in-flight handler threads are daemonic and finish on their own.
+            await asyncio.get_running_loop().run_in_executor(None, httpd.shutdown)
+            httpd.server_close()
+            if thread is not None:
+                thread.join(timeout=5.0)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -397,50 +539,71 @@ class SchedulingService:
             item = await self._queue.get()
             if item is None:
                 return
-            request, future, enqueue_ns = item
+            request, future, enqueue_ns, request_id = item
             op = str(request.get("op", "unknown")) if isinstance(request, dict) else "unknown"
             t0 = time.perf_counter_ns()
             if tracer.enabled:
                 # The request already measured its queue wait (enqueue at
                 # dispatch, dequeue here), so trace it as a complete span.
+                # One flow chain per request id connects queue_wait -> handle
+                # -> respond as arrows in Perfetto (the flow events' own
+                # timestamps sit at the start of each span, which is how
+                # Perfetto binds them to the right slice).
                 tracer.complete(
                     "service.queue_wait", enqueue_ns, t0 - enqueue_ns,
-                    cat="service", args={"op": op},
+                    cat="service", args={"op": op, "request_id": request_id},
                 )
+                tracer.flow_start("service.request", request_id, enqueue_ns, cat="service")
+            self._current_request_id = request_id
             try:
                 response = self._handle(request)
             except Exception as error:  # noqa: BLE001 - surfaced to the client
                 self.counters.errored += 1
                 response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            finally:
+                self._current_request_id = None
             handled = time.perf_counter_ns()
             self._observe_request(op, (handled - t0) / 1e9)
             if tracer.enabled:
+                tracer.flow_step("service.request", request_id, t0, cat="service")
                 tracer.complete(
-                    "service.handle", t0, handled - t0, cat="service", args={"op": op}
+                    "service.handle", t0, handled - t0, cat="service",
+                    args={"op": op, "request_id": request_id},
                 )
             if future is not None and not future.cancelled():
                 future.set_result(response)
             if tracer.enabled:
+                tracer.flow_end("service.request", request_id, handled, cat="service")
                 tracer.complete(
                     "service.respond", handled, time.perf_counter_ns() - handled,
-                    cat="service", args={"op": op},
+                    cat="service", args={"op": op, "request_id": request_id},
                 )
 
     async def _ticker(self) -> None:
         while True:
             await asyncio.sleep(self.config.tick_interval)
             try:
-                self._queue.put_nowait(({"op": "tick"}, None, time.perf_counter_ns()))
+                self._queue.put_nowait(
+                    ({"op": "tick"}, None, time.perf_counter_ns(), self._mint_request_id())
+                )
             except asyncio.QueueFull:
                 # The scheduler is saturated with client work; it advances
                 # event time on every submit anyway, so a dropped tick is
                 # harmless.
                 pass
 
+    def _mint_request_id(self) -> int:
+        """The next monotonic request-correlation id (loop thread only)."""
+        self._next_request_id += 1
+        return self._next_request_id
+
     def _advance(self, horizon: Optional[float] = None) -> List[ServedDecision]:
         if horizon is None:
             horizon = max(self.event_now(), self._last_assigned)
-        with span("service.advance", cat="service"):
+        with span(
+            "service.advance", cat="service",
+            args={"request_id": self._current_request_id},
+        ):
             served = self.session.advance_to(horizon)
         for decision in served:
             self.replay.decision(decision)
@@ -489,20 +652,55 @@ class SchedulingService:
             return self._handle_drain()
         raise ValueError(f"unknown op {op!r}")
 
-    def _handle_metrics(self) -> Dict[str, object]:
-        """The ``metrics`` wire op: Prometheus text exposition format 0.0.4.
+    def _admission_counter(self, outcome: str, tenant: str) -> Counter:
+        """The ``service_admission_total{outcome,tenant}`` counter, with the
+        tenant label value capped (overflow tenants share ``other``)."""
+        if tenant not in self._tenant_labels:
+            if len(self._tenant_labels) < _MAX_TENANT_LABELS:
+                self._tenant_labels.add(tenant)
+            else:
+                tenant = "other"
+        key = (outcome, tenant)
+        counter = self._admission_counters.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "service_admission_total", outcome=outcome, tenant=tenant
+            )
+            self._admission_counters[key] = counter
+        return counter
+
+    def _publish_cluster_gauges(self) -> None:
+        """Refresh ``cluster_group_free{group,resource}`` gauges from the
+        session machine (hetero clusters only; a no-op otherwise)."""
+        machine = self.session.state.machine
+        if machine.topology is None:
+            return
+        for group, vector in machine.hetero_free_map().items():
+            for resource, value in vector.as_dict().items():
+                self.metrics.gauge(
+                    "cluster_group_free", group=group, resource=resource
+                ).set(value)
+
+    def _metrics_body(self) -> str:
+        """Prometheus text exposition 0.0.4, shared verbatim by the
+        ``metrics`` wire op and ``GET /metrics`` on the scrape port.
 
         Always includes the service's own registry; when global collection is
         on (``REPRO_OBS_METRICS=1``) the process-wide registry -- simulator
         counters, PPO timings -- is appended so one scrape covers both.
         """
+        self._publish_cluster_gauges()
         body = self.metrics.to_prometheus()
         if metrics_enabled():
             body += get_metrics().to_prometheus()
+        return body
+
+    def _handle_metrics(self) -> Dict[str, object]:
+        """The ``metrics`` wire op (see :meth:`_metrics_body`)."""
         return {
             "ok": True,
             "content_type": "text/plain; version=0.0.4",
-            "body": body,
+            "body": self._metrics_body(),
         }
 
     @staticmethod
@@ -551,7 +749,7 @@ class SchedulingService:
                 verdict = self.admission.admit(tenant, wall)
                 if not verdict.admitted:
                     self.counters.rejected += 1
-                    self._admission_counters["throttled"].inc()
+                    self._admission_counter("throttled", tenant).inc()
                     retry = verdict.retry_after
                     self.replay.reject(tenant, wall, retry)
                     results.append(
@@ -573,7 +771,7 @@ class SchedulingService:
                 self.session.submit(job)
             except (ValueError, TypeError, KeyError) as error:
                 self.counters.errored += 1
-                self._admission_counters["invalid"].inc()
+                self._admission_counter("invalid", tenant).inc()
                 results.append(
                     {
                         "job_id": payload.get("job_id") if isinstance(payload, dict) else None,
@@ -584,7 +782,7 @@ class SchedulingService:
                 )
                 continue
             self.counters.admitted += 1
-            self._admission_counters["admitted"].inc()
+            self._admission_counter("admitted", tenant).inc()
             self.replay.submit(tenant, job)
             results.append(
                 {"job_id": job.job_id, "admitted": True, "event_time": job.submit_time}
@@ -594,7 +792,7 @@ class SchedulingService:
             admission_t0,
             time.perf_counter_ns() - admission_t0,
             cat="service",
-            args={"jobs": len(payloads)},
+            args={"jobs": len(payloads), "request_id": self._current_request_id},
         )
         served = self._advance()
         response: Dict[str, object] = {
@@ -709,7 +907,9 @@ class SchedulingService:
             return {"ok": True, "bye": True}
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait((request, future, time.perf_counter_ns()))
+            self._queue.put_nowait(
+                (request, future, time.perf_counter_ns(), self._mint_request_id())
+            )
         except asyncio.QueueFull:
             self.counters.overloaded += 1
             return {

@@ -221,6 +221,38 @@ class TestHeteroSimulator:
                 live = sum(1 for s, e in gpu_spans if s <= t < e)
                 assert live <= 2
 
+    def test_hetero_run_publishes_group_free_gauges(self):
+        """With metrics collection on, the counter flush also snapshots
+        per-group free capacity into ``cluster_group_free{group,resource}``
+        gauges; a drained sequence reads fully free again."""
+        from repro.obs import (
+            disable_metrics,
+            enable_metrics,
+            get_metrics,
+            metrics_enabled,
+            parse_prometheus_text,
+        )
+
+        topology = ClusterTopology(
+            (NodeGroup(name="cpu", cpus=24), NodeGroup(name="gpu", cpus=8, gpus=8))
+        )
+        jobs = [
+            make_job(1, submit_time=0.0, runtime=100.0, processors=8),
+            _gpu_job(2, procs=4, gpus=2, submit=1.0),
+        ]
+        was_enabled = metrics_enabled()
+        enable_metrics()
+        try:
+            run_schedule(jobs, 32, estimator=UserEstimate(), topology=topology)
+            samples = parse_prometheus_text(get_metrics().to_prometheus())
+        finally:
+            if not was_enabled:
+                disable_metrics()
+
+        assert samples['cluster_group_free{group="cpu",resource="cpus"}'] == 24
+        assert samples['cluster_group_free{group="gpu",resource="cpus"}'] == 8
+        assert samples['cluster_group_free{group="gpu",resource="gpus"}'] == 8
+
 
 # -- scenario registry --------------------------------------------------------
 

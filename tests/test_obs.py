@@ -294,9 +294,35 @@ class TestSpanTracer:
         tracer = SpanTracer(capacity=4, enabled=True)
         with tracer.span("timed", cat="test"):
             pass
-        ((ph, name, cat, start_ns, duration_ns, pid, args),) = tracer.events()
+        ((ph, name, cat, start_ns, duration_ns, pid, args, flow_id),) = tracer.events()
         assert (ph, name, cat) == ("X", "timed", "test")
         assert duration_ns >= 0
+        assert flow_id is None
+
+    def test_flow_events_chrome_schema(self):
+        tracer = SpanTracer(capacity=16, enabled=True)
+        tracer.complete("handle", start_ns=1_000, duration_ns=500, cat="svc")
+        tracer.flow_start("req", 7, 1_000, cat="svc")
+        tracer.flow_step("req", 7, 1_600, cat="svc")
+        tracer.flow_end("req", 7, 2_000, cat="svc")
+        doc = tracer.to_chrome()
+        start, step, end = [e for e in doc["traceEvents"] if e["ph"] in "stf"]
+        assert start["ph"] == "s" and start["id"] == 7
+        assert start["ts"] == pytest.approx(1.0)  # microseconds
+        assert step["ph"] == "t" and step["id"] == 7
+        assert end["ph"] == "f" and end["id"] == 7
+        # flow termini bind to the enclosing slice; flow events carry no dur
+        assert end["bp"] == "e"
+        assert "bp" not in start and "bp" not in step
+        assert all("dur" not in e for e in (start, step, end))
+        assert all(e["name"] == "req" for e in (start, step, end))
+
+    def test_flow_events_respect_enabled_switch(self):
+        tracer = SpanTracer(capacity=8, enabled=False)
+        tracer.flow_start("req", 1, 0)
+        tracer.flow_step("req", 1, 1)
+        tracer.flow_end("req", 1, 2)
+        assert tracer.recorded == 0
 
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):

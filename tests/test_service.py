@@ -795,9 +795,9 @@ class TestServiceMetrics:
         assert "# TYPE service_request_seconds histogram" in body
 
         samples = parse_prometheus_text(body)
-        assert samples['service_admission_total{outcome="admitted"}'] == 32
-        assert samples['service_admission_total{outcome="invalid"}'] == 1
-        assert samples['service_admission_total{outcome="throttled"}'] == 0
+        assert samples['service_admission_total{outcome="admitted",tenant="default"}'] == 32
+        assert samples['service_admission_total{outcome="invalid",tenant="default"}'] == 1
+        assert samples['service_admission_total{outcome="throttled",tenant="default"}'] == 0
         assert not bad["results"][0]["admitted"]
         # per-op latency histograms: one observation per submit *request*
         # (4 batch bursts + 1 invalid single), not per job
@@ -834,10 +834,258 @@ class TestServiceMetrics:
 
         service, response = run_service(scenario())
         samples = parse_prometheus_text(service.metrics.to_prometheus())
-        assert samples['service_admission_total{outcome="admitted"}'] == (
+        assert samples['service_admission_total{outcome="admitted",tenant="default"}'] == (
             service.counters.admitted
         )
-        assert samples['service_admission_total{outcome="throttled"}'] == (
+        assert samples['service_admission_total{outcome="throttled",tenant="default"}'] == (
             service.counters.rejected
         )
         assert service.counters.rejected > 0  # the tight bucket throttled some
+
+    def test_tenant_label_is_capped(self):
+        """Tenant strings come off the wire with unbounded cardinality, so
+        only the first ``_MAX_TENANT_LABELS`` distinct tenants mint their own
+        label value; later ones collapse into ``other``."""
+        from repro.service.server import _MAX_TENANT_LABELS
+
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(agent, service_config())
+            async with service:
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    for i in range(_MAX_TENANT_LABELS + 4):
+                        response = await client.submit(
+                            {"job_id": i + 1, "runtime": 10.0,
+                             "requested_processors": 1, "requested_time": 20.0},
+                            tenant=f"team-{i}",
+                        )
+                        assert response["ok"], response
+                    await client.shutdown()
+                await service.wait_stopped()
+            return service
+
+        service = run_service(scenario())
+        samples = parse_prometheus_text(service.metrics.to_prometheus())
+        tenants = {
+            key.split('tenant="')[1].rstrip('"}')
+            for key in samples
+            if key.startswith("service_admission_total{")
+        }
+        # "default" is pre-registered; the first cap-1 wire tenants mint
+        # labels (team-0 .. team-6), the remaining five collapse to "other".
+        assert "other" in tenants
+        assert len(tenants) <= _MAX_TENANT_LABELS + 1
+        overflow = sum(
+            value
+            for key, value in samples.items()
+            if key == 'service_admission_total{outcome="admitted",tenant="other"}'
+        )
+        assert overflow == 5
+
+    def test_node_groups_expose_cluster_group_free_gauges(self):
+        """A hetero service publishes per-group free-resource gauges into its
+        always-on registry, keyed ``cluster_group_free{group,resource}``."""
+        agent = RLBackfillAgent(seed=0)
+        groups = (("cpu", 48, 0, 0), ("gpu", 16, 0, 4))
+
+        async def scenario():
+            service = SchedulingService(agent, service_config(node_groups=groups))
+            async with service:
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    scraped = await client.metrics()
+                    await client.shutdown()
+                await service.wait_stopped()
+            return scraped
+
+        scraped = run_service(scenario())
+        assert scraped["ok"]
+        samples = parse_prometheus_text(scraped["body"])
+        assert samples['cluster_group_free{group="cpu",resource="cpus"}'] == 48
+        assert samples['cluster_group_free{group="gpu",resource="cpus"}'] == 16
+        assert samples['cluster_group_free{group="gpu",resource="gpus"}'] == 4
+
+
+class TestRequestCorrelation:
+    """Request-id threading: one monotonic id per request connects the
+    queue_wait -> handle -> respond spans (as args) and the
+    ``service.request`` flow chain (as the flow id)."""
+
+    def test_request_id_spans_and_flow_chain(self):
+        from repro.obs import disable_tracing, enable_tracing, get_tracer, tracing_enabled
+
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(agent, service_config())
+            async with service:
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    response = await client.submit(
+                        {"job_id": 1, "runtime": 10.0,
+                         "requested_processors": 1, "requested_time": 20.0}
+                    )
+                    assert response["ok"], response
+                    await client.shutdown()
+                await service.wait_stopped()
+
+        was_tracing = tracing_enabled()
+        tracer = get_tracer()
+        tracer.clear()
+        enable_tracing()
+        try:
+            run_service(scenario())
+            events = tracer.events()
+        finally:
+            if not was_tracing:
+                disable_tracing()
+            tracer.clear()
+
+        spans = [e for e in events if e[0] == "X" and e[2] == "service"]
+        submit_ids = {
+            e[6]["request_id"]
+            for e in spans
+            if e[1] == "service.queue_wait" and e[6].get("op") == "submit"
+        }
+        assert len(submit_ids) == 1
+        (request_id,) = submit_ids
+        assert isinstance(request_id, int) and request_id >= 1
+
+        correlated = {
+            e[1] for e in spans if (e[6] or {}).get("request_id") == request_id
+        }
+        # service.advance rides along inside _handle with the same id.
+        assert correlated >= {
+            "service.queue_wait", "service.handle",
+            "service.respond", "service.advance",
+        }
+
+        flows = [
+            e for e in events
+            if e[0] in "stf" and e[1] == "service.request" and e[7] == request_id
+        ]
+        assert [e[0] for e in flows] == ["s", "t", "f"]
+        # flow timestamps sit at the start of the span each arrow should
+        # bind to, so the chain reads enqueue -> handle -> respond.
+        assert flows[0][3] <= flows[1][3] <= flows[2][3]
+
+    def test_request_ids_are_monotonic_across_requests(self):
+        from repro.obs import disable_tracing, enable_tracing, get_tracer, tracing_enabled
+
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(agent, service_config())
+            async with service:
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    for i in range(3):
+                        await client.submit(
+                            {"job_id": i + 1, "runtime": 10.0,
+                             "requested_processors": 1, "requested_time": 20.0}
+                        )
+                    await client.shutdown()
+                await service.wait_stopped()
+
+        was_tracing = tracing_enabled()
+        tracer = get_tracer()
+        tracer.clear()
+        enable_tracing()
+        try:
+            run_service(scenario())
+            events = tracer.events()
+        finally:
+            if not was_tracing:
+                disable_tracing()
+            tracer.clear()
+
+        submit_ids = [
+            e[6]["request_id"]
+            for e in events
+            if e[0] == "X" and e[1] == "service.queue_wait"
+            and e[6].get("op") == "submit"
+        ]
+        assert len(submit_ids) == 3
+        assert submit_ids == sorted(submit_ids)
+        assert len(set(submit_ids)) == 3
+
+
+class TestMetricsHTTPEndpoint:
+    """The plain-HTTP scrape listener (``--metrics-port``)."""
+
+    @staticmethod
+    async def http_get(host, port, path):
+        """GET over http.client in an executor -- the service shares this
+        loop, so a blocking socket read here would deadlock the handler."""
+        import http.client
+
+        def fetch():
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                return response.status, response.read()
+            finally:
+                conn.close()
+
+        return await asyncio.get_running_loop().run_in_executor(None, fetch)
+
+    def test_scrape_round_trip_matches_wire_op(self):
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(agent, service_config(metrics_port=0))
+            async with service:
+                host, port = service.address
+                http_host, http_port = service.metrics_address
+                async with ServiceClient(host, port) as client:
+                    response = await client.submit(
+                        {"job_id": 1, "runtime": 10.0,
+                         "requested_processors": 1, "requested_time": 20.0}
+                    )
+                    assert response["ok"], response
+                    # A background tick between the two scrapes can bump
+                    # tick-op counters; retry until a quiescent window.
+                    for _ in range(30):
+                        status, http_body = await self.http_get(
+                            http_host, http_port, "/metrics"
+                        )
+                        wire = await client.metrics()
+                        if status == 200 and http_body == wire["body"].encode():
+                            break
+                    health = await self.http_get(http_host, http_port, "/healthz")
+                    missing = await self.http_get(http_host, http_port, "/nope")
+                    await client.shutdown()
+                await service.wait_stopped()
+            return status, http_body, wire, health, missing
+
+        status, http_body, wire, health, missing = run_service(scenario())
+        assert status == 200
+        assert http_body == wire["body"].encode()
+        samples = parse_prometheus_text(http_body.decode())
+        assert samples['service_admission_total{outcome="admitted",tenant="default"}'] == 1
+        assert "service_decisions_total" in samples
+        assert health == (200, b"ok\n")
+        assert missing[0] == 404
+
+    def test_metrics_address_requires_started_service(self):
+        agent = RLBackfillAgent(seed=0)
+        service = SchedulingService(agent, service_config(metrics_port=0))
+        with pytest.raises(RuntimeError):
+            service.metrics_address
+
+    def test_no_listener_without_metrics_port(self):
+        agent = RLBackfillAgent(seed=0)
+
+        async def scenario():
+            service = SchedulingService(agent, service_config())
+            async with service:
+                assert service._metrics_httpd is None
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    await client.shutdown()
+                await service.wait_stopped()
+
+        run_service(scenario())
